@@ -1,0 +1,286 @@
+(* Command-line front end: classify queries, solve resilience instances,
+   list witnesses, browse the paper's query zoo, search for IJPs, and
+   build hardness gadgets. *)
+
+open Cmdliner
+open Res_db
+
+let parse_query s =
+  match Res_cq.Parser.query_opt s with
+  | Ok q -> q
+  | Error msg ->
+    Printf.eprintf "query parse error: %s\n" msg;
+    exit 2
+
+let load_db db_file facts_inline =
+  try
+    match (db_file, facts_inline) with
+    | Some path, _ -> Fact_syntax.load_file path
+    | None, Some text -> Fact_syntax.database text
+    | None, None ->
+      prerr_endline "no database given: use --db FILE or --facts \"R(1,2); ...\"";
+      exit 2
+  with Fact_syntax.Parse_error msg ->
+    Printf.eprintf "database parse error: %s\n" msg;
+    exit 2
+
+let query_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"Conjunctive query, e.g. \"R(x,y), R(y,z)\"; mark exogenous relations with ^x.")
+
+let db_file_arg =
+  Arg.(value & opt (some string) None & info [ "db" ] ~docv:"FILE" ~doc:"Database file, one fact per line (e.g. R(1,2)).")
+
+let facts_arg =
+  Arg.(value & opt (some string) None & info [ "facts" ] ~docv:"FACTS" ~doc:"Inline facts, ';'-separated.")
+
+(* --- classify --------------------------------------------------------- *)
+
+let classify_cmd =
+  let run query_s =
+    let report = Resilience.Classify.classify (parse_query query_s) in
+    Format.printf "%a@." Resilience.Classify.pp_report report
+  in
+  Cmd.v (Cmd.info "classify" ~doc:"Decide the complexity of RES(q) (Theorem 37 and extensions)")
+    Term.(const run $ query_arg)
+
+(* --- solve ------------------------------------------------------------ *)
+
+let solve_cmd =
+  let run query_s db_file facts_inline show_trace =
+    let q = parse_query query_s in
+    let db = load_db db_file facts_inline in
+    let solution, traces = Resilience.Solver.solve_traced db q in
+    (match solution with
+    | Resilience.Solution.Unbreakable ->
+      print_endline "resilience: unbreakable (a witness uses only exogenous tuples)"
+    | Resilience.Solution.Finite (v, facts) ->
+      Printf.printf "resilience: %d\n" v;
+      print_endline "minimum contingency set:";
+      List.iter (fun f -> Format.printf "  %a@." Database.pp_fact f) facts);
+    if show_trace then
+      List.iter
+        (fun (t : Resilience.Solver.trace) ->
+          Format.printf "component %a -> %s@." Res_cq.Query.pp t.component t.algorithm)
+        traces
+  in
+  let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Show which algorithm solved each component.") in
+  Cmd.v (Cmd.info "solve" ~doc:"Compute the resilience of a database w.r.t. a query")
+    Term.(const run $ query_arg $ db_file_arg $ facts_arg $ trace_arg)
+
+(* --- witnesses ---------------------------------------------------------- *)
+
+let witnesses_cmd =
+  let run query_s db_file facts_inline =
+    let q = parse_query query_s in
+    let db = load_db db_file facts_inline in
+    let ws = Eval.witnesses db q in
+    Printf.printf "%d witnesses\n" (List.length ws);
+    List.iter
+      (fun (w : Eval.witness) ->
+        let vals =
+          List.map (fun (v, x) -> Printf.sprintf "%s=%s" v (Value.to_string x)) w.valuation
+        in
+        Printf.printf "  (%s) via {%s}\n" (String.concat ", " vals)
+          (String.concat "; "
+             (List.map (Format.asprintf "%a" Database.pp_fact)
+                (Database.Fact_set.elements w.facts))))
+      ws
+  in
+  Cmd.v (Cmd.info "witnesses" ~doc:"Enumerate the witnesses of D |= q")
+    Term.(const run $ query_arg $ db_file_arg $ facts_arg)
+
+(* --- zoo ---------------------------------------------------------------- *)
+
+let zoo_cmd =
+  let run () =
+    Printf.printf "%-16s %-14s %-55s %s\n" "name" "paper" "classifier" "reference";
+    List.iter
+      (fun (en : Resilience.Zoo.entry) ->
+        let v = Resilience.Classify.verdict_of en.query in
+        Printf.printf "%-16s %-14s %-55s %s\n" en.name
+          (Resilience.Zoo.expected_to_string en.expected)
+          (Resilience.Classify.verdict_to_string v)
+          en.reference)
+      Resilience.Zoo.all
+  in
+  Cmd.v (Cmd.info "zoo" ~doc:"Classify every named query from the paper") Term.(const run $ const ())
+
+(* --- ijp ----------------------------------------------------------------- *)
+
+let ijp_cmd =
+  let run query_s joins strict certify =
+    let q = parse_query query_s in
+    if certify then begin
+      match Resilience.Certificate.search ~max_joins:joins q with
+      | Some cert ->
+        Format.printf "hardness certificate found: IJP with %d tuples, cost %d@."
+          (Database.size cert.Resilience.Certificate.ijp) cert.Resilience.Certificate.cost;
+        Printf.printf "verifies on K3/P4/star/K4: %b\n" (Resilience.Certificate.verify cert)
+      | None -> Printf.printf "no hardness certificate up to %d joins\n" joins
+    end
+    else begin
+      match Resilience.Ijp.search ~max_joins:joins ~strict q with
+      | Some (db, a, b) ->
+        Format.printf "IJP found (%d tuples), endpoints %a / %a@." (Database.size db)
+          Database.pp_fact a Database.pp_fact b;
+        Format.printf "%a@." Database.pp db
+      | None -> Printf.printf "no %sIJP found up to %d joins\n" (if strict then "composable " else "") joins
+    end
+  in
+  let joins_arg = Arg.(value & opt int 2 & info [ "joins" ] ~docv:"K" ~doc:"Maximum canonical copies.") in
+  let strict_arg = Arg.(value & flag & info [ "strict" ] ~doc:"Require composability (validated VC reduction).") in
+  let certify_arg = Arg.(value & flag & info [ "certify" ] ~doc:"Produce and verify a full hardness certificate (Section 9).") in
+  Cmd.v
+    (Cmd.info "ijp" ~doc:"Search for an Independent Join Path (Definition 48 / Appendix C.2)")
+    Term.(const run $ query_arg $ joins_arg $ strict_arg $ certify_arg)
+
+(* --- gadget ----------------------------------------------------------------- *)
+
+let gadget_cmd =
+  let run kind cnf_s solve =
+    let clauses =
+      String.split_on_char ',' cnf_s
+      |> List.map (fun c ->
+             String.split_on_char ' ' (String.trim c)
+             |> List.filter (fun s -> s <> "")
+             |> List.map int_of_string)
+    in
+    let n_vars = List.fold_left (fun m c -> List.fold_left (fun m l -> max m (abs l)) m c) 0 clauses in
+    let f = Res_sat.Cnf.make ~n_vars clauses in
+    let inst =
+      match kind with
+      | "chain" -> Resilience.Reductions.sat3_to_chain f
+      | "achain" -> Resilience.Reductions.sat3_to_chain ~with_a:true f
+      | "acchain" -> Resilience.Reductions.sat3_to_chain ~with_a:true ~with_c:true f
+      | "triangle" -> Resilience.Reductions.sat3_to_triangle f
+      | "tripod" -> Resilience.Reductions.sat3_to_tripod f
+      | "abperm" -> Resilience.Reductions.sat3_to_abperm f
+      | "sxy3perm" -> Resilience.Reductions.sat3_to_sxy3perm f
+      | other ->
+        Printf.eprintf "unknown gadget %S\n" other;
+        exit 2
+    in
+    Printf.printf "%s\n" inst.description;
+    Format.printf "query: %a@." Res_cq.Query.pp inst.query;
+    Printf.printf "tuples: %d, decision threshold k = %d\n" (Database.size inst.db) inst.k;
+    Printf.printf "formula satisfiable (DPLL): %b\n" (Res_sat.Dpll.satisfiable f);
+    if solve then begin
+      match Resilience.Exact.value inst.db inst.query with
+      | Some rho ->
+        Printf.printf "exact resilience: %d -> (D,k) %s RES(q)\n" rho
+          (if rho <= inst.k then "IN" else "NOT IN")
+      | None -> print_endline "unbreakable"
+    end
+  in
+  let kind_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"KIND" ~doc:"chain|achain|acchain|triangle|tripod|abperm|sxy3perm")
+  in
+  let cnf_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"CNF" ~doc:"Clauses as DIMACS-ish literals, e.g. \"1 2 3, -1 -2 3\".")
+  in
+  let solve_arg = Arg.(value & flag & info [ "solve" ] ~doc:"Also solve the produced instance exactly.") in
+  Cmd.v
+    (Cmd.info "gadget" ~doc:"Build a hardness-reduction gadget database from a CNF formula")
+    Term.(const run $ kind_arg $ cnf_arg $ solve_arg)
+
+(* --- repairs ----------------------------------------------------------------- *)
+
+let repairs_cmd =
+  let run query_s db_file facts_inline limit =
+    let q = parse_query query_s in
+    let db = load_db db_file facts_inline in
+    let sets = Resilience.Exact.minimum_sets ~limit db q in
+    match sets with
+    | [] -> print_endline "no contingency set exists (unbreakable)"
+    | [ [] ] -> print_endline "the query is already false; nothing to delete"
+    | _ ->
+      Printf.printf "%d minimum contingency sets (size %d):\n" (List.length sets)
+        (List.length (List.hd sets));
+      List.iter
+        (fun s ->
+          Printf.printf "  { %s }\n"
+            (String.concat "; " (List.map (Format.asprintf "%a" Database.pp_fact) s)))
+        sets
+  in
+  let limit_arg = Arg.(value & opt int 50 & info [ "limit" ] ~docv:"N" ~doc:"Maximum repairs to list.") in
+  Cmd.v
+    (Cmd.info "repairs" ~doc:"Enumerate all minimum contingency sets (optimal repairs)")
+    Term.(const run $ query_arg $ db_file_arg $ facts_arg $ limit_arg)
+
+(* --- blame --------------------------------------------------------------------- *)
+
+let blame_cmd =
+  let run query_s db_file facts_inline =
+    let q = parse_query query_s in
+    let db = load_db db_file facts_inline in
+    let ranking = Resilience.Responsibility.ranking db q in
+    if ranking = [] then print_endline "no endogenous tuple is a cause"
+    else begin
+      Printf.printf "%-30s responsibility\n" "tuple";
+      List.iter
+        (fun (f, r) -> Format.printf "%-30s %.4f@." (Format.asprintf "%a" Database.pp_fact f) r)
+        ranking
+    end
+  in
+  Cmd.v
+    (Cmd.info "blame" ~doc:"Rank tuples by responsibility for the query answer (Meliou et al.)")
+    Term.(const run $ query_arg $ db_file_arg $ facts_arg)
+
+(* --- propagate ------------------------------------------------------------------- *)
+
+let propagate_cmd =
+  let run query_s db_file facts_inline head_s =
+    let q = parse_query query_s in
+    let db = load_db db_file facts_inline in
+    (* head syntax: "x=1,y=alice" *)
+    let head =
+      if head_s = "" then []
+      else
+        String.split_on_char ',' head_s
+        |> List.map (fun kv ->
+               match String.index_opt kv '=' with
+               | Some i ->
+                 let v = String.trim (String.sub kv 0 i) in
+                 let raw = String.trim (String.sub kv (i + 1) (String.length kv - i - 1)) in
+                 let value =
+                   match int_of_string_opt raw with Some n -> Value.i n | None -> Value.s raw
+                 in
+                 (v, value)
+               | None ->
+                 prerr_endline "head bindings must look like x=1,y=alice";
+                 exit 2)
+    in
+    if head = [] then begin
+      (* list output tuples with their side effects *)
+      let vars = Res_cq.Query.vars q in
+      let all = Resilience.Dp.side_effects_all db q ~head:vars in
+      Printf.printf "%d output tuples (head = all variables)\n" (List.length all);
+      List.iter
+        (fun (tuple, s) ->
+          Printf.printf "  (%s): %s\n"
+            (String.concat ", " (List.map Value.to_string tuple))
+            (match s with
+            | Resilience.Solution.Finite (v, _) -> Printf.sprintf "side effect %d" v
+            | Resilience.Solution.Unbreakable -> "undeletable"))
+        all
+    end
+    else begin
+      match Resilience.Dp.side_effect db q ~head with
+      | Resilience.Solution.Finite (v, facts) ->
+        Printf.printf "minimum source side-effect: %d\n" v;
+        List.iter (fun f -> Format.printf "  delete %a@." Database.pp_fact f) facts
+      | Resilience.Solution.Unbreakable -> print_endline "output tuple cannot be deleted"
+    end
+  in
+  let head_arg =
+    Arg.(value & opt string "" & info [ "head" ] ~docv:"BINDINGS" ~doc:"Output tuple to delete, e.g. \"x=1,z=3\".")
+  in
+  Cmd.v
+    (Cmd.info "propagate"
+       ~doc:"Deletion propagation with source side-effects for a non-Boolean query")
+    Term.(const run $ query_arg $ db_file_arg $ facts_arg $ head_arg)
+
+let () =
+  let doc = "resilience of conjunctive queries with self-joins (PODS 2020 reproduction)" in
+  let info = Cmd.info "resilience" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ classify_cmd; solve_cmd; witnesses_cmd; zoo_cmd; ijp_cmd; gadget_cmd; repairs_cmd; blame_cmd; propagate_cmd ]))

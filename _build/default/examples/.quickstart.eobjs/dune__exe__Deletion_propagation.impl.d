@@ -1,0 +1,1 @@
+examples/deletion_propagation.ml: Database Eval Fact_syntax Format List Printf Res_cq Res_db Resilience String Value

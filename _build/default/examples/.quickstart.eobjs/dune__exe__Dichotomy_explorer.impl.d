@@ -1,0 +1,1 @@
+examples/dichotomy_explorer.ml: Classify Format List Printf Resilience String Zoo

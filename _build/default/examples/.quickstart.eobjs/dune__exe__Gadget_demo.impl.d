@@ -1,0 +1,1 @@
+examples/gadget_demo.ml: Bool Cnf Database Dpll Format List Printf Res_db Res_sat Resilience Value

@@ -1,0 +1,1 @@
+examples/ijp_search_demo.ml: Database Format List Option Printf Res_cq Res_db Res_graph Resilience Value

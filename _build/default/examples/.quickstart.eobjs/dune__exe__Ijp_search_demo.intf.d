@@ -1,0 +1,1 @@
+examples/ijp_search_demo.mli:

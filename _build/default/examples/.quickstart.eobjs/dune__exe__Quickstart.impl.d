@@ -1,0 +1,1 @@
+examples/quickstart.ml: Database Eval Format List Res_cq Res_db Resilience String Value

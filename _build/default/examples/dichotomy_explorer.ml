@@ -1,0 +1,51 @@
+(* Dichotomy explorer: classify every named query from the paper and
+   reproduce the Figure 5 pattern table and the Theorem 37 / Section 8 case
+   analysis, comparing the classifier's verdict with the paper's.
+
+   Run with: dune exec examples/dichotomy_explorer.exe *)
+
+open Resilience
+
+let rule () = print_endline (String.make 100 '-')
+
+let show_entries title entries =
+  Printf.printf "\n%s\n" title;
+  rule ();
+  Printf.printf "%-16s | %-12s | %-50s | %s\n" "query" "paper" "classifier" "agree";
+  rule ();
+  List.iter
+    (fun (en : Zoo.entry) ->
+      let v = Classify.verdict_of en.query in
+      Printf.printf "%-16s | %-12s | %-50s | %s\n" en.name
+        (Zoo.expected_to_string en.expected)
+        (Classify.verdict_to_string v)
+        (if Classify.agrees_with v en.expected then "yes" else "NO"))
+    entries
+
+let () =
+  print_endline "== The resilience dichotomy, executable ==";
+  print_endline "(every named query of the paper, classified by Classify.classify)";
+
+  show_entries "Figure 5: two R-atom patterns" Zoo.figure5;
+  show_entries "Figure 6a: the eight qchain expansions (Section 7.1)" Zoo.chain_expansions;
+  show_entries "Everything else" Zoo.all;
+
+  (* Detail view for one query per bucket *)
+  print_newline ();
+  print_endline "== Detailed reports ==";
+  List.iter
+    (fun name ->
+      let en = Zoo.find name in
+      rule ();
+      Format.printf "%a@." Classify.pp_report (Classify.classify en.query))
+    [ "q_rats"; "q_chain"; "q_ab_perm"; "q_ts_3conf"; "q_as_3conf" ];
+
+  (* Aggregate *)
+  let agree, total =
+    List.fold_left
+      (fun (a, t) (en : Zoo.entry) ->
+        ((a + if Classify.agrees_with (Classify.verdict_of en.query) en.expected then 1 else 0), t + 1))
+      (0, 0) Zoo.all
+  in
+  rule ();
+  Printf.printf "classifier agreement with the paper: %d/%d\n" agree total

@@ -1,0 +1,46 @@
+(* Gadget demo: walk through the 3SAT -> RES(qchain) reduction of
+   Proposition 10 / Figure 10 on a concrete formula, and verify both
+   directions of the equivalence with the exact solver.
+
+   Run with: dune exec examples/gadget_demo.exe *)
+
+open Res_db
+open Res_sat
+
+let show f title =
+  Printf.printf "\n== %s ==\n" title;
+  Format.printf "formula: %a@." Cnf.pp f;
+  let sat = Dpll.satisfiable f in
+  Printf.printf "satisfiable (DPLL): %b\n" sat;
+  let inst = Resilience.Reductions.sat3_to_chain f in
+  let n = f.n_vars and m = List.length f.clauses in
+  Printf.printf "gadget: %d tuples, k = (n+5)m = (%d+5)*%d = %d\n"
+    (Database.size inst.db) n m inst.k;
+  match Resilience.Exact.resilience inst.db inst.query with
+  | Resilience.Solution.Finite (rho, contingency) ->
+    Printf.printf "exact resilience: %d\n" rho;
+    Printf.printf "(D,k) in RES(qchain): %b  -- matches satisfiability: %b\n" (rho <= inst.k)
+      (Bool.equal (rho <= inst.k) sat);
+    if sat then begin
+      (* decode the assignment from the contingency set: variable i is true
+         iff its T-tuples R(x_i^j, xbar_i^j) were deleted *)
+      print_endline "assignment decoded from the minimum contingency set:";
+      for i = 1 to n do
+        let is_t_tuple (fact : Database.fact) =
+          match fact.tuple with
+          | [ Value.Str a; Value.Str b ] ->
+            a = Printf.sprintf "x%d_1" i && b = Printf.sprintf "xbar%d_1" i
+          | _ -> false
+        in
+        Printf.printf "  x%d := %b\n" i (List.exists is_t_tuple contingency)
+      done
+    end
+  | Resilience.Solution.Unbreakable -> print_endline "unbreakable (unexpected)"
+
+let () =
+  print_endline "Proposition 10: psi in 3SAT  <=>  (D_psi, (n+5)m) in RES(qchain)";
+  show (Cnf.make ~n_vars:3 [ [ 1; 2; 3 ] ]) "satisfiable: (x1 | x2 | x3)";
+  show
+    (Cnf.make ~n_vars:3 [ [ 1; -2; 3 ]; [ -1; 2; -3 ] ])
+    "satisfiable: (x1 | ~x2 | x3) & (~x1 | x2 | ~x3)";
+  show (Cnf.make ~n_vars:1 [ [ 1 ]; [ -1 ] ]) "unsatisfiable: (x1) & (~x1)"

@@ -1,0 +1,43 @@
+(* Quickstart: parse a query, classify its resilience complexity, build a
+   small database, and compute a minimum contingency set.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Res_db
+
+let () =
+  (* 1. Queries are written in Datalog-ish syntax; exogenous relations
+        carry a ^x marker. *)
+  let q = Res_cq.Parser.query "R(x,y), R(y,z)" in
+  Format.printf "query: %a@." Res_cq.Query.pp q;
+
+  (* 2. The classifier implements the dichotomy of Theorem 37. *)
+  let report = Resilience.Classify.classify q in
+  Format.printf "complexity: %s@." (Resilience.Classify.verdict_to_string report.verdict);
+
+  (* 3. Build a database.  Here: the three-tuple example from Section 2. *)
+  let db = Database.of_int_rows [ ("R", [ [ 1; 2 ]; [ 2; 3 ]; [ 3; 3 ] ]) ] in
+  Format.printf "database:@.%a@." Database.pp db;
+
+  (* 4. The witnesses of D |= q. *)
+  let ws = Eval.witnesses db q in
+  Format.printf "%d witnesses:@." (List.length ws);
+  List.iter
+    (fun (w : Eval.witness) ->
+      let vals = List.map (fun (v, x) -> v ^ "=" ^ Value.to_string x) w.valuation in
+      Format.printf "  (%s)@." (String.concat ", " vals))
+    ws;
+
+  (* 5. Solve.  The dispatcher picks the right algorithm for the query
+        class (here the query is NP-complete, so the exact branch-and-bound
+        solver runs). *)
+  match Resilience.Solver.solve db q with
+  | Resilience.Solution.Finite (rho, contingency) ->
+    Format.printf "resilience: %d@." rho;
+    Format.printf "minimum contingency set:@.";
+    List.iter (fun f -> Format.printf "  delete %a@." Database.pp_fact f) contingency;
+    (* 6. Verify: deleting the contingency set falsifies the query. *)
+    let db' = Database.remove_all db contingency in
+    Format.printf "query still true after deletion? %b@." (Eval.sat db' q)
+  | Resilience.Solution.Unbreakable ->
+    Format.printf "the query cannot be made false by endogenous deletions@."

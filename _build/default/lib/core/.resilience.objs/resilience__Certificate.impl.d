@@ -1,0 +1,1 @@
+lib/core/certificate.ml: Database Exact Ijp List Printf Reductions Res_cq Res_db Res_graph

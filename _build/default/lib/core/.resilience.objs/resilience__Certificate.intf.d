@@ -1,0 +1,1 @@
+lib/core/certificate.mli: Database Reductions Res_cq Res_db Res_graph

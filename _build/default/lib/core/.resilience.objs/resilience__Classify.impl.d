@@ -1,0 +1,1 @@
+lib/core/classify.ml: Atom Components Domination Format Hashtbl Homomorphism List Patterns Printf Query Query_iso Res_cq Triad Zoo

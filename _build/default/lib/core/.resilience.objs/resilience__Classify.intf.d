@@ -1,0 +1,1 @@
+lib/core/classify.mli: Atom Format Query Res_cq Zoo

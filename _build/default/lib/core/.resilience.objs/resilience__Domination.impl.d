@@ -1,0 +1,1 @@
+lib/core/domination.ml: Array Atom Fun List Query Res_cq

@@ -1,0 +1,1 @@
+lib/core/domination.mli: Query Res_cq

@@ -1,0 +1,1 @@
+lib/core/dp.ml: Database Eval List Printf Res_cq Res_db Solver

@@ -1,0 +1,1 @@
+lib/core/dp.mli: Database Res_cq Res_db Solution Value

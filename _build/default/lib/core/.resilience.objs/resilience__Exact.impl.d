@@ -1,0 +1,1 @@
+lib/core/exact.ml: Array Database Eval Hashtbl Int List Option Res_cq Res_db Set Solution

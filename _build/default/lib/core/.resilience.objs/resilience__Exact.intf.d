@@ -1,0 +1,1 @@
+lib/core/exact.mli: Database Res_cq Res_db Solution

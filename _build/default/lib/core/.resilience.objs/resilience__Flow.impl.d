@@ -1,0 +1,1 @@
+lib/core/flow.ml: Array Database Eval Hashtbl Linearity List Res_cq Res_db Res_graph Set Solution String Value

@@ -1,0 +1,1 @@
+lib/core/ijp.ml: Array Database Eval Exact Format Hashtbl List Printf Res_cq Res_db Res_graph Seq Set String Value

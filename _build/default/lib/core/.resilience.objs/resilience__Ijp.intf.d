@@ -1,0 +1,1 @@
+lib/core/ijp.mli: Database Res_cq Res_db Res_graph Seq

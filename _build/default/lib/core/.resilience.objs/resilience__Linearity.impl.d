@@ -1,0 +1,1 @@
+lib/core/linearity.ml: Array Atom Hashtbl Hypergraph List Option Query Res_cq Set String

@@ -1,0 +1,1 @@
+lib/core/linearity.mli: Atom Query Res_cq

@@ -1,0 +1,1 @@
+lib/core/patterns.ml: Array Atom Hypergraph List Query Res_cq Res_graph

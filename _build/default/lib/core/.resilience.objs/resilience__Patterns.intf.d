@@ -1,0 +1,1 @@
+lib/core/patterns.mli: Atom Query Res_cq

@@ -1,0 +1,1 @@
+lib/core/query_gen.ml: Atom Components List Printf Query Query_iso Res_cq

@@ -1,0 +1,1 @@
+lib/core/query_gen.mli: Query Res_cq

@@ -1,0 +1,1 @@
+lib/core/query_iso.ml: Atom List Map Parser Query Res_cq String

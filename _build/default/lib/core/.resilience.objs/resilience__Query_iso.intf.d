@@ -1,0 +1,1 @@
+lib/core/query_iso.mli: Query Res_cq

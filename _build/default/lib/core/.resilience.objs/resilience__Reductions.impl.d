@@ -1,0 +1,1 @@
+lib/core/reductions.ml: Array Database Domination Eval Exact List Patterns Printf Res_cq Res_db Res_graph Res_sat Triad Value

@@ -1,0 +1,1 @@
+lib/core/reductions.mli: Database Res_cq Res_db Res_graph Res_sat

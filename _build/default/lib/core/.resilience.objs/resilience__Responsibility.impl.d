@@ -1,0 +1,1 @@
+lib/core/responsibility.ml: Database Eval Hashtbl Int List Res_cq Res_db Set

@@ -1,0 +1,1 @@
+lib/core/responsibility.mli: Database Res_cq Res_db

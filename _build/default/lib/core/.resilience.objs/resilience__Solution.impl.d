@@ -1,0 +1,1 @@
+lib/core/solution.ml: Database Format Res_db

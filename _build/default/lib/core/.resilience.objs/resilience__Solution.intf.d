@@ -1,0 +1,1 @@
+lib/core/solution.mli: Database Format Res_db

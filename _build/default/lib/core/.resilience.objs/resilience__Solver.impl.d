@@ -1,0 +1,1 @@
+lib/core/solver.ml: Classify Database Eval Exact Flow List Printf Query_iso Res_cq Res_db Solution Special String Value

@@ -1,0 +1,1 @@
+lib/core/special.ml: Array Database Eval Flow Hashtbl List Map Patterns Queue Res_cq Res_db Res_graph Set Solution Stdlib Value

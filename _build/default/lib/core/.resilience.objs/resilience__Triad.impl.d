@@ -1,0 +1,1 @@
+lib/core/triad.ml: Array Atom Fun Hypergraph List Query Res_cq

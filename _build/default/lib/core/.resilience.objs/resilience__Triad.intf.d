@@ -1,0 +1,1 @@
+lib/core/triad.mli: Atom Query Res_cq

@@ -1,0 +1,1 @@
+lib/core/zoo.ml: List Parser Query Res_cq

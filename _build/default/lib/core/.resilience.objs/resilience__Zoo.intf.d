@@ -1,0 +1,1 @@
+lib/core/zoo.mli: Query Res_cq

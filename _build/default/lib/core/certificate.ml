@@ -1,0 +1,52 @@
+open Res_db
+
+type t = {
+  query : Res_cq.Query.t;
+  ijp : Database.t;
+  endpoint_a : Database.fact;
+  endpoint_b : Database.fact;
+  cost : int;
+}
+
+let of_ijp db query ~a ~b =
+  if Ijp.check db query a b <> Ok () then None
+  else if not (Ijp.composable db query ~a ~b) then None
+  else begin
+    match Exact.value db query with
+    | Some c -> Some { query; ijp = db; endpoint_a = a; endpoint_b = b; cost = c }
+    | None -> None
+  end
+
+let search ?(max_joins = 3) query =
+  match Ijp.search ~strict:true ~max_joins query with
+  | Some (db, a, b) -> of_ijp db query ~a ~b
+  | None -> None
+
+let reduce cert graph ~k =
+  let db =
+    Ijp.vc_instance cert.ijp cert.query ~a:cert.endpoint_a ~b:cert.endpoint_b ~graph
+  in
+  {
+    Reductions.db;
+    query = cert.query;
+    k = (List.length graph * (cert.cost - 1)) + k;
+    description =
+      Printf.sprintf "VC -> RES(%s) via discovered IJP (Section 9)"
+        (Res_cq.Query.to_string cert.query);
+  }
+
+let default_graphs =
+  [
+    [ (1, 2); (2, 3); (3, 1) ];
+    [ (1, 2); (2, 3); (3, 4) ];
+    [ (1, 2); (1, 3); (1, 4); (1, 5) ];
+    [ (1, 2); (1, 3); (1, 4); (2, 3); (2, 4); (3, 4) ];
+  ]
+
+let verify ?(graphs = default_graphs) cert =
+  List.for_all
+    (fun g ->
+      let vc = Res_graph.Vertex_cover.min_cover_size g in
+      let inst = reduce cert g ~k:vc in
+      Exact.value inst.Reductions.db inst.Reductions.query = Some inst.Reductions.k)
+    graphs

@@ -1,0 +1,41 @@
+(** Automated hardness certificates (the programme of paper Section 9).
+
+    The paper hopes that hardness proofs can be {e searched for}: find an
+    Independent Join Path for the query, then a generalized Vertex-Cover
+    reduction follows mechanically (Figure 8 / Conjecture 49).  This module
+    realizes that pipeline executably: given a query, it produces — when it
+    can — a certificate consisting of a composable IJP plus a function that
+    turns any Vertex-Cover instance into a resilience instance whose
+    threshold tracks the cover size.
+
+    A certificate is {e checkable evidence}, not a proof: its validity is
+    established empirically on the instances it generates (the test suite
+    verifies ρ = |E|·(c−1) + VC(G) on a family of graphs).  For PTIME
+    queries the strict search provably-in-practice finds nothing (see
+    EXPERIMENTS.md on the composability gap). *)
+
+open Res_db
+
+type t = {
+  query : Res_cq.Query.t;
+  ijp : Database.t;  (** the discovered IJP database *)
+  endpoint_a : Database.fact;
+  endpoint_b : Database.fact;
+  cost : int;  (** c = ρ of the IJP; each edge copy contributes c−1 *)
+}
+
+val search : ?max_joins:int -> Res_cq.Query.t -> t option
+(** Strict (composable) IJP search.  [None] for queries without a
+    discoverable certificate — in particular the PTIME queries. *)
+
+val of_ijp :
+  Database.t -> Res_cq.Query.t -> a:Database.fact -> b:Database.fact -> t option
+(** Package a known IJP (e.g. the paper's Example 59) as a certificate,
+    validating composability first. *)
+
+val reduce : t -> Res_graph.Vertex_cover.graph -> k:int -> Reductions.instance
+(** The generalized VC reduction: G has a vertex cover of size ≤ k iff the
+    produced instance (D, |E|·(c−1) + k) is in RES(q). *)
+
+val verify : ?graphs:Res_graph.Vertex_cover.graph list -> t -> bool
+(** Re-check the certificate on a family of graphs by exact solving. *)

@@ -1,0 +1,43 @@
+open Res_cq
+
+(* All functions [1..arity_a] -> [1..arity_b], as int arrays (0-based). *)
+let all_mappings arity_a arity_b =
+  let rec go i acc =
+    if i = arity_a then [ acc ]
+    else List.concat_map (fun j -> go (i + 1) (acc @ [ j ])) (List.init arity_b Fun.id)
+  in
+  go 0 []
+
+let dominates q a b =
+  a <> b
+  && (not (Query.is_exogenous q a))
+  && (not (Query.is_exogenous q b))
+  && Query.atoms_of_rel q a <> []
+  && Query.atoms_of_rel q b <> []
+  &&
+  let arity_a = Query.arity_of q a and arity_b = Query.arity_of q b in
+  let a_atoms = Query.atoms_of_rel q a and b_atoms = Query.atoms_of_rel q b in
+  List.exists
+    (fun f ->
+      List.for_all
+        (fun (gb : Atom.t) ->
+          let gb_args = Array.of_list gb.args in
+          List.exists
+            (fun (ha : Atom.t) ->
+              List.for_all2 (fun ai fi -> ai = gb_args.(fi)) ha.args f)
+            a_atoms)
+        b_atoms)
+    (all_mappings arity_a arity_b)
+
+let dominated_relations q =
+  let rels = Query.relations q in
+  List.filter (fun b -> List.exists (fun a -> dominates q a b) rels) rels
+
+let rec normalize q =
+  let rels = List.sort compare (Query.relations q) in
+  let victim =
+    List.find_opt (fun b -> List.exists (fun a -> dominates q a b) rels) rels
+  in
+  match victim with
+  | None -> q
+  | Some b -> normalize (Query.mark_exogenous q [ b ])

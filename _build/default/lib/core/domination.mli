@@ -1,0 +1,26 @@
+(** Domination between relations and query normalization.
+
+    Dominated relations never need to contribute to minimum contingency
+    sets and are therefore marked exogenous before any further analysis:
+
+    - sj-free domination (paper Definition 3 / Proposition 4): endogenous
+      atoms [A], [B] with [var(A) ⊂ var(B)];
+    - self-join domination (Definition 16 / Proposition 18): a positionwise
+      mapping [f : [arity A] → [arity B]] such that {e every} [B]-atom has a
+      matching [A]-atom.  Example 11 shows why the sj-free notion is
+      unsound with self-joins. *)
+
+open Res_cq
+
+val dominates : Query.t -> string -> string -> bool
+(** [dominates q a b]: relation [a] dominates relation [b] per
+    Definition 16 (which specializes to Definition 3 when [b] occurs
+    once).  Both must be endogenous and distinct. *)
+
+val dominated_relations : Query.t -> string list
+(** Relations dominated by some other endogenous relation. *)
+
+val normalize : Query.t -> Query.t
+(** Iteratively mark dominated relations exogenous until fixpoint (the
+    paper's "normal form").  Mutually-dominating relations are broken by
+    name order, keeping one endogenous. *)

@@ -1,0 +1,35 @@
+open Res_db
+
+let anchor_rel i = Printf.sprintf "Bind%d" i
+
+let bind (q : Res_cq.Query.t) head db =
+  let qvars = Res_cq.Query.vars q in
+  List.iter
+    (fun (v, _) ->
+      if not (List.mem v qvars) then
+        invalid_arg (Printf.sprintf "Dp.bind: head variable %s not in query" v))
+    head;
+  let atoms, exo, db' =
+    List.fold_left
+      (fun (atoms, exo, db) (i, (v, c)) ->
+        let rel = anchor_rel i in
+        (atoms @ [ Res_cq.Atom.make rel [ v ] ], rel :: exo, Database.add_row db rel [ c ]))
+      (Res_cq.Query.atoms q, List.filter (Res_cq.Query.is_exogenous q) (Res_cq.Query.relations q), db)
+      (List.mapi (fun i b -> (i, b)) head)
+  in
+  (Res_cq.Query.make ~exo atoms, db')
+
+let output_tuples db q ~head =
+  List.map
+    (fun (w : Eval.witness) -> List.map (fun v -> List.assoc v w.valuation) head)
+    (Eval.witnesses db q)
+  |> List.sort_uniq compare
+
+let side_effect db q ~head =
+  let q', db' = bind q head db in
+  Solver.solve db' q'
+
+let side_effects_all db q ~head =
+  List.map
+    (fun tuple -> (tuple, side_effect db q ~head:(List.combine head tuple)))
+    (output_tuples db q ~head)

@@ -1,0 +1,42 @@
+(** Deletion propagation with source side-effects (paper Section 1).
+
+    For a non-Boolean query q(y) and an output tuple t in q(D), the
+    minimum source side-effect is the fewest endogenous input tuples to
+    delete so that t disappears from the result.  As the paper notes, this
+    "immediately translates" to resilience: bind the head variables to t's
+    constants and compute the resilience of the resulting Boolean query.
+
+    The binding uses the selection-pushing trick of the paper's footnote 3,
+    realized without rewriting relations: each bound variable v = c gets a
+    fresh {e exogenous} unary anchor atom whose instance is exactly {c} —
+    anchors force the valuation but can never enter contingency sets. *)
+
+open Res_db
+
+val bind :
+  Res_cq.Query.t ->
+  (Res_cq.Atom.var * Value.t) list ->
+  Database.t ->
+  Res_cq.Query.t * Database.t
+(** [bind q head db]: the Boolean query and extended database whose
+    witnesses are exactly the valuations of [q] agreeing with [head].
+    @raise Invalid_argument if a head variable does not occur in [q]. *)
+
+val output_tuples :
+  Database.t -> Res_cq.Query.t -> head:Res_cq.Atom.var list -> Database.tuple list
+(** The distinct result tuples q(D) projected onto the head variables. *)
+
+val side_effect :
+  Database.t ->
+  Res_cq.Query.t ->
+  head:(Res_cq.Atom.var * Value.t) list ->
+  Solution.t
+(** Minimum source side-effect for deleting the given output tuple, with a
+    witness deletion set. *)
+
+val side_effects_all :
+  Database.t ->
+  Res_cq.Query.t ->
+  head:Res_cq.Atom.var list ->
+  (Database.tuple * Solution.t) list
+(** [side_effect] for every output tuple. *)

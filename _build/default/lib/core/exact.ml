@@ -1,0 +1,218 @@
+open Res_db
+
+module IS = Set.Make (Int)
+
+(* Build the hitting-set instance: witnesses as sets of endogenous fact
+   ids.  Returns [None] if some witness has no endogenous fact. *)
+let instance db q =
+  let fact_ids = Hashtbl.create 64 in
+  let facts_rev = Hashtbl.create 64 in
+  let next = ref 0 in
+  let id_of f =
+    match Hashtbl.find_opt fact_ids f with
+    | Some i -> i
+    | None ->
+      let i = !next in
+      incr next;
+      Hashtbl.replace fact_ids f i;
+      Hashtbl.replace facts_rev i f;
+      i
+  in
+  let witness_sets = Eval.witness_fact_sets db q in
+  let exception Dead of unit in
+  match
+    List.map
+      (fun fs ->
+        let endo =
+          Database.Fact_set.fold
+            (fun f acc ->
+              if Res_cq.Query.is_exogenous q f.Database.rel then acc else IS.add (id_of f) acc)
+            fs IS.empty
+        in
+        if IS.is_empty endo then raise (Dead ()) else endo)
+      witness_sets
+  with
+  | sets -> Some (sets, facts_rev)
+  | exception Dead () -> None
+
+(* Keep only ⊆-minimal sets. *)
+let minimal_sets sets =
+  let arr = Array.of_list sets in
+  let n = Array.length arr in
+  let keep = Array.make n true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && keep.(i) && keep.(j) then
+        if IS.subset arr.(j) arr.(i) && (IS.cardinal arr.(j) < IS.cardinal arr.(i) || j < i)
+        then keep.(i) <- false
+    done
+  done;
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    if keep.(i) then out := arr.(i) :: !out
+  done;
+  !out
+
+(* Fact dominance: if witnesses(t) ⊆ witnesses(u) for t ≠ u, some optimum
+   avoids t.  Returns the set of facts allowed in the search. *)
+let useful_facts sets =
+  let occ = Hashtbl.create 64 in
+  List.iteri
+    (fun wi s ->
+      IS.iter
+        (fun f ->
+          let cur = try Hashtbl.find occ f with Not_found -> IS.empty in
+          Hashtbl.replace occ f (IS.add wi cur))
+        s)
+    sets;
+  let facts = Hashtbl.fold (fun f _ acc -> f :: acc) occ [] in
+  let dominated t =
+    let wt = Hashtbl.find occ t in
+    List.exists
+      (fun u ->
+        u <> t
+        &&
+        let wu = Hashtbl.find occ u in
+        IS.subset wt wu && (IS.cardinal wt < IS.cardinal wu || u < t))
+      facts
+  in
+  List.filter (fun f -> not (dominated f)) facts |> IS.of_list
+
+let greedy_packing_bound sets =
+  let rec go used acc = function
+    | [] -> acc
+    | s :: rest ->
+      if IS.is_empty (IS.inter s used) then go (IS.union s used) (acc + 1) rest
+      else go used acc rest
+  in
+  go IS.empty 0 (List.sort (fun a b -> compare (IS.cardinal a) (IS.cardinal b)) sets)
+
+let solve_hitting_set sets =
+  match sets with
+  | [] -> (0, [])
+  | _ ->
+    let sets = minimal_sets sets in
+    let allowed = useful_facts sets in
+    let sets = List.map (fun s -> IS.inter s allowed) sets in
+    (* Minimality of sets may break after restriction; the restriction
+       never empties a set (each set keeps at least one undominated
+       fact: the fact whose witness-set is maximal wrt the others). *)
+    assert (List.for_all (fun s -> not (IS.is_empty s)) sets);
+    (* Greedy upper bound: repeatedly hit the most witnesses. *)
+    let greedy_cover sets =
+      let rec go sets acc =
+        match sets with
+        | [] -> acc
+        | _ ->
+          let counts = Hashtbl.create 64 in
+          List.iter
+            (fun s ->
+              IS.iter
+                (fun f -> Hashtbl.replace counts f (1 + try Hashtbl.find counts f with Not_found -> 0))
+                s)
+            sets;
+          let best_f, _ =
+            Hashtbl.fold (fun f c (bf, bc) -> if c > bc then (f, c) else (bf, bc)) counts (-1, 0)
+          in
+          go (List.filter (fun s -> not (IS.mem best_f s)) sets) (best_f :: acc)
+      in
+      go sets []
+    in
+    let ub_set = greedy_cover sets in
+    let best = ref (List.length ub_set, ub_set) in
+    let rec branch chosen depth sets =
+      match sets with
+      | [] -> if depth < fst !best then best := (depth, chosen)
+      | _ ->
+        if depth + greedy_packing_bound sets >= fst !best then ()
+        else begin
+          let pivot =
+            List.fold_left
+              (fun acc s ->
+                match acc with
+                | None -> Some s
+                | Some t -> if IS.cardinal s < IS.cardinal t then Some s else acc)
+              None sets
+          in
+          let pivot = Option.get pivot in
+          IS.iter
+            (fun f ->
+              let remaining = List.filter (fun s -> not (IS.mem f s)) sets in
+              branch (f :: chosen) (depth + 1) remaining)
+            pivot
+        end
+    in
+    branch [] 0 sets;
+    !best
+
+let resilience db q =
+  match instance db q with
+  | None -> Solution.Unbreakable
+  | Some (sets, facts_rev) ->
+    let value, chosen = solve_hitting_set sets in
+    Solution.Finite (value, List.map (Hashtbl.find facts_rev) chosen)
+
+let value db q = Solution.value (resilience db q)
+
+let value_exn db q =
+  match resilience db q with
+  | Solution.Finite (v, _) -> v
+  | Solution.Unbreakable -> failwith "Exact.value_exn: query cannot be made false"
+
+let is_contingency_set db q facts =
+  List.for_all (fun f -> not (Res_cq.Query.is_exogenous q f.Database.rel)) facts
+  && not (Eval.sat (Database.remove_all db facts) q)
+
+let in_res db q k =
+  Eval.sat db q && (match value db q with Some v -> v <= k | None -> false)
+
+(* Enumerate all optimal hitting sets by depth-bounded exhaustive search at
+   the known optimum. *)
+let minimum_sets ?(limit = 1000) db q =
+  match instance db q with
+  | None -> []
+  | Some (sets, facts_rev) ->
+    let opt, _ = solve_hitting_set sets in
+    if opt = 0 then [ [] ]
+    else begin
+      let sets = minimal_sets sets in
+      let results = ref [] in
+      let n_found = ref 0 in
+      let module FSet = Set.Make (Int) in
+      let seen = Hashtbl.create 64 in
+      let rec branch chosen depth remaining =
+        if !n_found >= limit then ()
+        else begin
+          match remaining with
+          | [] ->
+            let key = FSet.elements (FSet.of_list chosen) in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.replace seen key ();
+              incr n_found;
+              results := key :: !results
+            end
+          | _ ->
+            if depth + greedy_packing_bound remaining > opt then ()
+            else begin
+              let pivot =
+                List.fold_left
+                  (fun acc s ->
+                    match acc with
+                    | None -> Some s
+                    | Some t -> if IS.cardinal s < IS.cardinal t then Some s else acc)
+                  None remaining
+              in
+              let pivot = Option.get pivot in
+              IS.iter
+                (fun f ->
+                  if depth < opt then
+                    branch (f :: chosen) (depth + 1)
+                      (List.filter (fun s -> not (IS.mem f s)) remaining))
+                pivot
+            end
+        end
+      in
+      branch [] 0 sets;
+      List.map (List.map (Hashtbl.find facts_rev)) !results
+      |> List.sort_uniq compare
+    end

@@ -1,0 +1,36 @@
+(** Exact resilience by branch-and-bound minimum hitting set.
+
+    ρ(D, q) is the size of a minimum set of endogenous tuples hitting every
+    witness of D ⊨ q (Definition 1).  This solver is correct for {e every}
+    conjunctive query — it is the ground truth the PTIME algorithms are
+    validated against, and the solver of last resort for NP-complete
+    queries.  Exponential in the worst case; intended for instances up to a
+    few hundred witnesses (all of the paper's gadgets at small formula
+    sizes fit comfortably).
+
+    Reductions applied before search: witness-set minimization (only
+    ⊆-minimal witnesses matter), forced facts (singleton witnesses), and
+    fact dominance (a fact whose witness set is contained in another's can
+    be ignored).  The bound is a greedy disjoint-witness packing. *)
+
+open Res_db
+
+val resilience : Database.t -> Res_cq.Query.t -> Solution.t
+
+val value : Database.t -> Res_cq.Query.t -> int option
+(** [Some ρ], or [None] when {!Unbreakable}.  ρ = 0 iff D ⊭ q. *)
+
+val value_exn : Database.t -> Res_cq.Query.t -> int
+(** @raise Failure when {!Unbreakable}. *)
+
+val is_contingency_set : Database.t -> Res_cq.Query.t -> Database.fact list -> bool
+(** Does deleting these facts make the query false? *)
+
+val in_res : Database.t -> Res_cq.Query.t -> int -> bool
+(** The decision problem: [(D, k) ∈ RES(q)] (Definition 1) — [D ⊨ q] and
+    some contingency set of size ≤ k exists. *)
+
+val minimum_sets : ?limit:int -> Database.t -> Res_cq.Query.t -> Database.fact list list
+(** All minimum contingency sets (up to [limit], default 1000) — the
+    alternative "repairs" of equal cost.  Empty when the instance is
+    unbreakable; [[ [] ]] when D does not satisfy q. *)

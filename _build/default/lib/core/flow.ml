@@ -1,0 +1,112 @@
+open Res_db
+module Maxflow = Res_graph.Maxflow
+
+module SS = Set.Make (String)
+
+(* Valuation of an atom's argument list against a tuple; None when the
+   tuple does not match a repeated-variable pattern like R(x,x). *)
+let match_atom (a : Res_cq.Atom.t) (tuple : Database.tuple) =
+  let rec go subst args vals =
+    match (args, vals) with
+    | [], [] -> Some subst
+    | v :: args', x :: vals' -> begin
+      match List.assoc_opt v subst with
+      | Some y when Value.equal x y -> go subst args' vals'
+      | Some _ -> None
+      | None -> go ((v, x) :: subst) args' vals'
+    end
+    | _ -> None
+  in
+  go [] a.args tuple
+
+let boundaries atoms =
+  (* boundary.(p) = variables occurring both in an atom < p and in an atom
+     >= p; boundary 0 and m are empty. *)
+  let m = Array.length atoms in
+  let vars_of i = SS.of_list (Res_cq.Atom.vars atoms.(i)) in
+  Array.init (m + 1) (fun p ->
+      if p = 0 || p = m then []
+      else begin
+        let before = ref SS.empty and after = ref SS.empty in
+        for i = 0 to p - 1 do
+          before := SS.union !before (vars_of i)
+        done;
+        for i = p to m - 1 do
+          after := SS.union !after (vars_of i)
+        done;
+        SS.elements (SS.inter !before !after)
+      end)
+
+let solve ?(fact_exogenous = fun _ -> false) db (q : Res_cq.Query.t) =
+  match Linearity.linear_order q with
+  | None -> None
+  | Some order ->
+    let atoms = Array.of_list order in
+    let m = Array.length atoms in
+    let bounds = boundaries atoms in
+    let net = Maxflow.create 2 in
+    let source = 0 and sink = 1 in
+    let node_ids : (int * Database.tuple, int) Hashtbl.t = Hashtbl.create 64 in
+    let node p key =
+      if p = 0 then source
+      else if p = m then sink
+      else begin
+        match Hashtbl.find_opt node_ids (p, key) with
+        | Some v -> v
+        | None ->
+          let v = Maxflow.add_node net in
+          Hashtbl.replace node_ids (p, key) v;
+          v
+      end
+    in
+    let edge_facts : (Maxflow.edge * Database.fact) list ref = ref [] in
+    for p = 0 to m - 1 do
+      let a = atoms.(p) in
+      let exo_rel = Res_cq.Query.is_exogenous q a.rel in
+      List.iter
+        (fun tuple ->
+          match match_atom a tuple with
+          | None -> ()
+          | Some subst ->
+            let key_of vars = List.map (fun v -> List.assoc v subst) vars in
+            let src = node p (key_of bounds.(p)) in
+            let dst = node (p + 1) (key_of bounds.(p + 1)) in
+            let f = Database.fact a.rel tuple in
+            let cap =
+              if exo_rel || fact_exogenous f then Maxflow.infinite else 1
+            in
+            let e = Maxflow.add_edge net ~src ~dst ~cap in
+            if cap = 1 then edge_facts := (e, f) :: !edge_facts)
+        (Database.tuples_of db a.rel)
+    done;
+    let flow = Maxflow.max_flow net ~src:source ~dst:sink in
+    if flow >= Maxflow.infinite then Some Solution.Unbreakable
+    else begin
+      let _, cut = Maxflow.min_cut net ~src:source in
+      let cut_facts =
+        List.filter_map
+          (fun e -> List.assoc_opt e !edge_facts)
+          cut
+        |> List.sort_uniq compare
+      in
+      (* Greedy minimalization: duplicate edges of a self-joined tuple may
+         have put redundant facts in the cut.  Only worthwhile at small
+         sizes; for sj-free queries the cut has no duplicates anyway. *)
+      let minimalize facts =
+        if List.length facts > 200 then facts
+        else
+          List.fold_left
+            (fun kept f ->
+              let candidate = List.filter (fun g -> g <> f) kept in
+              if Eval.sat (Database.remove_all db candidate) q then kept else candidate)
+            facts facts
+      in
+      let contingency = minimalize cut_facts in
+      assert (not (Eval.sat (Database.remove_all db contingency) q));
+      Some (Solution.Finite (List.length contingency, contingency))
+    end
+
+let solve_exn ?fact_exogenous db q =
+  match solve ?fact_exogenous db q with
+  | Some s -> s
+  | None -> invalid_arg "Flow.solve_exn: query is not linear"

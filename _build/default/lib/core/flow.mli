@@ -1,0 +1,39 @@
+(** Resilience by reduction to network flow for linear queries.
+
+    The construction of [31] (paper Section 2.4): arrange the atoms in a
+    linear order (every variable contiguous); between consecutive positions
+    the shared "boundary" variables define nodes; each tuple of the atom at
+    position [p] becomes one edge from its left-boundary valuation to its
+    right-boundary valuation — capacity 1 if endogenous, ∞ if exogenous.
+    s–t paths are exactly witnesses and minimum cuts are minimum
+    contingency sets.
+
+    With self-joins a tuple may occur as several edges (one per atom of its
+    relation).  For the classes where the paper proves the standard flow
+    still works — linear queries whose only self-join is a single
+    2-confluence (Prop 31, Lemma 55: no minimal cut uses two copies), and
+    qTS3conf after forced-tuple elimination (Prop 41) — the duplicate edges
+    are harmless; the returned contingency set is de-duplicated, greedily
+    minimalized, and re-verified against the query.
+
+    [fact_exogenous] lets callers force specific {e tuples} (not whole
+    relations) to be uncuttable — e.g. Prop 36 makes off-diagonal R-tuples
+    exogenous for the z3 family. *)
+
+open Res_db
+
+val solve :
+  ?fact_exogenous:(Database.fact -> bool) ->
+  Database.t ->
+  Res_cq.Query.t ->
+  Solution.t option
+(** [None] when the query is not linear (no contiguous atom order).
+    The result is verified: the returned set is a genuine contingency set
+    (deleting it falsifies the query). *)
+
+val solve_exn :
+  ?fact_exogenous:(Database.fact -> bool) ->
+  Database.t ->
+  Res_cq.Query.t ->
+  Solution.t
+(** @raise Invalid_argument when the query is not linear. *)

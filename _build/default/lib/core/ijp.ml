@@ -1,0 +1,268 @@
+open Res_db
+
+type violation = { condition : int; message : string }
+
+module Vset = Set.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare
+end)
+
+let constants tuple = Vset.of_list tuple
+
+let strict_subset a b = Vset.subset a b && not (Vset.equal a b)
+
+(* Strictly increasing index subsequences of [0..n-1] of length k. *)
+let rec index_subseqs n k start =
+  if k = 0 then [ [] ]
+  else if start >= n then []
+  else
+    List.concat_map
+      (fun i -> List.map (fun rest -> i :: rest) (index_subseqs n (k - 1) (i + 1)))
+      (List.init (n - start) (fun d -> start + d))
+
+let err condition fmt = Printf.ksprintf (fun message -> Error { condition; message }) fmt
+
+let check db (query : Res_cq.Query.t) (fa : Database.fact) (fb : Database.fact) =
+  let m = List.length (Res_cq.Query.atoms query) in
+  let ca = constants fa.tuple and cb = constants fb.tuple in
+  if fa.rel <> fb.rel then err 1 "endpoint tuples belong to different relations"
+  else if Res_cq.Query.is_exogenous query fa.rel then err 1 "endpoint relation is exogenous"
+  else if Vset.subset ca cb || Vset.subset cb ca then
+    err 1 "endpoint tuples are comparable (a ⊆ b or b ⊆ a)"
+  else begin
+    let witnesses = Eval.witnesses db query in
+    let containing f =
+      List.filter (fun (w : Eval.witness) -> Database.Fact_set.mem f w.facts) witnesses
+    in
+    match (containing fa, containing fb) with
+    | [ wa ], [ wb ] ->
+      if Database.Fact_set.cardinal wa.facts <> m then
+        err 2 "witness of R(a) uses fewer than m distinct tuples"
+      else if Database.Fact_set.cardinal wb.facts <> m then
+        err 2 "witness of R(b) uses fewer than m distinct tuples"
+      else begin
+        (* condition 3: no endogenous sub-tuple of a or b *)
+        let bad_endo =
+          List.find_opt
+            (fun (f : Database.fact) ->
+              (not (Res_cq.Query.is_exogenous query f.rel))
+              &&
+              let c = constants f.tuple in
+              strict_subset c ca || strict_subset c cb)
+            (Database.facts db)
+        in
+        match bad_endo with
+        | Some f ->
+          err 3 "endogenous tuple %s has constants strictly inside an endpoint"
+            (Format.asprintf "%a" Database.pp_fact f)
+        | None -> begin
+          (* condition 4: exogenous subvector symmetry *)
+          let missing =
+            List.find_map
+              (fun rel ->
+                if Res_cq.Query.is_exogenous query rel then begin
+                  let tuples = Database.tuples_of db rel in
+                  let arity = match tuples with t :: _ -> List.length t | [] -> 0 in
+                  let idxs = index_subseqs (List.length fa.tuple) arity 0 in
+                  List.find_map
+                    (fun idx ->
+                      let proj tuple = List.map (List.nth tuple) idx in
+                      let d = proj fa.tuple and e = proj fb.tuple in
+                      if List.mem d tuples && not (List.mem e tuples) then
+                        Some (rel, d, e)
+                      else if List.mem e tuples && not (List.mem d tuples) then
+                        Some (rel, e, d)
+                      else None)
+                    idxs
+                end
+                else None)
+              (Database.relations db)
+          in
+          match missing with
+          | Some (rel, _, e) ->
+            err 4 "exogenous %s misses the mirrored subvector tuple %s(%s)" rel rel
+              (String.concat "," (List.map Value.to_string e))
+          | None -> begin
+            (* condition 5: the or-property *)
+            match Exact.value db query with
+            | None -> err 5 "instance is unbreakable"
+            | Some c ->
+              let drop facts = Exact.value (Database.remove_all db facts) query in
+              let expect label facts =
+                match drop facts with
+                | Some v when v = c - 1 -> Ok ()
+                | Some v -> err 5 "removing %s gives ρ = %d, expected %d" label v (c - 1)
+                | None -> err 5 "removing %s makes the instance unbreakable" label
+              in
+              let ( >>= ) r f = match r with Ok () -> f () | Error e -> Error e in
+              expect "R(a)" [ fa ] >>= fun () ->
+              expect "R(b)" [ fb ] >>= fun () ->
+              expect "both" [ fa; fb ]
+          end
+        end
+      end
+    | was, _ when List.length was <> 1 ->
+      err 2 "R(a) participates in %d witnesses, expected 1" (List.length was)
+    | _, wbs -> err 2 "R(b) participates in %d witnesses, expected 1" (List.length wbs)
+  end
+
+let find_pair db query =
+  let endo = Database.endogenous_facts db query in
+  let rec pairs = function
+    | [] -> None
+    | (f : Database.fact) :: rest -> begin
+      match
+        List.find_opt
+          (fun (g : Database.fact) -> g.rel = f.rel && check db query f g = Ok ())
+          rest
+      with
+      | Some g -> Some (f, g)
+      | None -> pairs rest
+    end
+  in
+  pairs endo
+
+let is_ijp db query = find_pair db query <> None
+
+let canonical_database (query : Res_cq.Query.t) ~copy =
+  List.fold_left
+    (fun db (atom : Res_cq.Atom.t) ->
+      Database.add_row db atom.rel
+        (List.map (fun var -> Value.tag (string_of_int copy) (Value.s var)) atom.args))
+    Database.empty (Res_cq.Query.atoms query)
+
+(* Set partitions in restricted-growth-string order. *)
+let partitions elements =
+  let arr = Array.of_list elements in
+  let n = Array.length arr in
+  if n = 0 then Seq.return []
+  else begin
+    (* state: rgs array; enumerate lazily *)
+    let rec next rgs () =
+      (* convert to blocks *)
+      let blocks = Hashtbl.create 8 in
+      Array.iteri
+        (fun i g ->
+          let cur = try Hashtbl.find blocks g with Not_found -> [] in
+          Hashtbl.replace blocks g (arr.(i) :: cur))
+        rgs;
+      let n_blocks = Hashtbl.length blocks in
+      let result =
+        List.init n_blocks (fun g -> List.rev (Hashtbl.find blocks g))
+      in
+      (* advance restricted growth string *)
+      let rgs' = Array.copy rgs in
+      let rec advance i =
+        if i = 0 then None
+        else begin
+          let max_prefix = Array.fold_left max 0 (Array.sub rgs' 0 i) in
+          if rgs'.(i) <= max_prefix then begin
+            rgs'.(i) <- rgs'.(i) + 1;
+            Array.fill rgs' (i + 1) (n - i - 1) 0;
+            Some rgs'
+          end
+          else advance (i - 1)
+        end
+      in
+      match advance (n - 1) with
+      | Some rgs' -> Seq.Cons (result, next rgs')
+      | None -> Seq.Cons (result, fun () -> Seq.Nil)
+    in
+    next (Array.make n 0)
+  end
+
+let apply_partition db blocks =
+  let rename = Hashtbl.create 16 in
+  List.iter
+    (fun block ->
+      match block with
+      | [] -> ()
+      | rep :: _ -> List.iter (fun v -> Hashtbl.replace rename v rep) block)
+    blocks;
+  let map v = try Hashtbl.find rename v with Not_found -> v in
+  List.fold_left
+    (fun acc (f : Database.fact) -> Database.add_row acc f.rel (List.map map f.tuple))
+    Database.empty (Database.facts db)
+
+let union_dbs dbs = List.fold_left Database.union Database.empty dbs
+
+let vc_instance db (query : Res_cq.Query.t) ~(a : Database.fact) ~(b : Database.fact)
+    ~(graph : Res_graph.Vertex_cover.graph) =
+  ignore query;
+  let ca = constants a.tuple and cb = constants b.tuple in
+  if not (Vset.is_empty (Vset.inter ca cb)) then
+    invalid_arg "Ijp.vc_instance: endpoint tuples share constants";
+  (* Per vertex u, the endpoint tuple is the a-tuple with constants tagged
+     by u; per edge, internal constants are tagged by the edge id. *)
+  let vertex_const u c = Value.tag (Printf.sprintf "v%d" u) c in
+  let facts = Database.facts db in
+  let copy_for_edge edge_id (u, w) =
+    let rename c =
+      if Vset.mem c ca then vertex_const u c
+      else if Vset.mem c cb then
+        (* align b-constants with the target vertex's a-identity: the i-th
+           position of b maps to the i-th position of a *)
+        (let rec find i = function
+           | [] -> Value.tag (Printf.sprintf "e%d" edge_id) c
+           | x :: rest ->
+             if Value.equal x c then vertex_const w (List.nth a.tuple i) else find (i + 1) rest
+         in
+         find 0 b.tuple)
+      else Value.tag (Printf.sprintf "e%d" edge_id) c
+    in
+    List.map (fun (f : Database.fact) -> Database.fact f.rel (List.map rename f.tuple)) facts
+  in
+  List.concat (List.mapi copy_for_edge graph) |> Database.of_facts
+
+let probe_graphs =
+  [
+    [ (1, 2); (2, 3); (3, 1) ] (* K3 *);
+    [ (1, 2); (2, 3); (3, 4) ] (* P4 *);
+    [ (1, 2); (1, 3); (1, 4); (2, 3); (2, 4); (3, 4) ] (* K4 *);
+  ]
+
+let composable db query ~a ~b =
+  let ca = constants a.Database.tuple and cb = constants b.Database.tuple in
+  Vset.is_empty (Vset.inter ca cb)
+  &&
+  match Exact.value db query with
+  | None -> false
+  | Some c ->
+    List.for_all
+      (fun graph ->
+        let inst = vc_instance db query ~a ~b ~graph in
+        let vc = Res_graph.Vertex_cover.min_cover_size graph in
+        Exact.value inst query = Some ((List.length graph * (c - 1)) + vc))
+      probe_graphs
+
+let search ?(max_joins = 3) ?(max_partitions = 200_000) ?(strict = false) query =
+  let rec try_k k =
+    if k > max_joins then None
+    else begin
+      let base = union_dbs (List.init k (fun i -> canonical_database query ~copy:i)) in
+      let consts = Database.active_domain base in
+      let found = ref None in
+      let count = ref 0 in
+      Seq.iter
+        (fun blocks ->
+          if !found = None && !count < max_partitions then begin
+            incr count;
+            let db = apply_partition base blocks in
+            match find_pair db query with
+            | Some (fa, fb) ->
+              if (not strict) || composable db query ~a:fa ~b:fb then
+                found := Some (db, fa, fb)
+            | None -> ()
+          end)
+        (partitions consts);
+      match !found with Some r -> Some r | None -> try_k (k + 1)
+    end
+  in
+  try_k 1
+
+let count_partitions_tried query ~max_joins =
+  let base = union_dbs (List.init max_joins (fun i -> canonical_database query ~copy:i)) in
+  let consts = Database.active_domain base in
+  Seq.fold_left (fun acc _ -> acc + 1) 0 (partitions consts)
+

@@ -1,0 +1,73 @@
+(** Independent Join Paths (paper Section 9 and Appendix C).
+
+    An IJP is a database witnessing a query's hardness "template"
+    (Definition 48): two incomparable tuples of one relation, each in
+    exactly one full-size witness, no endogenous sub-tuples, exogenous
+    symmetry, and the or-property on resilience (removing either endpoint,
+    or both, drops ρ by exactly one).
+
+    This module provides: the five-condition checker, the automated search
+    of Appendix C.2 (enumerate canonical databases, then all partitions of
+    their constants — Example 62), and the generalized Vertex-Cover
+    reduction of Figure 8 built from any IJP. *)
+
+open Res_db
+
+type violation = {
+  condition : int;  (** 1–5, per Definition 48 *)
+  message : string;
+}
+
+val check :
+  Database.t -> Res_cq.Query.t -> Database.fact -> Database.fact -> (unit, violation) result
+(** Do the two facts (of the same endogenous relation) make the database an
+    IJP for the query? *)
+
+val find_pair :
+  Database.t -> Res_cq.Query.t -> (Database.fact * Database.fact) option
+(** First endpoint pair satisfying all five conditions, if any. *)
+
+val is_ijp : Database.t -> Res_cq.Query.t -> bool
+
+val canonical_database : Res_cq.Query.t -> copy:int -> Database.t
+(** The frozen query: one fact per atom, constants [Tag(copy, var)]. *)
+
+val partitions : 'a list -> 'a list list Seq.t
+(** All set partitions (Bell enumeration, restricted-growth order). *)
+
+val composable :
+  Database.t -> Res_cq.Query.t -> a:Database.fact -> b:Database.fact -> bool
+(** Does the generalized VC reduction built from this IJP preserve
+    [|E|·(c−1) + VC(G)] on small probe graphs (K3, P4)?  Our experiments
+    show the literal Definition 48 admits databases for {e PTIME} queries
+    (e.g. qACconf) whose induced reduction diverges — so hardness use of an
+    IJP should insist on composability (see EXPERIMENTS.md). *)
+
+val search :
+  ?max_joins:int ->
+  ?max_partitions:int ->
+  ?strict:bool ->
+  Res_cq.Query.t ->
+  (Database.t * Database.fact * Database.fact) option
+(** Appendix C.2: for [k = 1 .. max_joins] canonical copies, enumerate
+    partitions of the constants, identify, and test.  [max_partitions]
+    (default 200_000) bounds the enumeration per [k].  With [strict]
+    (default false), only {!composable} IJPs are accepted. *)
+
+val count_partitions_tried : Res_cq.Query.t -> max_joins:int -> int
+(** Size of the search space actually enumerated (for the Example 62
+    narrative: Bell(9) = 21147 for the triangle query at 3 joins). *)
+
+val vc_instance :
+  Database.t ->
+  Res_cq.Query.t ->
+  a:Database.fact ->
+  b:Database.fact ->
+  graph:Res_graph.Vertex_cover.graph ->
+  Database.t
+(** The generalized VC reduction (Figure 8): one fresh copy of the IJP per
+    edge, endpoint tuples identified per vertex (the copy's [a]-constants
+    are renamed to the source vertex's constants, [b]-constants to the
+    target's).  Conjecture 49 predicts ρ = |E|·(c−1) + VC(G) where c is
+    the IJP's resilience; the bench validates this empirically.
+    @raise Invalid_argument if the constants of [a] and [b] overlap. *)

@@ -1,0 +1,101 @@
+open Res_cq
+
+(* Incremental search for a contiguous-variables order: place atoms one at
+   a time; a variable is "open" while its block may continue and "closed"
+   once an atom without it is placed after one with it.  Placing an atom
+   that re-uses a closed variable is pruned. *)
+let linear_order q =
+  let atoms = Array.of_list (Query.atoms q) in
+  let n = Array.length atoms in
+  let used = Array.make n false in
+  let result = ref None in
+  let module SS = Set.Make (String) in
+  let rec go placed open_vars closed_vars =
+    if !result <> None then ()
+    else if List.length placed = n then result := Some (List.rev placed)
+    else begin
+      for i = 0 to n - 1 do
+        if !result = None && not used.(i) then begin
+          let vs = SS.of_list (Atom.vars atoms.(i)) in
+          if SS.is_empty (SS.inter vs closed_vars) then begin
+            used.(i) <- true;
+            let closed' = SS.union closed_vars (SS.diff open_vars vs) in
+            go (atoms.(i) :: placed) vs closed';
+            used.(i) <- false
+          end
+        end
+      done
+    end
+  in
+  go [] SS.empty SS.empty;
+  !result
+
+let is_linear q = linear_order q <> None
+
+let endogenous_groups q =
+  let module SS = Set.Make (String) in
+  let endo = Query.endogenous_atoms q in
+  let groups = Hashtbl.create 8 in
+  let keys = ref [] in
+  List.iter
+    (fun a ->
+      let key = SS.elements (SS.of_list (Atom.vars a)) in
+      if not (Hashtbl.mem groups key) then keys := key :: !keys;
+      let cur = try Hashtbl.find groups key with Not_found -> [] in
+      Hashtbl.replace groups key (a :: cur))
+    endo;
+  List.rev_map (fun k -> List.rev (Hashtbl.find groups k)) !keys
+
+(* An order of endogenous groups is valid iff each inner group separates
+   every group on its left from every group on its right: removing its
+   variables disconnects them in H(q). *)
+let pseudo_linear_order q =
+  let h = Hypergraph.of_query q in
+  let n_atoms = Hypergraph.n_atoms h in
+  let atom_index a =
+    let rec find i = if Atom.equal (Hypergraph.atom h i) a then i else find (i + 1) in
+    find 0
+  in
+  ignore n_atoms;
+  let groups = Array.of_list (endogenous_groups q) in
+  let g = Array.length groups in
+  let idx_of_group gi = List.map atom_index groups.(gi) in
+  let separates k i j =
+    (* Does group k separate (representatives of) groups i and j? *)
+    let by = idx_of_group k in
+    List.for_all
+      (fun ai -> List.for_all (fun aj -> Hypergraph.separates h ~by ai aj) (idx_of_group j))
+      (idx_of_group i)
+  in
+  if g <= 2 then Some (Array.to_list groups)
+  else begin
+    let used = Array.make g false in
+    let result = ref None in
+    let rec go placed =
+      if !result <> None then ()
+      else if List.length placed = g then result := Some (List.rev placed)
+      else begin
+        for c = 0 to g - 1 do
+          if !result = None && not used.(c) then begin
+            (* Check: every already-placed group k strictly between two
+               placed groups must separate them; incremental check — c
+               becomes rightmost, so each inner placed group k must
+               separate everything to its left from c. *)
+            let rec ok_suffix = function
+              | [] | [ _ ] -> true
+              | k :: lefts -> List.for_all (fun l -> separates k l c) lefts && ok_suffix lefts
+            in
+            if ok_suffix placed then begin
+              used.(c) <- true;
+              go (c :: placed);
+              used.(c) <- false
+            end
+          end
+        done
+      end
+    in
+    go [];
+    Option.map (List.map (fun i -> groups.(i))) !result
+  end
+
+let is_pseudo_linear q = pseudo_linear_order q <> None

@@ -1,0 +1,25 @@
+(** Linear and pseudo-linear queries (paper Sections 2.4 and 5.3).
+
+    A query is {e linear} if its atoms admit an order in which every
+    variable occupies a contiguous block — exactly the shape that supports
+    the natural network-flow algorithm of [31].
+
+    A query is {e pseudo-linear} if its {e endogenous} atoms are connected
+    linearly (Theorem 25): grouping endogenous atoms by equal variable
+    sets, there is an order G1 … Gn such that every inner group separates
+    the groups on its two sides in the dual hypergraph (Figure 9). *)
+
+open Res_cq
+
+val linear_order : Query.t -> Atom.t list option
+(** A witness atom ordering with the contiguity property, if one exists. *)
+
+val is_linear : Query.t -> bool
+
+val endogenous_groups : Query.t -> Atom.t list list
+(** Endogenous atoms grouped by equal variable sets (paper's G1 … Gn). *)
+
+val pseudo_linear_order : Query.t -> Atom.t list list option
+(** A valid linear arrangement of the endogenous groups, if any. *)
+
+val is_pseudo_linear : Query.t -> bool

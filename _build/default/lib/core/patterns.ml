@@ -1,0 +1,108 @@
+open Res_cq
+
+type confluence = {
+  shared : Atom.var;
+  position : int;
+  ends : Atom.var * Atom.var;
+}
+
+type two_atom_pattern =
+  | Chain of Atom.var
+  | Confluence of confluence
+  | Permutation of Atom.var * Atom.var
+  | Rep_shared
+
+let self_join q =
+  if not (Query.is_ssj q) then invalid_arg "Patterns.self_join: query is not single-self-join";
+  match Query.repeated_relations q with
+  | [] -> None
+  | [ r ] -> Some (r, Query.atoms_of_rel q r)
+  | _ -> assert false
+
+let has_unary_path q =
+  match self_join q with
+  | Some (r, atoms) -> Query.arity_of q r = 1 && List.length atoms >= 2
+  | None -> false
+
+let share_var (a : Atom.t) (b : Atom.t) =
+  List.exists (fun v -> List.mem v (Atom.vars b)) (Atom.vars a)
+
+let has_binary_path q =
+  match self_join q with
+  | None -> false
+  | Some (r, atoms) ->
+    Query.arity_of q r = 2
+    &&
+    (* Connectivity of the R-atoms under variable sharing. *)
+    let atoms = Array.of_list atoms in
+    let n = Array.length atoms in
+    let uf = Res_graph.Union_find.create n in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if share_var atoms.(i) atoms.(j) then Res_graph.Union_find.union uf i j
+      done
+    done;
+    Res_graph.Union_find.count uf > 1
+
+let has_path q = has_unary_path q || has_binary_path q
+
+let two_atom_pattern q =
+  match self_join q with
+  | Some (_, [ a1; a2 ]) when share_var a1 a2 -> begin
+    if Atom.has_repeated_var a1 || Atom.has_repeated_var a2 then Some Rep_shared
+    else begin
+      match (a1.args, a2.args) with
+      | [ x1; y1 ], [ x2; y2 ] ->
+        if x1 = y2 && y1 = x2 then Some (Permutation (x1, y1))
+        else if y1 = x2 then Some (Chain y1)
+        else if x1 = y2 then Some (Chain x1)
+        else if x1 = x2 then Some (Confluence { shared = x1; position = 0; ends = (y1, y2) })
+        else if y1 = y2 then Some (Confluence { shared = y1; position = 1; ends = (x1, x2) })
+        else None
+      | _ -> None
+    end
+  end
+  | _ -> None
+
+let permutation_is_bound q ~x ~y =
+  let endo = Query.endogenous_atoms q in
+  let contains_only a v w = List.mem v (Atom.vars a) && not (List.mem w (Atom.vars a)) in
+  List.exists (fun a -> contains_only a x y) endo
+  && List.exists (fun a -> contains_only a y x) endo
+
+let confluence_has_exo_path q { shared; ends = (e1, e2); _ } =
+  let h = Hypergraph.of_query q in
+  Hypergraph.var_path_avoiding h ~src:e1 ~dst:e2 ~avoid:[ shared ]
+
+let k_chain q =
+  match self_join q with
+  | Some (r, atoms) when Query.arity_of q r = 2 && List.length atoms >= 2 ->
+    let k = List.length atoms in
+    (* Try to thread the atoms into R(v1,v2), ..., R(vk,vk+1) with all vi
+       distinct. *)
+    let rec extend chain_vars used remaining =
+      match remaining with
+      | [] -> true
+      | _ ->
+        let last = List.hd chain_vars in
+        List.exists
+          (fun (a : Atom.t) ->
+            match a.args with
+            | [ u; v ] when u = last && (not (List.mem v chain_vars)) && not (List.mem a used) ->
+              extend (v :: chain_vars) (a :: used) (List.filter (fun b -> not (Atom.equal a b)) remaining)
+            | _ -> false)
+          remaining
+    in
+    let starts =
+      List.filter_map
+        (fun (a : Atom.t) -> match a.args with [ u; v ] when u <> v -> Some (a, u, v) | _ -> None)
+        atoms
+    in
+    if
+      List.exists
+        (fun (a, u, v) ->
+          extend [ v; u ] [ a ] (List.filter (fun b -> not (Atom.equal a b)) atoms))
+        starts
+    then Some k
+    else None
+  | _ -> None

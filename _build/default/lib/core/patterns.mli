@@ -1,0 +1,54 @@
+(** Structural self-join patterns of ssj binary queries (paper Sections
+    6–8): paths, chains, confluences, permutations, repeated variables
+    (REP), boundedness and exogenous confluence paths.
+
+    All detectors expect a minimal, connected query (use
+    {!Res_cq.Homomorphism.minimize} first); most are meaningful on the
+    domination-normal form. *)
+
+open Res_cq
+
+type confluence = {
+  shared : Atom.var;  (** the join variable (y in R(x,y),R(z,y)) *)
+  position : int;  (** 0 if the atoms join on their first attribute, 1 if on their second *)
+  ends : Atom.var * Atom.var;  (** the two non-shared variables *)
+}
+
+type two_atom_pattern =
+  | Chain of Atom.var  (** R(x,y),R(y,z): join in different attributes *)
+  | Confluence of confluence  (** R(x,y),R(z,y): join in the same attribute *)
+  | Permutation of Atom.var * Atom.var  (** R(x,y),R(y,x) *)
+  | Rep_shared  (** an atom with a repeated variable, sharing a variable
+                    with the other R-atom (the z3 family) *)
+
+val self_join : Query.t -> (string * Atom.t list) option
+(** The repeated relation of an ssj query and its atoms, if the query has a
+    self-join.  [None] for sj-free queries.
+    @raise Invalid_argument if the query is not single-self-join. *)
+
+val has_unary_path : Query.t -> bool
+(** Theorem 27: the repeated relation is unary with ≥ 2 distinct atoms. *)
+
+val has_binary_path : Query.t -> bool
+(** Theorem 28 (operationalized): the repeated relation's atoms do not all
+    connect to one another through shared variables — equivalently some two
+    R-atoms consecutive along the query have disjoint variables. *)
+
+val has_path : Query.t -> bool
+
+val two_atom_pattern : Query.t -> two_atom_pattern option
+(** The join pattern of the two R-atoms, when the query has exactly two
+    R-atoms sharing at least one variable (Figure 5). *)
+
+val permutation_is_bound : Query.t -> x:Atom.var -> y:Atom.var -> bool
+(** Section 7.3 criterion: some endogenous atom contains [x] but not [y]
+    and some endogenous atom contains [y] but not [x]. *)
+
+val confluence_has_exo_path : Query.t -> confluence -> bool
+(** Proposition 32 criterion: a path between the two confluence ends that
+    avoids the shared variable. *)
+
+val k_chain : Query.t -> int option
+(** [Some k] if the repeated relation's atoms form a k-chain
+    R(v1,v2), R(v2,v3), …, R(vk,vk+1) over distinct variables
+    (Section 8.1). *)

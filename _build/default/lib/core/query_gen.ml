@@ -1,0 +1,114 @@
+open Res_cq
+
+let vars = [ "x"; "y"; "z"; "w" ]
+
+let all_pairs = List.concat_map (fun a -> List.map (fun b -> (a, b)) vars) vars
+
+let two_r_atom_shapes () =
+  let shapes = ref [] in
+  List.iter
+    (fun (a1, b1) ->
+      List.iter
+        (fun (a2, b2) ->
+          if (a1, b1) <> (a2, b2) then begin
+            let q =
+              Query.make [ Atom.make "R" [ a1; b1 ]; Atom.make "R" [ a2; b2 ] ]
+            in
+            if
+              List.length (Query.atoms q) = 2
+              && not (List.exists (fun q' -> Query_iso.isomorphic q q') !shapes)
+            then shapes := q :: !shapes
+          end)
+        all_pairs)
+    all_pairs;
+  List.rev !shapes
+
+let subsets xs =
+  List.fold_left (fun acc x -> acc @ List.map (fun s -> x :: s) acc) [ [] ] xs
+
+let decorated_two_r_atom_queries ?(with_unary = true) ?(with_exo_binary = true) () =
+  let shapes = two_r_atom_shapes () in
+  let decorate (shape : Query.t) =
+    let shape_vars = Query.vars shape in
+    let unary_choices = if with_unary then subsets shape_vars else [ [] ] in
+    let exo_choices =
+      if with_exo_binary then
+        None
+        :: List.filter_map
+             (fun (a, b) ->
+               if List.mem a shape_vars && List.mem b shape_vars then Some (Some (a, b))
+               else None)
+             all_pairs
+      else [ None ]
+    in
+    List.concat_map
+      (fun unary_vars ->
+        List.filter_map
+          (fun exo ->
+            let unary_atoms =
+              List.mapi (fun i v -> Atom.make (Printf.sprintf "U%d" i) [ v ]) unary_vars
+            in
+            let exo_atoms, exo_rels =
+              match exo with
+              | None -> ([], [])
+              | Some (a, b) -> ([ Atom.make "H" [ a; b ] ], [ "H" ])
+            in
+            let q = Query.make ~exo:exo_rels (Query.atoms shape @ unary_atoms @ exo_atoms) in
+            (* keep only connected queries whose self-join survived *)
+            if Components.is_connected q && Query.repeated_relations q = [ "R" ] then Some q
+            else None)
+          exo_choices)
+      unary_choices
+  in
+  List.concat_map decorate shapes
+
+let count () = List.length (decorated_two_r_atom_queries ())
+
+let vars6 = [ "x"; "y"; "z"; "w"; "u"; "v" ]
+
+let three_r_atom_shapes () =
+  (* Enumerate triples of binary R-atoms over canonical variables: the
+     first atom is fixed to R(x,y) (or R(x,x)) up to renaming, later atoms
+     draw from already-used variables plus at most two fresh ones each. *)
+  let shapes = ref [] in
+  let pairs_over vs = List.concat_map (fun a -> List.map (fun b -> (a, b)) vs) vs in
+  let used_prefix k = List.filteri (fun i _ -> i < k) vars6 in
+  let add q =
+    if
+      List.length (Query.atoms q) = 3
+      && not (List.exists (fun q' -> Query_iso.isomorphic q q') !shapes)
+    then shapes := q :: !shapes
+  in
+  List.iter
+    (fun (a1, b1) ->
+      List.iter
+        (fun (a2, b2) ->
+          List.iter
+            (fun (a3, b3) ->
+              match
+                Query.make
+                  [ Atom.make "R" [ a1; b1 ]; Atom.make "R" [ a2; b2 ]; Atom.make "R" [ a3; b3 ] ]
+              with
+              | q -> add q
+              | exception Invalid_argument _ -> ())
+            (pairs_over (used_prefix 6)))
+        (pairs_over (used_prefix 4)))
+    [ ("x", "y"); ("x", "x") ];
+  List.rev !shapes
+
+let decorated_three_r_atom_queries ?(with_unary = true) () =
+  let shapes = three_r_atom_shapes () in
+  List.concat_map
+    (fun (shape : Query.t) ->
+      let shape_vars = Query.vars shape in
+      let unary_choices = if with_unary then subsets shape_vars else [ [] ] in
+      List.filter_map
+        (fun unary_vars ->
+          let unary_atoms =
+            List.mapi (fun i v -> Atom.make (Printf.sprintf "U%d" i) [ v ]) unary_vars
+          in
+          let q = Query.make (Query.atoms shape @ unary_atoms) in
+          if Components.is_connected q && Query.repeated_relations q = [ "R" ] then Some q
+          else None)
+        unary_choices)
+    shapes

@@ -1,0 +1,36 @@
+(** Systematic enumeration of queries in the paper's fragment.
+
+    Theorem 37 claims a {e complete} dichotomy for ssj binary CQs with at
+    most two atoms of the repeated relation, decided by a PTIME procedure.
+    This module enumerates that fragment (up to isomorphism, with bounded
+    decorations) so tests and benches can check totality: the classifier
+    must return PTIME or NP-complete — never Unknown or Open — on every
+    generated query. *)
+
+open Res_cq
+
+val two_r_atom_shapes : unit -> Query.t list
+(** All queries consisting of exactly two distinct binary R-atoms over at
+    most four variables, up to isomorphism (chains, confluences,
+    permutations, REP variants, disjoint paths, …). *)
+
+val decorated_two_r_atom_queries :
+  ?with_unary:bool -> ?with_exo_binary:bool -> unit -> Query.t list
+(** The shapes of {!two_r_atom_shapes}, optionally decorated with
+    endogenous unary atoms on every subset of variables ([with_unary],
+    default true) and with at most one exogenous binary helper atom
+    ([with_exo_binary], default true).  Only connected queries whose
+    R-relation is genuinely repeated are kept.  Several thousand queries. *)
+
+val count : unit -> int
+(** Number of decorated queries generated (for reporting). *)
+
+val three_r_atom_shapes : unit -> Query.t list
+(** All queries of exactly three distinct binary R-atoms over at most six
+    variables, up to isomorphism (Section 8's raw material: 3-chains,
+    3-confluences, chain-confluences, permutation-plus-R, REP variants,
+    and path shapes). *)
+
+val decorated_three_r_atom_queries : ?with_unary:bool -> unit -> Query.t list
+(** Three-R-atom shapes decorated with endogenous unary atoms on variable
+    subsets; connected queries with the self-join intact. *)

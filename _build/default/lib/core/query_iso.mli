@@ -1,0 +1,29 @@
+(** Query isomorphism: equality up to renaming of variables and of relation
+    symbols (preserving arity, exogeneity, and the atom structure).
+
+    Used to match a query against the paper's named templates when the
+    classification of Section 8 depends on the exact query shape (e.g.
+    qTS3conf vs qAC3conf vs the open qAS3conf). *)
+
+open Res_cq
+
+val isomorphic : Query.t -> Query.t -> bool
+
+val matches_template : Query.t -> string -> bool
+(** [matches_template q s] parses [s] (see {!Res_cq.Parser}) and tests
+    isomorphism. *)
+
+val find_iso : Query.t -> Query.t -> ((string * string) list * (string * string) list) option
+(** [find_iso q1 q2] is [(rel_map, var_map)] renaming [q1] onto [q2]. *)
+
+val find_template_iso :
+  string -> Query.t -> ((string * string) list * (string * string) list) option
+(** [find_template_iso s q]: iso from the parsed template to [q]; the
+    rel_map translates template relation names to the query's names. *)
+
+val mirror : Query.t -> Query.t
+(** Reverse the argument order of every binary atom.  Resilience is
+    invariant under this global symmetry, so template matching should try
+    both a template and its mirror. *)
+
+val matches_template_upto_mirror : Query.t -> string -> bool

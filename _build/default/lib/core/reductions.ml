@@ -1,0 +1,616 @@
+open Res_db
+module Cnf = Res_sat.Cnf
+
+type instance = {
+  db : Database.t;
+  query : Res_cq.Query.t;
+  k : int;
+  description : string;
+}
+
+let v fmt = Printf.ksprintf Value.s fmt
+let q = Res_cq.Parser.query
+
+(* Pad clauses to exactly three literals by repeating the last one; the
+   gadgets give each position its own clause-side values, so duplicated
+   literals are harmless. *)
+let clauses3 (f : Cnf.t) =
+  List.map
+    (fun c ->
+      match c with
+      | [ l ] -> (l, l, l)
+      | [ l1; l2 ] -> (l1, l2, l2)
+      | [ l1; l2; l3 ] -> (l1, l2, l3)
+      | _ -> invalid_arg "Reductions: clause with more than 3 literals")
+    f.clauses
+
+(* ------------------------------------------------------------------ *)
+(* Proposition 9: vertex cover is exactly RES(qvc).                    *)
+
+let vc_to_qvc g ~k =
+  let db =
+    List.fold_left
+      (fun db (a, b) ->
+        let db = Database.add_row db "R" [ Value.i a ] in
+        let db = Database.add_row db "R" [ Value.i b ] in
+        Database.add_row db "S" [ Value.i a; Value.i b ])
+      Database.empty g
+  in
+  { db; query = q "R(x), S(x,y), R(y)"; k; description = "VC -> RES(qvc) (Prop 9)" }
+
+(* ------------------------------------------------------------------ *)
+(* Theorems 27/28: VC -> RES(q) for queries containing a path.         *)
+
+let pair_value a b tag = Value.tag tag (Value.pair (Value.i a) (Value.i b))
+
+let vc_to_unary_path g ~k (query : Res_cq.Query.t) =
+  let r, _ =
+    match Patterns.self_join query with
+    | Some sj -> sj
+    | None -> invalid_arg "vc_to_unary_path: no self-join"
+  in
+  if Res_cq.Query.arity_of query r <> 1 then invalid_arg "vc_to_unary_path: R not unary";
+  (* The two path endpoint variables: those of the first two R-atoms. *)
+  let x, y =
+    match Res_cq.Query.atoms_of_rel query r with
+    | a1 :: a2 :: _ -> (List.hd a1.args, List.hd a2.args)
+    | _ -> invalid_arg "vc_to_unary_path: fewer than two R-atoms"
+  in
+  let t var a b =
+    if var = x then Value.i a else if var = y then Value.i b else pair_value a b var
+  in
+  let db =
+    List.fold_left
+      (fun db (a, b) ->
+        List.fold_left
+          (fun db (atom : Res_cq.Atom.t) ->
+            Database.add_row db atom.rel (List.map (fun var -> t var a b) atom.args))
+          db (Res_cq.Query.atoms query))
+      Database.empty g
+  in
+  { db; query; k; description = "VC -> RES(q) via unary path (Thm 27)" }
+
+let vc_to_binary_path g ~k (query : Res_cq.Query.t) =
+  let r, r_atoms =
+    match Patterns.self_join query with
+    | Some sj -> sj
+    | None -> invalid_arg "vc_to_binary_path: no self-join"
+  in
+  if Res_cq.Query.arity_of query r <> 2 then invalid_arg "vc_to_binary_path: R not binary";
+  (* Equivalence classes of variables under R-atom connectivity. *)
+  let vars = Res_cq.Query.vars query in
+  let uf = Res_graph.Union_find.create (List.length vars) in
+  let idx var =
+    let rec find i = function
+      | [] -> invalid_arg "vc_to_binary_path"
+      | w :: rest -> if w = var then i else find (i + 1) rest
+    in
+    find 0 vars
+  in
+  List.iter
+    (fun (a : Res_cq.Atom.t) ->
+      match a.args with
+      | [ u; w ] -> Res_graph.Union_find.union uf (idx u) (idx w)
+      | _ -> ())
+    r_atoms;
+  (* Representatives of the first two R-atom components. *)
+  let x_class =
+    match r_atoms with a :: _ -> Res_graph.Union_find.find uf (idx (List.hd a.args)) | [] -> assert false
+  in
+  let z_class =
+    match
+      List.find_opt
+        (fun (a : Res_cq.Atom.t) ->
+          Res_graph.Union_find.find uf (idx (List.hd a.args)) <> x_class)
+        r_atoms
+    with
+    | Some a -> Res_graph.Union_find.find uf (idx (List.hd a.args))
+    | None -> invalid_arg "vc_to_binary_path: R-atoms all connected (no path)"
+  in
+  let t var a b =
+    let c = Res_graph.Union_find.find uf (idx var) in
+    if c = x_class then Value.i a else if c = z_class then Value.i b else pair_value a b var
+  in
+  let db =
+    List.fold_left
+      (fun db (a, b) ->
+        List.fold_left
+          (fun db (atom : Res_cq.Atom.t) ->
+            Database.add_row db atom.rel (List.map (fun var -> t var a b) atom.args))
+          db (Res_cq.Query.atoms query))
+      Database.empty g
+  in
+  { db; query; k; description = "VC -> RES(q) via binary path (Thm 28)" }
+
+(* ------------------------------------------------------------------ *)
+(* Proposition 10 + Lemmas 52-54: 3SAT -> RES(qchain) and expansions.  *)
+
+(* Variable gadget (variable i, copies j in [m]): a cycle of 2m tuples
+     T(i,j) = R(x_i^j, xbar_i^j)     "choose all T's  <=>  x_i := true"
+     F(i,j) = R(xbar_i^j, x_i^{j+1})
+   Clause gadget (clause j, positions a/b/c): a 3-cycle with spikes and a
+   connector per position; the connector's incoming witness dies exactly
+   when the literal is satisfied.  Satisfied clauses cost 5, unsatisfied 6;
+   each variable costs m.  kψ = (n+5)m. *)
+let sat3_to_chain ?(with_a = false) ?(with_b = false) ?(with_c = false) (f : Cnf.t) =
+  let m = List.length f.clauses in
+  let n = f.n_vars in
+  if m = 0 then invalid_arg "sat3_to_chain: empty formula";
+  let pos i j = v "x%d_%d" i j in
+  let neg i j = v "xbar%d_%d" i j in
+  let facts = ref [] in
+  let add_r a b = facts := Database.fact "R" [ a; b ] :: !facts in
+  for i = 1 to n do
+    for j = 1 to m do
+      add_r (pos i j) (neg i j);
+      (* T(i,j): delete all T's  <=>  x_i := true *)
+      add_r (neg i j) (pos i (if j = m then 1 else j + 1)) (* F(i,j) *)
+    done
+  done;
+  (* Three clause-gadget shapes, depending on which ends of the chain the
+     expansion bounds with endogenous unary atoms:
+       base      (qchain, qbchain):   connectors leave the variable cycle
+                                      into the spikes (Fig 10);
+       lemma53   (qachain, qabchain): connectors leave a fresh p'' node
+                                      into the variable cycle (Fig 11);
+       lemma54   (qacchain, qabcchain): spike chains p' -> *p -> p'' with
+                                      C(p''), connectors from the variable
+                                      cycle into p'' (Fig 12).
+     The C-only variants (qcchain, qbcchain) are the global mirror of the
+     A-only ones. *)
+  let shape =
+    match (with_a, with_c) with
+    | false, false -> `Base
+    | true, false -> `Lemma53
+    | false, true -> `Lemma53_mirror
+    | true, true -> `Lemma54
+  in
+  List.iteri
+    (fun j0 (l1, l2, l3) ->
+      let j = j0 + 1 in
+      let node p = v "%s_%d" p j in
+      (* triangle, shared by all shapes *)
+      add_r (node "ka") (node "kb");
+      add_r (node "kb") (node "kc");
+      add_r (node "kc") (node "ka");
+      (* spikes *)
+      add_r (node "ka'") (node "ka");
+      add_r (node "kb'") (node "kb");
+      add_r (node "kc'") (node "kc");
+      let position lit p =
+        let i = Cnf.var lit in
+        match shape with
+        | `Base ->
+          (* connector from the variable cycle into the spike; its incoming
+             witness dies iff the literal is satisfied *)
+          let start = if lit > 0 then neg i j else pos i j in
+          add_r start (node (p ^ "'"))
+        | `Lemma53 ->
+          (* fresh p'' with edges into the spike head and into the variable
+             cycle; the variable-side witness dies iff the literal holds *)
+          add_r (node (p ^ "''")) (node (p ^ "'"));
+          let target = if lit > 0 then pos i j else neg i j in
+          add_r (node (p ^ "''")) target
+        | `Lemma53_mirror ->
+          (* mirror of Lemma 53: p'' receives edges; spikes run reversed.
+             Handled by building Lemma 53 facts and mirroring below, so
+             here we emit the same tuples as Lemma 53. *)
+          add_r (node (p ^ "''")) (node (p ^ "'"));
+          let target = if lit > 0 then pos i j else neg i j in
+          add_r (node (p ^ "''")) target
+        | `Lemma54 ->
+          (* spike chain p' -> *p -> p'' plus a connector from the variable
+             cycle into p''; the connector witness (A(v) T conn C(p'') for a
+             positive literal) dies iff the literal holds *)
+          add_r (node (p ^ "'")) (node ("s" ^ p));
+          add_r (node ("s" ^ p)) (node (p ^ "''"));
+          let start = if lit > 0 then neg i j else pos i j in
+          add_r start (node (p ^ "''"))
+      in
+      position l1 "ka";
+      position l2 "kb";
+      position l3 "kc")
+    (clauses3 f);
+  let facts =
+    match shape with
+    | `Lemma53_mirror ->
+      (* global mirror: reverse every R-tuple (the A-variant gadget for the
+         reversed chain is exactly the C-variant gadget for the chain) *)
+      List.map
+        (fun (fact : Database.fact) ->
+          match fact.tuple with
+          | [ a; b ] -> Database.fact fact.rel [ b; a ]
+          | _ -> fact)
+        !facts
+    | _ -> !facts
+  in
+  let db = Database.of_facts facts in
+  let populate rel db =
+    List.fold_left (fun db value -> Database.add_row db rel [ value ]) db (Database.active_domain db)
+  in
+  let db = if with_a then populate "A" db else db in
+  let db = if with_b then populate "B" db else db in
+  let db = if with_c then populate "C" db else db in
+  let atoms =
+    (if with_a then "A(x), " else "")
+    ^ "R(x,y), "
+    ^ (if with_b then "B(y), " else "")
+    ^ "R(y,z)"
+    ^ if with_c then ", C(z)" else ""
+  in
+  {
+    db;
+    query = q atoms;
+    k = (n + 5) * m;
+    description = Printf.sprintf "3SAT -> RES(%s) (Prop 10 / Lemmas 52-54)" atoms;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Proposition 56 (Figure 16): 3SAT -> RES(triangle).                  *)
+
+(* Each variable gadget is a cyclic sequence of 12m values with roles
+   a,b,c,a,b,c,...; solid edges follow the cycle (R on a->b, S on b->c,
+   T on c->a) and each adjacent solid pair is closed into an RGB triangle
+   by one dotted edge (v_{k+2} -> v_k, in the remaining relation).  Solid
+   edges alternate marks v_i / vbar_i; deleting all even-indexed (v_i)
+   solid edges corresponds to x_i := true.  12m triangles per gadget, 6m
+   deletions each.  Clause j uses the edge window [12j .. 12j+5] (the odd
+   segment; the next window is an unused buffer) and identifies endpoint
+   values across three gadgets to create one extra RGB triangle that is
+   already covered iff some literal is true.  kψ = 6mn. *)
+let sat3_to_triangle (f : Cnf.t) =
+  let m = List.length f.clauses in
+  let n = f.n_vars in
+  if m = 0 then invalid_arg "sat3_to_triangle: empty formula";
+  (* Occurrence counts: each occurrence of a variable in a clause position
+     gets its own 12-edge window of that variable's gadget (6 usable edges
+     + 6 buffer edges, keeping identified vertices at distance >= 7 so no
+     spurious RGB triangles arise).  Gadget i is a cycle of 12*s_i solid
+     edges, so its mandatory cost is 6*s_i and kψ = Σ 6*s_i = 18m. *)
+  let occurrences = Array.make (n + 1) 0 in
+  let padded = clauses3 f in
+  List.iter
+    (fun (l1, l2, l3) ->
+      List.iter (fun l -> occurrences.(Cnf.var l) <- occurrences.(Cnf.var l) + 1) [ l1; l2; l3 ])
+    padded;
+  let len = Array.map (fun s -> 12 * max s 1) occurrences in
+  let node_id i p = ((i - 1) * 12 * 3 * m * 2) + p in
+  let uf = Res_graph.Union_find.create (n * 12 * 3 * m * 2) in
+  let role p = match p mod 3 with 0 -> `A | 1 -> `B | _ -> `C in
+  (* Clause identifications.  Within a window starting at w, the edges by
+     (relation, parity) sit at offsets: R even -> w, R odd -> w+3,
+     S even -> w+4, S odd -> w+1, T even -> w+2, T odd -> w+5.  Positive
+     literals use the even (v_i-marked) edge: deleting the even edges is
+     x_i := true.  Solid edge at position p runs p -> p+1. *)
+  let next_window = Array.make (n + 1) 0 in
+  let window i =
+    let w = 12 * next_window.(i) in
+    next_window.(i) <- next_window.(i) + 1;
+    w
+  in
+  List.iter
+    (fun (l1, l2, l3) ->
+      let v1 = Cnf.var l1 and v2 = Cnf.var l2 and v3 = Cnf.var l3 in
+      let w1 = window v1 and w2 = window v2 and w3 = window v3 in
+      let r_edge = if l1 > 0 then w1 else w1 + 3 in
+      let s_edge = if l2 > 0 then w2 + 4 else w2 + 1 in
+      let t_edge = if l3 > 0 then w3 + 2 else w3 + 5 in
+      let ( %% ) p i = p mod len.(i) in
+      (* identify: b of the R-edge with b of the S-edge; c of the S-edge
+         with c of the T-edge; a of the T-edge with a of the R-edge *)
+      Res_graph.Union_find.union uf (node_id v1 ((r_edge + 1) %% v1)) (node_id v2 (s_edge %% v2));
+      Res_graph.Union_find.union uf (node_id v2 ((s_edge + 1) %% v2)) (node_id v3 (t_edge %% v3));
+      Res_graph.Union_find.union uf (node_id v3 ((t_edge + 1) %% v3)) (node_id v1 (r_edge %% v1)))
+    padded;
+  let value i p = v "g%d" (Res_graph.Union_find.find uf (node_id i p)) in
+  let facts = ref [] in
+  let add rel a b = facts := Database.fact rel [ a; b ] :: !facts in
+  let rel_of_role = function `A -> "R" | `B -> "S" | `C -> "T" in
+  for i = 1 to n do
+    for p = 0 to len.(i) - 1 do
+      let p1 = (p + 1) mod len.(i) and p2 = (p + 2) mod len.(i) in
+      (* solid edge p -> p+1 *)
+      add (rel_of_role (role p)) (value i p) (value i p1);
+      (* dotted closure for the triangle on (p, p+1, p+2): edge p+2 -> p,
+         whose relation matches role(p+2) -> role(p) *)
+      add (rel_of_role (role p2)) (value i p2) (value i p)
+    done
+  done;
+  {
+    db = Database.of_facts !facts;
+    query = q "R(x,y), S(y,z), T(z,x)";
+    k = 18 * m;
+    description = "3SAT -> RES(triangle) (Prop 56, Fig 16)";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Proposition 57: triangle -> tripod.                                 *)
+
+let triangle_instance_to_tripod db =
+  let mk rel = List.filter_map (fun t -> match t with [ a; b ] -> Some (a, b) | _ -> None) (Database.tuples_of db rel) in
+  let r = mk "R" and s = mk "S" and t = mk "T" in
+  let a_facts = List.map (fun (a, b) -> Database.fact "A" [ Value.pair a b ]) r in
+  let b_facts = List.map (fun (b, c) -> Database.fact "B" [ Value.pair b c ]) s in
+  let c_facts = List.map (fun (c, a) -> Database.fact "C" [ Value.pair c a ]) t in
+  (* W restricted to witness-forming triples: other W-tuples never join. *)
+  let w_facts =
+    List.concat_map
+      (fun (a, b) ->
+        List.concat_map
+          (fun (b', c) ->
+            if Value.equal b b' then
+              List.filter_map
+                (fun (c', a') ->
+                  if Value.equal c c' && Value.equal a a' then
+                    Some
+                      (Database.fact "W"
+                         [ Value.pair a b; Value.pair b c; Value.pair c a ])
+                  else None)
+                t
+            else [])
+          s)
+      r
+  in
+  Database.of_facts (a_facts @ b_facts @ c_facts @ w_facts)
+
+let triangle_to_tripod db =
+  let k =
+    match Exact.value db (q "R(x,y), S(y,z), T(z,x)") with
+    | Some k -> k
+    | None -> invalid_arg "triangle_to_tripod: unbreakable triangle instance"
+  in
+  {
+    db = triangle_instance_to_tripod db;
+    query = q "A(x), B(y), C(z), W(x,y,z)";
+    k;
+    description = "RES(triangle) -> RES(tripod) (Prop 57)";
+  }
+
+let sat3_to_tripod f =
+  let tri = sat3_to_triangle f in
+  {
+    db = triangle_instance_to_tripod tri.db;
+    query = q "A(x), B(y), C(z), W(x,y,z)";
+    k = tri.k;
+    description = "3SAT -> RES(tripod) (Prop 57)";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 6 / Theorem 24: triangle -> any query with an sj-free triad.   *)
+
+let triangle_to_triad db (query : Res_cq.Query.t) =
+  let qn = Domination.normalize (Res_cq.Homomorphism.minimize query) in
+  let s0, s1, s2 =
+    match Triad.find qn with
+    | Some t -> t
+    | None -> invalid_arg "triangle_to_triad: query has no triad"
+  in
+  let rels = [ s0.rel; s1.rel; s2.rel ] in
+  if List.length (List.sort_uniq compare rels) <> 3 then
+    invalid_arg "triangle_to_triad: triad relations are not pairwise distinct (use the sj lifting instead)";
+  let in0 var = List.mem var (Res_cq.Atom.vars s0) in
+  let in1 var = List.mem var (Res_cq.Atom.vars s1) in
+  let in2 var = List.mem var (Res_cq.Atom.vars s2) in
+  let assign a b c var =
+    match (in0 var, in1 var, in2 var) with
+    | true, true, true -> Value.s "const"
+    | true, true, false -> b
+    | false, true, true -> c
+    | true, false, true -> a
+    | true, false, false -> Value.tag "ab" (Value.pair a b)
+    | false, true, false -> Value.tag "bc" (Value.pair b c)
+    | false, false, true -> Value.tag "ca" (Value.pair c a)
+    | false, false, false -> Value.tag "abc" (Value.triple a b c)
+  in
+  let witnesses = Eval.witnesses db (q "R(x,y), S(y,z), T(z,x)") in
+  let db' =
+    List.fold_left
+      (fun acc (w : Eval.witness) ->
+        let a = List.assoc "x" w.valuation
+        and b = List.assoc "y" w.valuation
+        and c = List.assoc "z" w.valuation in
+        List.fold_left
+          (fun acc (atom : Res_cq.Atom.t) ->
+            Database.add_row acc atom.rel (List.map (assign a b c) atom.args))
+          acc (Res_cq.Query.atoms qn))
+      Database.empty witnesses
+  in
+  let k =
+    match Exact.value db (q "R(x,y), S(y,z), T(z,x)") with
+    | Some k -> k
+    | None -> invalid_arg "triangle_to_triad: unbreakable triangle instance"
+  in
+  { db = db'; query = qn; k; description = "RES(triangle) -> RES(q) via triad (Lemma 6/Thm 24)" }
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 21: lifting an sj-free instance to a self-join variation.      *)
+
+let sjfree_to_sj_variation db ~base ~target =
+  let base_atoms = Res_cq.Query.atoms base and target_atoms = Res_cq.Query.atoms target in
+  if List.map (fun (a : Res_cq.Atom.t) -> a.args) base_atoms
+     <> List.map (fun (a : Res_cq.Atom.t) -> a.args) target_atoms
+  then invalid_arg "sjfree_to_sj_variation: atom variable lists must align";
+  let witnesses = Eval.witnesses db base in
+  let db' =
+    List.fold_left
+      (fun acc (w : Eval.witness) ->
+        List.fold_left
+          (fun acc (atom : Res_cq.Atom.t) ->
+            let tuple =
+              List.map (fun var -> Value.tag var (List.assoc var w.valuation)) atom.args
+            in
+            Database.add_row acc atom.rel tuple)
+          acc target_atoms)
+      Database.empty witnesses
+  in
+  let k =
+    match Exact.value db base with
+    | Some k -> k
+    | None -> invalid_arg "sjfree_to_sj_variation: unbreakable base instance"
+  in
+  {
+    db = db';
+    query = target;
+    k;
+    description = "RES(sj-free q) -> RES(sj variation) (Lemma 21)";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Proposition 34 (Figure 14): 3SAT -> RES(qABperm).                    *)
+
+(* Variable gadget: 2-way pairs {v^j, vbar^j} and {vbar^j, v^{j+1}} plus
+   helper pairs {*^j, v^j} and {*bar^j, vbar^j}; A- and B-tuples on every
+   node.  Truth assignment = choose A,B on the positive (resp. negative)
+   nodes plus the helper R-tuples on the other side: 3m tuples either way.
+   Clause gadget: 2-way triangle with primed pendants; 5 tuples when the
+   clause is satisfied, 6 otherwise.  kψ = (3n+5)m. *)
+let sat3_to_abperm (f : Cnf.t) =
+  let m = List.length f.clauses in
+  let n = f.n_vars in
+  if m = 0 then invalid_arg "sat3_to_abperm: empty formula";
+  let facts = ref [] in
+  let add_r a b = facts := Database.fact "R" [ a; b ] :: !facts in
+  let add_pair a b =
+    add_r a b;
+    add_r b a
+  in
+  let add_ab x =
+    facts := Database.fact "A" [ x ] :: Database.fact "B" [ x ] :: !facts
+  in
+  let pos i j = v "v%d_%d" i j and neg i j = v "vbar%d_%d" i j in
+  let hpos i j = v "h%d_%d" i j and hneg i j = v "hbar%d_%d" i j in
+  for i = 1 to n do
+    for j = 1 to m do
+      List.iter add_ab [ pos i j; neg i j; hpos i j; hneg i j ];
+      add_pair (pos i j) (neg i j);
+      add_pair (neg i j) (pos i (if j = m then 1 else j + 1));
+      add_pair (hpos i j) (pos i j);
+      add_pair (hneg i j) (neg i j)
+    done
+  done;
+  List.iteri
+    (fun j0 (l1, l2, l3) ->
+      let j = j0 + 1 in
+      let node p = v "%s_%d" p j in
+      List.iter add_ab [ node "ka"; node "kb"; node "kc"; node "ka'"; node "kb'"; node "kc'" ];
+      add_pair (node "ka") (node "kb");
+      add_pair (node "kb") (node "kc");
+      add_pair (node "kc") (node "ka");
+      add_pair (node "ka") (node "ka'");
+      add_pair (node "kb") (node "kb'");
+      add_pair (node "kc") (node "kc'");
+      let connect lit p =
+        let i = Cnf.var lit in
+        let vnode = if lit > 0 then pos i j else neg i j in
+        add_pair vnode (node p)
+      in
+      connect l1 "ka";
+      connect l2 "kb";
+      connect l3 "kc")
+    (clauses3 f);
+  {
+    db = Database.of_facts !facts;
+    query = q "A(x), R(x,y), R(y,x), B(y)";
+    k = ((3 * n) + 5) * m;
+    description = "3SAT -> RES(qABperm) (Prop 34, Fig 14)";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Proposition 45: 3SAT -> RES(qSxy3perm-R).                            *)
+
+(* P(a,b) = {R(a,b), R(b,a)}; F(a,b) = P(a,b) + {S(a,b), S(b,a)}.
+   Variable gadget: F(x_i, xbar_i) for i in [m] (forcing one of the two
+   R-orientations) chained by P(x_i, x_{i+1}) and P(xbar_i, xbar_{i+1}).
+   Clause gadget: F-triangle (a,b,c) + F-links to the literal nodes +
+   P-pendants (a,a'), (b,b'), (c,c').  kψ = 2nm + 8m. *)
+let sat3_to_sxy3perm (f : Cnf.t) =
+  let m = List.length f.clauses in
+  let n = f.n_vars in
+  if m = 0 then invalid_arg "sat3_to_sxy3perm: empty formula";
+  let facts = ref [] in
+  let add_p a b =
+    facts := Database.fact "R" [ a; b ] :: Database.fact "R" [ b; a ] :: !facts
+  in
+  let add_f a b =
+    add_p a b;
+    facts := Database.fact "S" [ a; b ] :: Database.fact "S" [ b; a ] :: !facts
+  in
+  let pos i j = v "x%d_%d" i j and neg i j = v "xbar%d_%d" i j in
+  for i = 1 to n do
+    for j = 1 to m do
+      add_f (pos i j) (neg i j);
+      if j < m then begin
+        add_p (pos i j) (pos i (j + 1));
+        add_p (neg i j) (neg i (j + 1))
+      end
+    done
+  done;
+  List.iteri
+    (fun j0 (l1, l2, l3) ->
+      let j = j0 + 1 in
+      let node p = v "%s_%d" p j in
+      add_f (node "a") (node "b");
+      add_f (node "b") (node "c");
+      add_f (node "c") (node "a");
+      add_p (node "a") (node "a'");
+      add_p (node "b") (node "b'");
+      add_p (node "c") (node "c'");
+      let connect lit p =
+        let i = Cnf.var lit in
+        let vnode = if lit > 0 then pos i j else neg i j in
+        add_f (node p) vnode
+      in
+      connect l1 "a";
+      connect l2 "b";
+      connect l3 "c")
+    (clauses3 f);
+  {
+    db = Database.of_facts !facts;
+    query = q "S^x(x,y), R(x,y), R(y,z), R(z,y)";
+    k = (n * ((2 * m) - 1)) + (8 * m);
+    description = "3SAT -> RES(qSxy3perm-R) (Prop 45)";
+  }
+
+(* Note: a naive instance map RES(qchain) -> RES(expansion) that simply
+   populates the unary relations does NOT preserve resilience on arbitrary
+   instances — a unary tuple A(a) covers the witnesses of every R-tuple
+   leaving a, which is cheaper whenever out-degree(a) >= 2.  That is why
+   Lemmas 52-54 build dedicated gadgets per expansion (see sat3_to_chain);
+   we record the phenomenon in EXPERIMENTS.md. *)
+
+(* ------------------------------------------------------------------ *)
+(* Proposition 46: qABperm -> qAC3perm-R.                               *)
+
+let abperm_to_ac3perm db =
+  let primed a = Value.tag "prime" a in
+  let a_tuples = Database.tuples_of db "A" in
+  let db' =
+    List.fold_left
+      (fun acc t ->
+        match t with
+        | [ a ] ->
+          let acc = Database.add_row acc "A" [ primed a ] in
+          Database.add_row acc "R" [ primed a; a ]
+        | _ -> acc)
+      Database.empty a_tuples
+  in
+  let db' =
+    List.fold_left (fun acc t -> Database.add_row acc "R" t) db' (Database.tuples_of db "R")
+  in
+  let db' =
+    List.fold_left (fun acc t -> Database.add_row acc "C" t) db' (Database.tuples_of db "B")
+  in
+  let k =
+    match Exact.value db (q "A(x), R(x,y), R(y,x), B(y)") with
+    | Some k -> k
+    | None -> invalid_arg "abperm_to_ac3perm: unbreakable qABperm instance"
+  in
+  {
+    db = db';
+    query = q "A(x), R(x,y), R(y,z), R(z,y), C(z)";
+    k;
+    description = "RES(qABperm) -> RES(qAC3perm-R) (Prop 46)";
+  }
+
+(* Proposition 39's Max-2SAT crossover gadget (Figure 15) is not
+   reproduced; see the note in the interface and EXPERIMENTS.md. *)

@@ -1,0 +1,101 @@
+open Res_db
+module FS = Database.Fact_set
+
+(* A contingency Γ for fact t must (a) avoid t, (b) hit every witness that
+   does not contain t (so that deleting t afterwards falsifies q), and
+   (c) leave at least one witness containing t alive.  We minimize over
+   the choice of the surviving witness w: hit all t-free witnesses using
+   facts outside w ∪ {t}. *)
+
+let min_contingency db q (t : Database.fact) =
+  if Res_cq.Query.is_exogenous q t.rel then None
+  else begin
+    let witness_sets = Eval.witness_fact_sets db q in
+    let with_t, without_t = List.partition (fun fs -> FS.mem t fs) witness_sets in
+    if with_t = [] then None
+    else begin
+      let endo fs =
+        FS.filter (fun f -> not (Res_cq.Query.is_exogenous q f.Database.rel)) fs
+      in
+      let best = ref None in
+      List.iter
+        (fun survivor ->
+          (* facts we may delete: endogenous, not t, not in the survivor *)
+          let allowed f = (not (FS.mem f survivor)) && f <> t in
+          let feasible = ref true in
+          let sets =
+            List.map
+              (fun fs ->
+                let s = FS.filter allowed (endo fs) in
+                if FS.is_empty s then feasible := false;
+                s)
+              without_t
+          in
+          if !feasible then begin
+            (* solve restricted hitting set exactly via the Exact machinery:
+               rebuild a pseudo-database?  Simpler: brute branch and bound
+               on the fact sets directly. *)
+            let size =
+              if sets = [] then 0
+              else begin
+                (* reuse Exact's engine through a private encoding *)
+                let ids = Hashtbl.create 32 in
+                let next = ref 0 in
+                let module IS = Set.Make (Int) in
+                let int_sets =
+                  List.map
+                    (fun s ->
+                      FS.fold
+                        (fun f acc ->
+                          let i =
+                            match Hashtbl.find_opt ids f with
+                            | Some i -> i
+                            | None ->
+                              let i = !next in
+                              incr next;
+                              Hashtbl.replace ids f i;
+                              i
+                          in
+                          IS.add i acc)
+                        s IS.empty)
+                    sets
+                in
+                let best_local = ref max_int in
+                let rec branch depth remaining =
+                  match remaining with
+                  | [] -> if depth < !best_local then best_local := depth
+                  | _ ->
+                    if depth + 1 >= !best_local then ()
+                    else begin
+                      let pivot = List.hd remaining in
+                      IS.iter
+                        (fun f ->
+                          branch (depth + 1)
+                            (List.filter (fun s -> not (IS.mem f s)) remaining))
+                        pivot
+                    end
+                in
+                branch 0 int_sets;
+                !best_local
+              end
+            in
+            match !best with
+            | Some b when b <= size -> ()
+            | _ -> best := Some size
+          end)
+        with_t;
+      !best
+    end
+  end
+
+let responsibility db q t =
+  match min_contingency db q t with
+  | Some k -> 1.0 /. float_of_int (1 + k)
+  | None -> 0.0
+
+let ranking db q =
+  Database.endogenous_facts db q
+  |> List.filter_map (fun f ->
+         let r = responsibility db q f in
+         if r > 0.0 then Some (f, r) else None)
+  |> List.sort (fun (_, a) (_, b) -> compare b a)

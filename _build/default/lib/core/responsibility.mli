@@ -1,0 +1,24 @@
+(** Responsibility of a tuple for a query answer (Meliou et al. [31], the
+    causality notion the paper builds on).
+
+    A fact t is a {e counterfactual cause} of D ⊨ q under a contingency
+    Γ (t ∉ Γ) if D − Γ ⊨ q but D − Γ − {t} ⊭ q.  Its responsibility is
+    1/(1+|Γ|) for the smallest such Γ, and 0 if no contingency exists.
+    Computing it is NP-hard in general (harder than resilience, as the
+    paper remarks); this exact implementation enumerates the witnesses
+    containing t and solves one restricted hitting-set instance per
+    potential surviving witness. *)
+
+open Res_db
+
+val min_contingency : Database.t -> Res_cq.Query.t -> Database.fact -> int option
+(** Size of the smallest contingency under which the fact is
+    counterfactual; [None] if the fact is not a cause at all. *)
+
+val responsibility : Database.t -> Res_cq.Query.t -> Database.fact -> float
+(** 1/(1+|Γ|), or 0.0 when not a cause.  A fact in every witness has
+    responsibility 1. *)
+
+val ranking : Database.t -> Res_cq.Query.t -> (Database.fact * float) list
+(** All endogenous facts with non-zero responsibility, most responsible
+    first — the paper's motivating "explanation" use case. *)

@@ -1,0 +1,26 @@
+open Res_db
+
+type t =
+  | Finite of int * Database.fact list
+  | Unbreakable
+
+let value = function Finite (v, _) -> Some v | Unbreakable -> None
+
+let value_exn = function
+  | Finite (v, _) -> v
+  | Unbreakable -> failwith "Solution.value_exn: unbreakable instance"
+
+let facts = function Finite (_, fs) -> fs | Unbreakable -> []
+
+let equal_value a b =
+  match (a, b) with
+  | Finite (x, _), Finite (y, _) -> x = y
+  | Unbreakable, Unbreakable -> true
+  | _ -> false
+
+let pp ppf = function
+  | Unbreakable -> Format.pp_print_string ppf "unbreakable"
+  | Finite (v, fs) ->
+    Format.fprintf ppf "%d via {%a}" v
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") Database.pp_fact)
+      fs

@@ -1,0 +1,16 @@
+(** Result type shared by all resilience solvers. *)
+
+open Res_db
+
+type t =
+  | Finite of int * Database.fact list
+      (** ρ(D,q) and a minimum contingency set achieving it *)
+  | Unbreakable
+      (** some witness consists solely of exogenous tuples; no contingency
+          set exists *)
+
+val value : t -> int option
+val value_exn : t -> int
+val facts : t -> Database.fact list
+val equal_value : t -> t -> bool
+val pp : Format.formatter -> t -> unit

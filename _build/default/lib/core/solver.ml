@@ -1,0 +1,187 @@
+open Res_db
+
+type trace = {
+  component : Res_cq.Query.t;
+  algorithm : string;
+  solution : Solution.t;
+}
+
+(* Extend the database for the exogenous-split renaming (R -> R__k):
+   relations of the split query absent from the database inherit the
+   tuples of their base relation. *)
+let extend_db_for_split db (q_split : Res_cq.Query.t) =
+  List.fold_left
+    (fun db rel ->
+      if Database.tuples_of db rel <> [] then db
+      else begin
+        match String.index_opt rel '_' with
+        | None -> db
+        | Some _ -> begin
+          match String.rindex_opt rel '_' with
+          | Some i when i >= 1 && rel.[i - 1] = '_' ->
+            let base = String.sub rel 0 (i - 1) in
+            List.fold_left (fun db t -> Database.add_row db rel t) db (Database.tuples_of db base)
+          | _ -> db
+        end
+      end)
+    db
+    (Res_cq.Query.relations q_split)
+
+let mirror_db db (q : Res_cq.Query.t) =
+  List.fold_left
+    (fun acc rel ->
+      let tuples = Database.tuples_of db rel in
+      let binary = match Res_cq.Query.arity_of q rel with 2 -> true | _ -> false | exception Not_found -> false in
+      List.fold_left
+        (fun acc t ->
+          let t' = if binary then List.rev t else t in
+          Database.add_row acc rel t')
+        acc tuples)
+    Database.empty (Database.relations db)
+
+let mirror_solution (q : Res_cq.Query.t) = function
+  | Solution.Unbreakable -> Solution.Unbreakable
+  | Solution.Finite (v, facts) ->
+    let unflip (f : Database.fact) =
+      match Res_cq.Query.arity_of q f.rel with
+      | 2 -> { f with tuple = List.rev f.tuple }
+      | _ -> f
+      | exception Not_found -> f
+    in
+    Solution.Finite (v, List.map unflip facts)
+
+(* Run [k rel_map db q] against the template, trying the mirrored query if
+   the direct orientation does not match. *)
+let try_template tmpl db q k =
+  match Query_iso.find_template_iso tmpl q with
+  | Some (rel_map, _) -> Some (k rel_map db q)
+  | None -> begin
+    let qm = Query_iso.mirror q in
+    match Query_iso.find_template_iso tmpl qm with
+    | Some (rel_map, _) -> Some (mirror_solution q (k rel_map (mirror_db db q) qm))
+    | None -> None
+  end
+
+let rel rel_map name = List.assoc name rel_map
+
+let dispatch_ptime (m : Classify.ptime_method) db q =
+  let fallback note =
+    (* last polynomial resort before exact search: the instance-level
+       bipartite witness cover (twin collapse + König) *)
+    match Special.solve_witness_bipartite db q with
+    | Some s -> (Printf.sprintf "bipartite witness cover (%s)" note, s)
+    | None -> (Printf.sprintf "exact (fallback: %s)" note, Exact.resilience db q)
+  in
+  match m with
+  | Classify.Trivial_no_endogenous ->
+    if Eval.sat db q then ("trivial", Solution.Unbreakable) else ("trivial", Solution.Finite (0, []))
+  | Classify.Sj_free_no_triad | Classify.Confluence_flow -> begin
+    match Flow.solve db q with
+    | Some s ->
+      let name =
+        if m = Classify.Confluence_flow then "confluence flow (Prop 31)" else "linear flow [31]"
+      in
+      (name, s)
+    | None -> fallback "triad-free but not linear; linearization of [14] out of scope"
+  end
+  | Classify.Unbound_permutation -> begin
+    let direct =
+      try_template "R(x,y), R(y,x)" db q (fun rm db q ->
+          Special.solve_perm ~r:(rel rm "R") db q)
+    in
+    let with_a () =
+      try_template "A(x), R(x,y), R(y,x)" db q (fun rm db q ->
+          Special.solve_a_perm ~a:(rel rm "A") ~r:(rel rm "R") db q)
+    in
+    match direct with
+    | Some s -> ("permutation witness pairs (Prop 33)", s)
+    | None -> begin
+      match with_a () with
+      | Some s -> ("permutation bipartite VC (Prop 33)", s)
+      | None -> begin
+        match Res_cq.Query.repeated_relations q with
+        | [ r ] -> begin
+          match Special.solve_unbound_permutation ~r db q with
+          | Some s -> ("unbound permutation pair-collapse flow (Prop 35 case 1)", s)
+          | None -> fallback "unbound permutation not pair-collapsible"
+        end
+        | _ -> fallback "unbound permutation without unique self-join"
+      end
+    end
+  end
+  | Classify.Rep_shared_flow -> begin
+    match
+      try_template "R(x,x), R(x,y), A(y)" db q (fun rm db q ->
+          Special.solve_z3 ~r:(rel rm "R") ~a:(rel rm "A") db q)
+    with
+    | Some s -> ("z3 bipartite VC (Prop 36)", s)
+    | None -> begin
+      (* Prop 36 general case: off-diagonal tuples of the self-join
+         relation are never needed; treat them as exogenous and flow. *)
+      match Res_cq.Query.repeated_relations q with
+      | [ r ] -> begin
+        let off_diag (f : Database.fact) =
+          f.rel = r && match f.tuple with [ a; b ] -> not (Value.equal a b) | _ -> false
+        in
+        match Flow.solve ~fact_exogenous:off_diag db q with
+        | Some s -> ("REP flow with exogenous off-diagonal (Prop 36)", s)
+        | None -> fallback "REP expansion not linear"
+      end
+      | _ -> fallback "REP expansion without unique self-join"
+    end
+  end
+  | Classify.Perm3_flow -> begin
+    match
+      try_template "A(x), R(x,y), R(y,z), R(z,y)" db q (fun rm db q ->
+          Special.solve_a3perm ~a:(rel rm "A") ~r:(rel rm "R") db q)
+    with
+    | Some s -> ("qA3perm-R flow (Prop 13)", s)
+    | None -> begin
+      match
+        try_template "S(w,x), R(x,y), R(y,z), R(z,y)" db q (fun rm db q ->
+            Special.solve_swx3perm ~s:(rel rm "S") ~r:(rel rm "R") db q)
+      with
+      | Some s -> ("qSwx3perm-R flow (Prop 44)", s)
+      | None -> fallback "3-permutation template mismatch"
+    end
+  end
+  | Classify.Ts3conf_flow -> begin
+    match
+      try_template "T^x(x,y), R(x,y), R(z,y), R(z,w), S^x(z,w)" db q (fun rm db q ->
+          Special.solve_ts3conf ~t_rel:(rel rm "T") ~r:(rel rm "R") ~s_rel:(rel rm "S") db q)
+    with
+    | Some s -> ("qTS3conf forced tuples + flow (Prop 41)", s)
+    | None -> fallback "qTS3conf template mismatch"
+  end
+
+let solve_component db qc =
+  let q', verdict = Classify.classify_component qc in
+  let db = extend_db_for_split db q' in
+  let algorithm, solution =
+    match verdict with
+    | Classify.Ptime m -> dispatch_ptime m db q'
+    | Classify.Np_complete r ->
+      (Printf.sprintf "exact (NP-complete: %s)" (Classify.reason_to_string r), Exact.resilience db q')
+    | Classify.Open_problem s -> (Printf.sprintf "exact (open: %s)" s, Exact.resilience db q')
+    | Classify.Unknown s -> (Printf.sprintf "exact (unknown: %s)" s, Exact.resilience db q')
+  in
+  { component = q'; algorithm; solution }
+
+let solve_traced db q =
+  let minimized = Res_cq.Homomorphism.minimize q in
+  let comps = Res_cq.Components.split minimized in
+  let traces = List.map (solve_component db) comps in
+  let best =
+    List.fold_left
+      (fun acc t ->
+        match (acc, t.solution) with
+        | Solution.Unbreakable, s -> s
+        | s, Solution.Unbreakable -> s
+        | Solution.Finite (v1, _), Solution.Finite (v2, _) ->
+          if v2 < v1 then t.solution else acc)
+      Solution.Unbreakable traces
+  in
+  (best, traces)
+
+let solve db q = fst (solve_traced db q)
+let value db q = Solution.value (solve db q)

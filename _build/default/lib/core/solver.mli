@@ -1,0 +1,33 @@
+(** The resilience solver front end.
+
+    Mirrors the classification pipeline: minimize the query, split it into
+    connected components (ρ is the minimum over components, Lemma 14),
+    normalize domination per component (Prop 18), then dispatch each
+    component to the algorithm its {!Classify} verdict licenses:
+
+    - PTIME verdicts run the matching polynomial algorithm — the generic
+      linear flow ({!Flow}), one of the specialized solvers ({!Special}),
+      or the trivial case;
+    - NP-complete / open / unknown verdicts run the exact branch-and-bound
+      solver ({!Exact}).
+
+    A handful of PTIME classes whose polynomial algorithm the paper only
+    sketches for the general (pseudo-linear, non-linear) case fall back to
+    {!Exact} with an explanatory note — the answer is still correct, just
+    not guaranteed polynomial (see DESIGN.md §7). *)
+
+open Res_db
+
+type trace = {
+  component : Res_cq.Query.t;  (** normalized component actually solved *)
+  algorithm : string;
+  solution : Solution.t;
+}
+
+val solve : Database.t -> Res_cq.Query.t -> Solution.t
+(** ρ(D, q) with a minimum contingency set. *)
+
+val solve_traced : Database.t -> Res_cq.Query.t -> Solution.t * trace list
+
+val value : Database.t -> Res_cq.Query.t -> int option
+(** [Some ρ] or [None] (unbreakable). *)

@@ -1,0 +1,31 @@
+open Res_cq
+
+let find q =
+  let h = Hypergraph.of_query q in
+  let n = Hypergraph.n_atoms h in
+  let all_atoms = Array.init n (fun i -> Hypergraph.atom h i) in
+  let endo = List.filter (fun i -> not (Query.is_exogenous q all_atoms.(i).Atom.rel)) (List.init n Fun.id) in
+  let robust i j k =
+    (* Path from atom i to atom j avoiding every variable of atom k. *)
+    Hypergraph.path_avoiding h ~src:i ~dst:j ~avoid:(Atom.vars all_atoms.(k))
+  in
+  let rec pick3 = function
+    | [] -> None
+    | i :: rest ->
+      let rec pick2 = function
+        | [] -> pick3 rest
+        | j :: rest2 ->
+          let rec pick1 = function
+            | [] -> pick2 rest2
+            | k :: rest3 ->
+              if robust i j k && robust j k i && robust i k j then
+                Some (all_atoms.(i), all_atoms.(j), all_atoms.(k))
+              else pick1 rest3
+          in
+          pick1 rest2
+      in
+      pick2 rest
+  in
+  pick3 endo
+
+let has_triad q = find q <> None

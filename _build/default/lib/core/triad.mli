@@ -1,0 +1,15 @@
+(** Triads (paper Definition 5) and their detection.
+
+    A triad is a set of three endogenous atoms {S0, S1, S2} such that for
+    every pair there is a path between them in the dual hypergraph using no
+    variable of the third atom.  Queries containing a triad have
+    NP-complete resilience — for sj-free queries by [14] (Lemma 6), and
+    with self-joins by Theorem 24 of this paper.
+
+    Detection should run on the domination-normal form of the query
+    (see {!Domination.normalize}). *)
+
+open Res_cq
+
+val find : Query.t -> (Atom.t * Atom.t * Atom.t) option
+val has_triad : Query.t -> bool

@@ -1,0 +1,99 @@
+open Res_cq
+
+type expected = P | NPC | Open
+
+type entry = {
+  name : string;
+  query : Query.t;
+  expected : expected;
+  reference : string;
+}
+
+let e name s expected reference = { name; query = Parser.query s; expected; reference }
+
+let sec2 =
+  [
+    e "q_triangle" "R(x,y), S(y,z), T(z,x)" NPC "Ex.2/Prop.56: triad {R,S,T}";
+    e "q_tripod" "A(x), B(y), C(z), W(x,y,z)" NPC "Ex.2/Prop.57: triad {A,B,C}, W dominated";
+    e "q_rats" "R(x,y), A(x), T(z,x), S(y,z)" P "Ex.2: A dominates R,T; no triad";
+    e "q_brats" "B(y), R(x,y), A(x), T(z,x), S(y,z)" P "Sec.5.1: domination disarms the triad";
+    e "q_lin" "A(x), R(x,y,z), S(y,z)" P "Ex.2: linear";
+  ]
+
+let sec3 =
+  [
+    e "q_vc" "R(x), S(x,y), R(y)" NPC "Prop.9: vertex cover";
+    e "q_chain" "R(x,y), R(y,z)" NPC "Prop.10: 3SAT";
+    e "q_sj1_rats" "A(x), R(x,y), R(y,z), R(z,x)" NPC "Ex.11/Lemma 50: triad of R-atoms";
+    e "q_ac_conf" "A(x), R(x,y), R(z,y), C(z)" P "Prop.12: confluence flow";
+    e "q_a_3perm" "A(x), R(x,y), R(y,z), R(z,y)" P "Prop.13: modified flow";
+  ]
+
+let sec5 =
+  [
+    e "q_sj1_triangle" "R(x,y), R(y,z), R(z,x)" NPC "Ex.20/Lemma 21: sj variation of triangle";
+    e "q_sj2_triangle" "R(x,y), R(y,z), T(z,x)" NPC "Ex.20/Lemma 21";
+    e "q_sj3_triangle" "R(x,y), S(y,z), R(z,x)" NPC "Ex.20/Lemma 21";
+    e "q_sj1_brats" "B(y), R(x,y), A(x), R(z,x), R(y,z)" NPC "Lemma 51: triad of R-atoms";
+    e "q_ex22" "R(x,y), R(z,y), R(z,w), R(x,w)" P "Ex.22: non-minimal, equivalent to R(x,y)";
+  ]
+
+let chain_expansions =
+  [
+    e "q_chain" "R(x,y), R(y,z)" NPC "Prop.10";
+    e "q_a_chain" "A(x), R(x,y), R(y,z)" NPC "Lemma 53";
+    e "q_b_chain" "R(x,y), B(y), R(y,z)" NPC "Lemma 52";
+    e "q_c_chain" "R(x,y), R(y,z), C(z)" NPC "Lemma 53";
+    e "q_ab_chain" "A(x), R(x,y), B(y), R(y,z)" NPC "Lemma 53";
+    e "q_bc_chain" "R(x,y), B(y), R(y,z), C(z)" NPC "Lemma 53";
+    e "q_ac_chain" "A(x), R(x,y), R(y,z), C(z)" NPC "Lemma 54";
+    e "q_abc_chain" "A(x), R(x,y), B(y), R(y,z), C(z)" NPC "Lemma 54";
+  ]
+
+let sec7 =
+  [
+    e "q_cfp" "R(x,y), H^x(x,z), R(z,y)" NPC "Sec.7.2: confluence with exogenous path (≡ qvc)";
+    e "q_perm" "R(x,y), R(y,x)" P "Prop.33: witness counting";
+    e "q_a_perm" "A(x), R(x,y), R(y,x)" P "Prop.33: bipartite vertex cover";
+    e "q_ab_perm" "A(x), R(x,y), R(y,x), B(y)" NPC "Prop.34: bound permutation";
+    e "z1" "R(x,x), S(x,y), R(y,y)" NPC "Sec.7.4: binary path (Thm.28)";
+    e "z2" "R(x,x), S(x,y), R(y,z)" NPC "Sec.7.4: binary path (Thm.28)";
+    e "z3" "R(x,x), R(x,y), A(y)" P "Prop.36";
+  ]
+
+let sec8 =
+  [
+    e "q_3chain" "R(x,y), R(y,z), R(z,w)" NPC "Prop.38";
+    e "q_4chain" "R(x,y), R(y,z), R(z,w), R(w,u)" NPC "Prop.38 (k=4)";
+    e "q_ac_3conf" "A(x), R(x,y), R(z,y), R(z,w), C(w)" NPC "Prop.39: Max 2SAT";
+    e "q_ts_3conf" "T^x(x,y), R(x,y), R(z,y), R(z,w), S^x(z,w)" P "Prop.41";
+    e "q_as_3conf" "A(x), R(x,y), R(z,y), R(z,w), S^x(z,w)" Open "Sec.8.2 open problem";
+    e "q_ac_3cc" "A(x), R(x,y), R(y,z), R(w,z), C(w)" NPC "Prop.42";
+    e "q_as_3cc" "A(x), R(x,y), R(y,z), R(w,z), S(w,z)" NPC "Prop.42";
+    e "q_c_3cc" "R(x,y), R(y,z), R(w,z), C(w)" NPC "Prop.43: Max 2SAT";
+    e "q_s_3cc" "R(x,y), R(y,z), R(w,z), S(w,z)" Open "Sec.8.3 open problem";
+    e "q_swx_3perm" "S(w,x), R(x,y), R(y,z), R(z,y)" P "Prop.44";
+    e "q_sxy_3perm" "S^x(x,y), R(x,y), R(y,z), R(z,y)" NPC "Prop.45";
+    e "q_ac_3perm" "A(x), R(x,y), R(y,z), R(z,y), C(z)" NPC "Prop.46";
+    e "q_ab_3perm" "A(x), R(x,y), B(y), R(y,z), R(z,y)" NPC "Prop.46";
+    e "q_sxybc_3perm" "S(x,y), R(x,y), B(y), R(y,z), R(z,y), C(z)" NPC "Prop.46";
+    e "q_asxy_3perm" "A(x), S(x,y), R(x,y), R(y,z), R(z,y)" Open "Sec.8.4 open problem";
+    e "q_sxyb_3perm" "S(x,y), R(x,y), B(y), R(y,z), R(z,y)" Open "Sec.8.4 open problem";
+    e "q_sxyc_3perm" "S(x,y), R(x,y), R(y,z), R(z,y), C(z)" Open "Sec.8.4 open problem";
+    e "z4" "R(x,x), R(x,y), S(x,y), R(y,y)" NPC "Prop.47";
+    e "z5" "A(x), R(x,y), R(y,z), R(z,z)" NPC "Prop.47: Max 2SAT";
+    e "z6" "A(x), R(x,y), R(y,y), R(y,z), C(z)" Open "Sec.8.5 open problem";
+    e "z7" "A(x), R(x,y), R(y,x), R(y,y)" Open "Sec.8.5 open problem";
+  ]
+
+let all =
+  sec2 @ sec3 @ sec5
+  @ List.tl chain_expansions (* q_chain already in sec3 *)
+  @ sec7 @ sec8
+
+let find name = List.find (fun en -> en.name = name) all
+
+let figure5 =
+  List.map find [ "q_chain"; "q_ac_chain"; "q_ac_conf"; "q_cfp"; "q_perm"; "q_a_perm"; "q_ab_perm"; "z3" ]
+
+let expected_to_string = function P -> "PTIME" | NPC -> "NP-complete" | Open -> "open"

@@ -1,0 +1,31 @@
+(** Catalog of every named query in the paper, with the paper's verdict.
+
+    Used by tests (the classifier must reproduce each verdict), by the
+    Figure 5 / Theorem 37 benchmark tables, and by the examples. *)
+
+open Res_cq
+
+type expected =
+  | P  (** paper proves PTIME *)
+  | NPC  (** paper proves NP-complete *)
+  | Open  (** paper states the complexity is open *)
+
+type entry = {
+  name : string;
+  query : Query.t;
+  expected : expected;
+  reference : string;  (** where in the paper *)
+}
+
+val all : entry list
+val find : string -> entry
+(** @raise Not_found for unknown names. *)
+
+val chain_expansions : entry list
+(** The 8 unary expansions of qchain (Section 7.1, Figure 6a) —
+    qchain itself plus a/b/c/ab/ac/bc/abc. *)
+
+val figure5 : entry list
+(** The queries behind the Figure 5 pattern table (two R-atoms). *)
+
+val expected_to_string : expected -> string

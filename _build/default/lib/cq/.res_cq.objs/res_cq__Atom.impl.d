@@ -1,0 +1,1 @@
+lib/cq/atom.ml: Format List Stdlib

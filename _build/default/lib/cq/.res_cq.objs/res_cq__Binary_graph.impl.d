@@ -1,0 +1,1 @@
+lib/cq/binary_graph.ml: Array Atom Buffer Format Hashtbl List Printf Query Res_graph

@@ -1,0 +1,1 @@
+lib/cq/binary_graph.mli: Atom Format Query Res_graph

@@ -1,0 +1,1 @@
+lib/cq/components.ml: Array Atom Hashtbl List Query Res_graph

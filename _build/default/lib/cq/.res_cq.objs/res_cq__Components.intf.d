@@ -1,0 +1,1 @@
+lib/cq/components.mli: Query

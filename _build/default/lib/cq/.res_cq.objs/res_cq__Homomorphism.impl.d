@@ -1,0 +1,1 @@
+lib/cq/homomorphism.ml: Atom Hashtbl List Map Query String

@@ -1,0 +1,1 @@
+lib/cq/hypergraph.ml: Array Atom Fun Hashtbl List Query Queue

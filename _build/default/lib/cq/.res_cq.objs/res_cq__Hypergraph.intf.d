@@ -1,0 +1,1 @@
+lib/cq/hypergraph.mli: Atom Query

@@ -1,0 +1,1 @@
+lib/cq/parser.ml: Atom Format List Query String

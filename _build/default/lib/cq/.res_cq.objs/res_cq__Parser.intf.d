@@ -1,0 +1,1 @@
+lib/cq/parser.mli: Query

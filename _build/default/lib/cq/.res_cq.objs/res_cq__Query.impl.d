@@ -1,0 +1,1 @@
+lib/cq/query.ml: Atom Format Hashtbl List Printf Set String

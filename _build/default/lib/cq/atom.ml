@@ -1,0 +1,25 @@
+type var = string
+type t = { rel : string; args : var list }
+
+let make rel args =
+  if rel = "" then invalid_arg "Atom.make: empty relation name";
+  if args = [] then invalid_arg "Atom.make: nullary atoms not supported";
+  { rel; args }
+
+let arity a = List.length a.args
+
+let vars a =
+  List.fold_left (fun acc v -> if List.mem v acc then acc else v :: acc) [] a.args
+  |> List.rev
+
+let var_set = vars
+let has_repeated_var a = List.length (vars a) < arity a
+let equal a b = a.rel = b.rel && a.args = b.args
+let compare = Stdlib.compare
+
+let pp ppf a =
+  Format.fprintf ppf "%s(%a)" a.rel
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',') Format.pp_print_string)
+    a.args
+
+let to_string a = Format.asprintf "%a" pp a

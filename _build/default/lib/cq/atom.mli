@@ -1,0 +1,26 @@
+(** Atoms (subgoals) of conjunctive queries.
+
+    An atom is a relation name applied to a list of variables, e.g.
+    [R(x, y)].  Following the paper (Section 2, footnote 3), atom arguments
+    are variables only — constants are assumed to have been pushed into the
+    database by selections. *)
+
+type var = string
+
+type t = { rel : string; args : var list }
+
+val make : string -> var list -> t
+val arity : t -> int
+val vars : t -> var list
+(** Distinct variables, in first-occurrence order. *)
+
+val var_set : t -> var list
+(** Alias of {!vars} (historical). *)
+
+val has_repeated_var : t -> bool
+(** True for atoms like [R(x, x)] (the paper's REP patterns). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,48 @@
+type t = {
+  vars : Atom.var array;
+  index : (Atom.var, int) Hashtbl.t;
+  g : Res_graph.Digraph.t;
+  labeled : (Atom.var * string * Atom.var) list;
+}
+
+let of_query q =
+  if not (Query.is_binary q) then invalid_arg "Binary_graph.of_query: query is not binary";
+  let vars = Array.of_list (Query.vars q) in
+  let index = Hashtbl.create 8 in
+  Array.iteri (fun i v -> Hashtbl.replace index v i) vars;
+  let g = Res_graph.Digraph.create ~n:(Array.length vars) () in
+  let label (a : Atom.t) = if Query.is_exogenous q a.rel then a.rel ^ "^x" else a.rel in
+  let labeled =
+    List.map
+      (fun (a : Atom.t) ->
+        match a.args with
+        | [ x ] ->
+          Res_graph.Digraph.add_edge ~label:(label a) g (Hashtbl.find index x) (Hashtbl.find index x);
+          (x, label a, x)
+        | [ x; y ] ->
+          Res_graph.Digraph.add_edge ~label:(label a) g (Hashtbl.find index x) (Hashtbl.find index y);
+          (x, label a, y)
+        | _ -> assert false)
+      (Query.atoms q)
+  in
+  { vars; index; g; labeled }
+
+let variables t = Array.to_list t.vars
+let var_index t v = Hashtbl.find t.index v
+let graph t = t.g
+let edges t = t.labeled
+
+let to_dot t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph q {\n  rankdir=LR;\n";
+  Array.iter (fun v -> Buffer.add_string buf (Printf.sprintf "  %s;\n" v)) t.vars;
+  List.iter
+    (fun (x, r, y) -> Buffer.add_string buf (Printf.sprintf "  %s -> %s [label=\"%s\"];\n" x y r))
+    t.labeled;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun (x, r, y) -> Format.fprintf ppf "%s -[%s]-> %s@," x r y) t.labeled;
+  Format.fprintf ppf "@]"

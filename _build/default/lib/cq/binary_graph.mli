@@ -1,0 +1,26 @@
+(** The binary-graph representation of binary queries (paper Definition 8).
+
+    Vertices are the query's variables; a binary atom [A(x, y)] becomes a
+    labeled edge [x -A-> y] and a unary atom [A(x)] a labeled loop on [x].
+    Unlike the dual hypergraph, this representation records argument
+    positions, which matter for self-join queries (Section 3). *)
+
+type t
+
+val of_query : Query.t -> t
+(** @raise Invalid_argument if the query is not binary. *)
+
+val variables : t -> Atom.var list
+val var_index : t -> Atom.var -> int
+
+val graph : t -> Res_graph.Digraph.t
+(** The underlying labeled digraph (labels are relation names; exogenous
+    relations are labeled ["R^x"]). *)
+
+val edges : t -> (Atom.var * string * Atom.var) list
+(** [(src, relation, dst)] triples; loops represent unary atoms. *)
+
+val to_dot : t -> string
+(** Graphviz rendering, for the figure-style outputs. *)
+
+val pp : Format.formatter -> t -> unit

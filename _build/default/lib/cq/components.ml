@@ -1,0 +1,25 @@
+let split (q : Query.t) =
+  let atoms = Array.of_list (Query.atoms q) in
+  let n = Array.length atoms in
+  let uf = Res_graph.Union_find.create n in
+  let owner = Hashtbl.create 8 in
+  Array.iteri
+    (fun i a ->
+      List.iter
+        (fun v ->
+          match Hashtbl.find_opt owner v with
+          | None -> Hashtbl.replace owner v i
+          | Some j -> Res_graph.Union_find.union uf i j)
+        (Atom.vars a))
+    atoms;
+  let groups = Hashtbl.create 8 in
+  for i = n - 1 downto 0 do
+    let r = Res_graph.Union_find.find uf i in
+    let cur = try Hashtbl.find groups r with Not_found -> [] in
+    Hashtbl.replace groups r (atoms.(i) :: cur)
+  done;
+  let exo = List.filter (Query.is_exogenous q) (Query.relations q) in
+  Hashtbl.fold (fun _ atoms acc -> Query.make ~exo atoms :: acc) groups []
+  |> List.sort compare
+
+let is_connected q = List.length (split q) = 1

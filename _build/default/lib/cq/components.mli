@@ -1,0 +1,11 @@
+(** Connected components of a query (paper Section 4.2, Lemmas 14/15).
+
+    Atoms sharing an (existential) variable belong to the same component;
+    the resilience of a disconnected query is the minimum of its components'
+    resiliences. *)
+
+val split : Query.t -> Query.t list
+(** The component subqueries (singleton list iff connected), each retaining
+    the exogenous markings that apply to it. *)
+
+val is_connected : Query.t -> bool

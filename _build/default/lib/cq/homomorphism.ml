@@ -1,0 +1,62 @@
+type mapping = (Atom.var * Atom.var) list
+
+module Smap = Map.Make (String)
+
+(* Backtracking search for a homomorphism mapping every atom of [atoms1]
+   onto some atom of [atoms2] (same relation name, positionwise compatible
+   variable assignment). *)
+let find_atoms atoms1 atoms2 =
+  let by_rel = Hashtbl.create 8 in
+  List.iter
+    (fun (a : Atom.t) ->
+      let cur = try Hashtbl.find by_rel a.rel with Not_found -> [] in
+      Hashtbl.replace by_rel a.rel (a :: cur))
+    atoms2;
+  let candidates (a : Atom.t) = try Hashtbl.find by_rel a.rel with Not_found -> [] in
+  let rec unify subst args1 args2 =
+    match (args1, args2) with
+    | [], [] -> Some subst
+    | v1 :: r1, v2 :: r2 -> begin
+      match Smap.find_opt v1 subst with
+      | Some v when v = v2 -> unify subst r1 r2
+      | Some _ -> None
+      | None -> unify (Smap.add v1 v2 subst) r1 r2
+    end
+    | _ -> None
+  in
+  let rec solve subst = function
+    | [] -> Some subst
+    | (a : Atom.t) :: rest ->
+      List.find_map
+        (fun (b : Atom.t) ->
+          match unify subst a.args b.args with
+          | Some subst' -> solve subst' rest
+          | None -> None)
+        (candidates a)
+  in
+  (* Order atoms so that atoms sharing variables with already-placed atoms
+     come early (cheap heuristic: sort by relation fan-out). *)
+  match solve Smap.empty atoms1 with
+  | None -> None
+  | Some subst -> Some (Smap.bindings subst)
+
+let find (q1 : Query.t) (q2 : Query.t) = find_atoms (Query.atoms q1) (Query.atoms q2)
+let exists q1 q2 = find q1 q2 <> None
+let contained q1 q2 = exists q2 q1
+let equivalent q1 q2 = contained q1 q2 && contained q2 q1
+
+(* An endomorphism whose image avoids atom [a] shows that dropping [a]
+   preserves equivalence. *)
+let removable (q : Query.t) (a : Atom.t) =
+  let remaining = List.filter (fun b -> not (Atom.equal a b)) (Query.atoms q) in
+  remaining <> [] && find_atoms (Query.atoms q) remaining <> None
+
+let is_minimal q = not (List.exists (removable q) (Query.atoms q))
+
+let rec minimize (q : Query.t) =
+  match List.find_opt (removable q) (Query.atoms q) with
+  | None -> q
+  | Some a ->
+    let remaining = List.filter (fun b -> not (Atom.equal a b)) (Query.atoms q) in
+    let exo = List.filter (Query.is_exogenous q) (Query.relations q) in
+    minimize (Query.make ~exo remaining)

@@ -1,0 +1,24 @@
+(** Homomorphisms between conjunctive queries: containment, equivalence,
+    and minimization to the core (Chandra–Merlin).
+
+    The paper requires all analyzed queries to be minimal (Section 4.1);
+    {!minimize} computes the unique (up to renaming) minimal equivalent
+    query by removing atoms while a proper endomorphism exists. *)
+
+type mapping = (Atom.var * Atom.var) list
+
+val find : Query.t -> Query.t -> mapping option
+(** [find q1 q2] is a homomorphism from [q1] to [q2] (a variable mapping
+    under which every atom of [q1] becomes an atom of [q2]), if any. *)
+
+val exists : Query.t -> Query.t -> bool
+
+val contained : Query.t -> Query.t -> bool
+(** [contained q1 q2] iff q1 ⊆ q2, i.e. there is a homomorphism q2 → q1. *)
+
+val equivalent : Query.t -> Query.t -> bool
+
+val is_minimal : Query.t -> bool
+
+val minimize : Query.t -> Query.t
+(** The core of the query.  Exogenous markings are preserved. *)

@@ -1,0 +1,86 @@
+type t = { atoms : Atom.t array; edges : (string, int list) Hashtbl.t }
+
+let of_query q =
+  let atoms = Array.of_list (Query.atoms q) in
+  let edges = Hashtbl.create 16 in
+  Array.iteri
+    (fun i a ->
+      List.iter
+        (fun v ->
+          let cur = try Hashtbl.find edges v with Not_found -> [] in
+          Hashtbl.replace edges v (i :: cur))
+        (Atom.vars a))
+    atoms;
+  { atoms; edges }
+
+let n_atoms h = Array.length h.atoms
+let atom h i = h.atoms.(i)
+let hyperedge h v = try List.sort compare (Hashtbl.find h.edges v) with Not_found -> []
+
+(* BFS over atoms; a step from atom i to atom j is allowed iff they share a
+   variable that passes [ok_var]. *)
+let bfs_atoms h ~src ~ok_var =
+  let n = Array.length h.atoms in
+  let seen = Array.make n false in
+  seen.(src) <- true;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let i = Queue.pop q in
+    List.iter
+      (fun v ->
+        if ok_var v then
+          List.iter
+            (fun j ->
+              if not seen.(j) then begin
+                seen.(j) <- true;
+                Queue.add j q
+              end)
+            (hyperedge h v))
+      (Atom.vars h.atoms.(i))
+  done;
+  seen
+
+let connected h =
+  let n = Array.length h.atoms in
+  n = 0
+  ||
+  let seen = bfs_atoms h ~src:0 ~ok_var:(fun _ -> true) in
+  Array.for_all Fun.id seen
+
+let path_avoiding h ~src ~dst ~avoid =
+  let ok_var v = not (List.mem v avoid) in
+  let seen = bfs_atoms h ~src ~ok_var in
+  seen.(dst)
+
+let var_path_avoiding h ~src ~dst ~avoid =
+  if List.mem src avoid || List.mem dst avoid then false
+  else begin
+    (* BFS on variables: u ~ v iff some atom contains both. *)
+    let visited = Hashtbl.create 16 in
+    Hashtbl.replace visited src ();
+    let q = Queue.create () in
+    Queue.add src q;
+    let found = ref (src = dst) in
+    while not (Queue.is_empty q) && not !found do
+      let u = Queue.pop q in
+      List.iter
+        (fun i ->
+          List.iter
+            (fun v ->
+              if (not (List.mem v avoid)) && not (Hashtbl.mem visited v) then begin
+                Hashtbl.replace visited v ();
+                if v = dst then found := true;
+                Queue.add v q
+              end)
+            (Atom.vars h.atoms.(i)))
+        (hyperedge h u)
+    done;
+    !found
+  end
+
+let separates h ~by i j =
+  let banned =
+    List.concat_map (fun g -> Atom.vars h.atoms.(g)) by
+  in
+  not (path_avoiding h ~src:i ~dst:j ~avoid:banned)

@@ -1,0 +1,36 @@
+(** The dual hypergraph H(q) of a query (paper Section 2.1).
+
+    Vertices are the atoms of the query (by index into [Query.atoms]); each
+    variable induces the hyperedge of all atoms it occurs in.  Paths are
+    alternating atom/variable sequences; the triad definition needs paths
+    that avoid every variable of a designated atom. *)
+
+type t
+
+val of_query : Query.t -> t
+
+val n_atoms : t -> int
+val atom : t -> int -> Atom.t
+
+val hyperedge : t -> Atom.var -> int list
+(** Indices of the atoms containing the variable. *)
+
+val connected : t -> bool
+(** Whether all atoms are connected through shared variables. *)
+
+val path_avoiding : t -> src:int -> dst:int -> avoid:Atom.var list -> bool
+(** Is there a path from atom [src] to atom [dst] whose connecting variables
+    all avoid [avoid]?  ([src] or [dst] may themselves contain avoided
+    variables — only the {e edges} of the path are restricted, matching the
+    triad definition.) *)
+
+val var_path_avoiding : t -> src:Atom.var -> dst:Atom.var -> avoid:Atom.var list -> bool
+(** Is there a chain of atoms linking variable [src] to variable [dst] such
+    that no variable used for linking (including [src]/[dst] themselves) is
+    in [avoid]?  Used for the confluence "exogenous path from x to z not
+    involving y" criterion (Prop 32). *)
+
+val separates : t -> by:int list -> int -> int -> bool
+(** [separates h ~by:group i j]: does removing all variables of the atoms in
+    [group] disconnect atoms [i] and [j]?  Used for the pseudo-linearity
+    check (Theorem 25 / Figure 9). *)

@@ -1,0 +1,86 @@
+exception Parse_error of string
+
+type token = Ident of string | Rel of string * bool (* exogenous? *) | Lpar | Rpar | Comma | Turnstile
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') in
+  let is_word c = is_alpha c || (c >= '0' && c <= '9') || c = '_' || c = '\'' in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '(' then begin toks := Lpar :: !toks; incr i end
+    else if c = ')' then begin toks := Rpar :: !toks; incr i end
+    else if c = ',' then begin toks := Comma :: !toks; incr i end
+    else if c = ':' && !i + 1 < n && s.[!i + 1] = '-' then begin
+      toks := Turnstile :: !toks;
+      i := !i + 2
+    end
+    else if is_alpha c then begin
+      let start = !i in
+      while !i < n && is_word s.[!i] do incr i done;
+      let word = String.sub s start (!i - start) in
+      if c >= 'A' && c <= 'Z' then begin
+        (* Relation name; check for ^x exogenous marker. *)
+        if !i + 1 < n && s.[!i] = '^' && s.[!i + 1] = 'x' then begin
+          i := !i + 2;
+          toks := Rel (word, true) :: !toks
+        end
+        else toks := Rel (word, false) :: !toks
+      end
+      else toks := Ident word :: !toks
+    end
+    else fail "unexpected character %C at offset %d" c !i
+  done;
+  List.rev !toks
+
+let query s =
+  let toks = tokenize s in
+  (* Drop an optional head "name [(...)] :-": everything up to a Turnstile. *)
+  let toks =
+    let rec contains_turnstile = function
+      | [] -> false
+      | Turnstile :: _ -> true
+      | _ :: rest -> contains_turnstile rest
+    in
+    if contains_turnstile toks then begin
+      let rec drop = function
+        | Turnstile :: rest -> rest
+        | _ :: rest -> drop rest
+        | [] -> fail "missing body after ':-'"
+      in
+      drop toks
+    end
+    else toks
+  in
+  let exo = ref [] in
+  let rec parse_atoms acc = function
+    | [] -> List.rev acc
+    | Rel (name, is_exo) :: Lpar :: rest ->
+      let rec parse_args args = function
+        | Ident v :: Comma :: rest -> parse_args (v :: args) rest
+        | Ident v :: Rpar :: rest -> (List.rev (v :: args), rest)
+        | _ -> fail "malformed argument list for %s" name
+      in
+      let args, rest = parse_args [] rest in
+      if is_exo then exo := name :: !exo;
+      let atom = Atom.make name args in
+      begin match rest with
+      | [] -> List.rev (atom :: acc)
+      | Comma :: [] -> fail "trailing comma after %s" (Atom.to_string atom)
+      | Comma :: rest -> parse_atoms (atom :: acc) rest
+      | _ -> fail "expected ',' or end of input after %s" (Atom.to_string atom)
+      end
+    | Rel (name, _) :: _ -> fail "expected '(' after relation %s" name
+    | _ -> fail "expected an atom"
+  in
+  let atoms = parse_atoms [] toks in
+  if atoms = [] then fail "empty query";
+  Query.make ~exo:!exo atoms
+
+let query_opt s =
+  match query s with q -> Ok q | exception Parse_error msg -> Error msg

@@ -1,0 +1,78 @@
+module Sset = Set.Make (String)
+
+type t = { atoms : Atom.t list; exo : Sset.t }
+
+let dedup atoms =
+  List.fold_left (fun acc a -> if List.exists (Atom.equal a) acc then acc else a :: acc) [] atoms
+  |> List.rev
+
+let make ?(exo = []) atoms =
+  if atoms = [] then invalid_arg "Query.make: empty query";
+  let arities = Hashtbl.create 8 in
+  List.iter
+    (fun (a : Atom.t) ->
+      match Hashtbl.find_opt arities a.rel with
+      | None -> Hashtbl.add arities a.rel (Atom.arity a)
+      | Some k ->
+        if k <> Atom.arity a then
+          invalid_arg
+            (Printf.sprintf "Query.make: relation %s used with arities %d and %d" a.rel k
+               (Atom.arity a)))
+    atoms;
+  { atoms = dedup atoms; exo = Sset.of_list exo }
+
+let atoms q = q.atoms
+
+let vars q =
+  List.fold_left
+    (fun acc a ->
+      List.fold_left (fun acc v -> if List.mem v acc then acc else v :: acc) acc (Atom.vars a))
+    [] q.atoms
+  |> List.rev
+
+let arity_of q rel =
+  match List.find_opt (fun (a : Atom.t) -> a.rel = rel) q.atoms with
+  | Some a -> Atom.arity a
+  | None -> raise Not_found
+
+let relations q =
+  List.fold_left
+    (fun acc (a : Atom.t) -> if List.mem a.rel acc then acc else a.rel :: acc)
+    [] q.atoms
+  |> List.rev
+
+let is_exogenous q rel = Sset.mem rel q.exo
+let endogenous_atoms q = List.filter (fun (a : Atom.t) -> not (is_exogenous q a.rel)) q.atoms
+let exogenous_atoms q = List.filter (fun (a : Atom.t) -> is_exogenous q a.rel) q.atoms
+let mark_exogenous q rels = { q with exo = Sset.union q.exo (Sset.of_list rels) }
+let atoms_of_rel q rel = List.filter (fun (a : Atom.t) -> a.rel = rel) q.atoms
+
+let repeated_relations q =
+  List.filter (fun rel -> List.length (atoms_of_rel q rel) > 1) (relations q)
+
+let is_sj_free q = repeated_relations q = []
+let is_binary q = List.for_all (fun a -> Atom.arity a <= 2) q.atoms
+let is_ssj q = List.length (repeated_relations q) <= 1
+
+let self_join_relation q =
+  match repeated_relations q with [ r ] -> Some r | _ -> None
+
+let equal q1 q2 =
+  Sset.equal q1.exo q2.exo
+  && List.length q1.atoms = List.length q2.atoms
+  && List.for_all (fun a -> List.exists (Atom.equal a) q2.atoms) q1.atoms
+
+let pp ppf q =
+  let pp_atom ppf (a : Atom.t) =
+    if is_exogenous q a.rel then
+      Format.fprintf ppf "%s^x(%a)" a.rel
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+           Format.pp_print_string)
+        a.args
+    else Atom.pp ppf a
+  in
+  Format.fprintf ppf "@[<hov>%a@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp_atom)
+    q.atoms
+
+let to_string q = Format.asprintf "%a" pp q

@@ -1,0 +1,54 @@
+(** Boolean conjunctive queries with per-relation exogenous marking.
+
+    A query is a list of atoms (its body) plus a set of relation names that
+    are exogenous — tuples of those relations provide context and can never
+    appear in contingency sets (paper Section 2.1).  Exogeneity is a
+    property of the relation, so marking a relation affects all its
+    atoms. *)
+
+module Sset : Set.S with type elt = string
+
+type t = { atoms : Atom.t list; exo : Sset.t }
+
+val make : ?exo:string list -> Atom.t list -> t
+(** Builds a query, checking that every occurrence of a relation name has
+    the same arity and that atoms are deduplicated (the body is a set).
+    @raise Invalid_argument on arity clashes. *)
+
+val atoms : t -> Atom.t list
+val vars : t -> Atom.var list
+(** All variables of the query (first-occurrence order). *)
+
+val arity_of : t -> string -> int
+(** Arity of the given relation name.  @raise Not_found if absent. *)
+
+val relations : t -> string list
+(** Distinct relation names, in first-occurrence order. *)
+
+val is_exogenous : t -> string -> bool
+val endogenous_atoms : t -> Atom.t list
+val exogenous_atoms : t -> Atom.t list
+
+val mark_exogenous : t -> string list -> t
+(** Add relations to the exogenous set. *)
+
+val atoms_of_rel : t -> string -> Atom.t list
+
+val repeated_relations : t -> string list
+(** Relations occurring in more than one (distinct) atom. *)
+
+val is_sj_free : t -> bool
+val is_binary : t -> bool
+(** All relations have arity ≤ 2. *)
+
+val is_ssj : t -> bool
+(** At most one repeated relation ("single self-join"). *)
+
+val self_join_relation : t -> string option
+(** The unique repeated relation of an ssj query with a self-join. *)
+
+val equal : t -> t -> bool
+(** Syntactic equality up to atom order. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/db/database.ml: Format List Map Res_cq Set Stdlib String Value

@@ -1,0 +1,1 @@
+lib/db/database.mli: Format Res_cq Set Value

@@ -1,0 +1,1 @@
+lib/db/db_gen.ml: Database Fun List Random Res_cq Value

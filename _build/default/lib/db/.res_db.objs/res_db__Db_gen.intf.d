@@ -1,0 +1,1 @@
+lib/db/db_gen.mli: Database Res_cq

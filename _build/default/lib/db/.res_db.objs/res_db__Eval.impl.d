@@ -1,0 +1,1 @@
+lib/db/eval.ml: Database Hashtbl List Map Option Res_cq Set String Value

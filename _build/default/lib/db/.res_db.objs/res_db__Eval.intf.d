@@ -1,0 +1,1 @@
+lib/db/eval.mli: Database Res_cq Value

@@ -1,0 +1,1 @@
+lib/db/fact_syntax.ml: Database List Printf String Value

@@ -1,0 +1,1 @@
+lib/db/fact_syntax.mli: Database

@@ -1,0 +1,32 @@
+let random_for_query ~seed ~domain ~tuples_per_relation (q : Res_cq.Query.t) =
+  let st = Random.State.make [| seed |] in
+  let rand_tuple arity = List.init arity (fun _ -> Value.i (Random.State.int st domain)) in
+  List.fold_left
+    (fun db rel ->
+      let arity = Res_cq.Query.arity_of q rel in
+      let rec add_n db n = if n = 0 then db else add_n (Database.add_row db rel (rand_tuple arity)) (n - 1) in
+      add_n db tuples_per_relation)
+    Database.empty (Res_cq.Query.relations q)
+
+let random_graph ~seed ~nodes ~edges ~rel =
+  let st = Random.State.make [| seed; 13 |] in
+  let rec loop db n =
+    if n = 0 then db
+    else begin
+      let u = Random.State.int st nodes and v = Random.State.int st nodes in
+      loop (Database.add_row db rel [ Value.i u; Value.i v ]) (n - 1)
+    end
+  in
+  loop Database.empty edges
+
+let chain_db ~length ~rel =
+  List.init length (fun i -> Database.fact rel [ Value.i i; Value.i (i + 1) ])
+  |> Database.of_facts
+
+let cycle_db ~length ~rel =
+  List.init length (fun i -> Database.fact rel [ Value.i i; Value.i ((i + 1) mod length) ])
+  |> Database.of_facts
+
+let grid_pairs ~n ~rel =
+  List.concat_map (fun i -> List.init n (fun j -> Database.fact rel [ Value.i i; Value.i (n + j) ])) (List.init n Fun.id)
+  |> Database.of_facts

@@ -1,0 +1,20 @@
+(** Deterministic random database generators for property tests and
+    benchmark workloads. *)
+
+val random_for_query :
+  seed:int -> domain:int -> tuples_per_relation:int -> Res_cq.Query.t -> Database.t
+(** For each relation of the query, draw the given number of random tuples
+    (with replacement, then deduplicated) over the integer domain
+    [0 .. domain-1]. *)
+
+val random_graph : seed:int -> nodes:int -> edges:int -> rel:string -> Database.t
+(** A random directed graph as a single binary relation. *)
+
+val chain_db : length:int -> rel:string -> Database.t
+(** [R(0,1), R(1,2), ..., R(len-1,len)] — worst-case family for chain
+    queries. *)
+
+val cycle_db : length:int -> rel:string -> Database.t
+
+val grid_pairs : n:int -> rel:string -> Database.t
+(** Complete bipartite [R(i, n+j)] for i,j < n — dense-join stress family. *)

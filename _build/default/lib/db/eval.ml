@@ -1,0 +1,132 @@
+type witness = {
+  valuation : (Res_cq.Atom.var * Value.t) list;
+  facts : Database.Fact_set.t;
+}
+
+module Smap = Map.Make (String)
+
+(* Backtracking join.  At each step pick the atom with the most bound
+   variables (fail-fast); scan its relation's tuples filtered against the
+   current partial valuation. *)
+
+let bound_count subst (a : Res_cq.Atom.t) =
+  List.length (List.filter (fun v -> Smap.mem v subst) (Res_cq.Atom.vars a))
+
+let rec match_tuple subst args tuple =
+  match (args, tuple) with
+  | [], [] -> Some subst
+  | v :: args', x :: tuple' -> begin
+    match Smap.find_opt v subst with
+    | Some y when Value.equal x y -> match_tuple subst args' tuple'
+    | Some _ -> None
+    | None -> match_tuple (Smap.add v x subst) args' tuple'
+  end
+  | _ -> None
+
+let enumerate db (q : Res_cq.Query.t) ~emit =
+  (* Lazily built hash indexes: relation -> position -> value -> tuples.
+     When the chosen atom has a bound variable, the scan shrinks to the
+     matching bucket instead of the whole relation. *)
+  let indexes : (string * int, (Value.t, Database.tuple list) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let index_for rel pos =
+    match Hashtbl.find_opt indexes (rel, pos) with
+    | Some h -> h
+    | None ->
+      let h = Hashtbl.create 64 in
+      List.iter
+        (fun tuple ->
+          match List.nth_opt tuple pos with
+          | Some v ->
+            let cur = try Hashtbl.find h v with Not_found -> [] in
+            Hashtbl.replace h v (tuple :: cur)
+          | None -> ())
+        (Database.tuples_of db rel);
+      Hashtbl.replace indexes (rel, pos) h;
+      h
+  in
+  let candidates subst (atom : Res_cq.Atom.t) =
+    (* first bound argument position, if any *)
+    let rec find_bound pos = function
+      | [] -> None
+      | v :: rest -> begin
+        match Smap.find_opt v subst with
+        | Some value -> Some (pos, value)
+        | None -> find_bound (pos + 1) rest
+      end
+    in
+    match find_bound 0 atom.args with
+    | Some (pos, value) -> (
+      try Hashtbl.find (index_for atom.rel pos) value with Not_found -> [])
+    | None -> Database.tuples_of db atom.rel
+  in
+  let rec go subst remaining =
+    match remaining with
+    | [] -> emit subst
+    | _ ->
+      let atom =
+        List.fold_left
+          (fun best a ->
+            match best with
+            | None -> Some a
+            | Some b -> if bound_count subst a > bound_count subst b then Some a else best)
+          None remaining
+      in
+      let atom = Option.get atom in
+      let rest = List.filter (fun a -> a != atom) remaining in
+      List.iter
+        (fun tuple ->
+          match match_tuple subst atom.Res_cq.Atom.args tuple with
+          | Some subst' -> go subst' rest
+          | None -> ())
+        (candidates subst atom)
+  in
+  go Smap.empty (Res_cq.Query.atoms q)
+
+exception Found
+
+let sat db q =
+  match enumerate db q ~emit:(fun _ -> raise Found) with
+  | () -> false
+  | exception Found -> true
+
+let facts_of_valuation (q : Res_cq.Query.t) valuation =
+  let lookup v =
+    match List.assoc_opt v valuation with
+    | Some x -> x
+    | None -> invalid_arg ("Eval.facts_of_valuation: unbound variable " ^ v)
+  in
+  List.map
+    (fun (a : Res_cq.Atom.t) -> Database.fact a.rel (List.map lookup a.args))
+    (Res_cq.Query.atoms q)
+
+let witnesses ?(limit = 2_000_000) db q =
+  let vars = Res_cq.Query.vars q in
+  let acc = ref [] in
+  let n = ref 0 in
+  enumerate db q ~emit:(fun subst ->
+      incr n;
+      if !n > limit then failwith "Eval.witnesses: limit exceeded";
+      let valuation = List.map (fun v -> (v, Smap.find v subst)) vars in
+      let facts =
+        List.fold_left
+          (fun set f -> Database.Fact_set.add f set)
+          Database.Fact_set.empty
+          (facts_of_valuation q valuation)
+      in
+      acc := { valuation; facts } :: !acc);
+  List.rev !acc
+
+let witness_fact_sets db q =
+  let module FS = Set.Make (struct
+    type t = Database.Fact_set.t
+
+    let compare = Database.Fact_set.compare
+  end) in
+  List.fold_left (fun s w -> FS.add w.facts s) FS.empty (witnesses db q) |> FS.elements
+
+let count db q =
+  let n = ref 0 in
+  enumerate db q ~emit:(fun _ -> incr n);
+  !n

@@ -1,0 +1,31 @@
+(** Evaluation of Boolean conjunctive queries: satisfaction and witness
+    enumeration.
+
+    A witness (paper Section 2) is a valuation of all existential variables
+    that makes the query true; each witness determines the set of at most
+    [m] facts it uses.  Witness enumeration drives both the exact resilience
+    solver and the flow constructions. *)
+
+type witness = {
+  valuation : (Res_cq.Atom.var * Value.t) list; (* in Query.vars order *)
+  facts : Database.Fact_set.t; (* the tuples this witness uses *)
+}
+
+val sat : Database.t -> Res_cq.Query.t -> bool
+(** [D |= q], with early exit. *)
+
+val witnesses : ?limit:int -> Database.t -> Res_cq.Query.t -> witness list
+(** All witnesses (valuations).  @raise Failure if more than [limit]
+    (default 2_000_000) witnesses exist — a guard against accidental
+    cross-product blowups in tests. *)
+
+val witness_fact_sets : Database.t -> Res_cq.Query.t -> Database.Fact_set.t list
+(** The distinct fact sets of the witnesses (several valuations may map to
+    the same fact set). *)
+
+val count : Database.t -> Res_cq.Query.t -> int
+(** Number of witnesses (valuations). *)
+
+val facts_of_valuation :
+  Res_cq.Query.t -> (Res_cq.Atom.var * Value.t) list -> Database.fact list
+(** The facts a given valuation would use (whether or not present). *)

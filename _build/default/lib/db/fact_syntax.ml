@@ -1,0 +1,35 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let value_of_string s =
+  match int_of_string_opt s with Some n -> Value.i n | None -> Value.s s
+
+let fact s =
+  let s = String.trim s in
+  match String.index_opt s '(' with
+  | None -> fail "missing '(' in fact %S" s
+  | Some i ->
+    let rel = String.trim (String.sub s 0 i) in
+    if rel = "" then fail "missing relation name in %S" s;
+    if s.[String.length s - 1] <> ')' then fail "missing ')' in fact %S" s;
+    let inner = String.sub s (i + 1) (String.length s - i - 2) in
+    let args = String.split_on_char ',' inner |> List.map String.trim in
+    if List.exists (fun a -> a = "") args then fail "empty argument in %S" s;
+    Database.fact rel (List.map value_of_string args)
+
+let facts text =
+  String.split_on_char '\n' text
+  |> List.concat_map (String.split_on_char ';')
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None else Some (fact line))
+
+let database text = Database.of_facts (facts text)
+
+let load_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  database content

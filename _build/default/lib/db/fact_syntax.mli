@@ -1,0 +1,21 @@
+(** Text syntax for facts and database files.
+
+    A fact is written [R(1,2)] or [Follows(alice,bob)]; arguments that
+    parse as integers become [Value.Int], anything else [Value.Str].
+    A database file holds one fact per line; blank lines and [#] comments
+    are ignored. *)
+
+exception Parse_error of string
+
+val fact : string -> Database.fact
+(** @raise Parse_error on malformed input. *)
+
+val facts : string -> Database.fact list
+(** Parse a multi-line/semicolon-separated fact list. *)
+
+val database : string -> Database.t
+(** Parse a whole database from text (see file format above). *)
+
+val load_file : string -> Database.t
+(** Read and parse a database file.
+    @raise Sys_error if the file cannot be read. *)

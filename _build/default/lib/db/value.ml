@@ -1,0 +1,22 @@
+type t =
+  | Int of int
+  | Str of string
+  | Pair of t * t
+  | Tag of string * t
+
+let i n = Int n
+let s x = Str x
+let pair a b = Pair (a, b)
+let tag l v = Tag (l, v)
+let triple a b c = Pair (a, Pair (b, c))
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+let hash = Hashtbl.hash
+
+let rec pp ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Str x -> Format.pp_print_string ppf x
+  | Pair (a, b) -> Format.fprintf ppf "<%a.%a>" pp a pp b
+  | Tag (l, v) -> Format.fprintf ppf "%a^%s" pp v l
+
+let to_string v = Format.asprintf "%a" pp v

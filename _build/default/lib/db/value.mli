@@ -1,0 +1,27 @@
+(** Structured constants for database instances.
+
+    Plain instances use [Int]/[Str]; the gadget and reduction constructions
+    of the paper need composite values such as ⟨ab⟩ (pairings) and
+    variable-tagged values like [a^v] (Lemma 21) — [Pair] and [Tag] make
+    those first-class, so reductions never have to invent collision-prone
+    string encodings. *)
+
+type t =
+  | Int of int
+  | Str of string
+  | Pair of t * t
+  | Tag of string * t
+
+val i : int -> t
+val s : string -> t
+val pair : t -> t -> t
+val tag : string -> t -> t
+
+val triple : t -> t -> t -> t
+(** ⟨abc⟩ as nested pairs. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

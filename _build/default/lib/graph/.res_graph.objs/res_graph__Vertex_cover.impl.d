@@ -1,0 +1,1 @@
+lib/graph/vertex_cover.ml: Hashtbl Int List Set

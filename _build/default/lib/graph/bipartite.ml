@@ -1,0 +1,117 @@
+type t = {
+  n_left : int;
+  n_right : int;
+  adj : int list array; (* left -> rights *)
+  match_l : int array; (* left -> matched right or -1 *)
+  match_r : int array; (* right -> matched left or -1 *)
+  dist : int array;
+}
+
+let create ~n_left ~n_right =
+  {
+    n_left;
+    n_right;
+    adj = Array.make (max n_left 1) [];
+    match_l = Array.make (max n_left 1) (-1);
+    match_r = Array.make (max n_right 1) (-1);
+    dist = Array.make (max n_left 1) (-1);
+  }
+
+let add_edge g u v =
+  if u < 0 || u >= g.n_left || v < 0 || v >= g.n_right then
+    invalid_arg "Bipartite.add_edge";
+  g.adj.(u) <- v :: g.adj.(u)
+
+let inf = max_int
+
+(* Hopcroft–Karp: layered BFS from free left vertices, then DFS along
+   shortest augmenting paths. *)
+let bfs g =
+  let q = Queue.create () in
+  for u = 0 to g.n_left - 1 do
+    if g.match_l.(u) < 0 then begin
+      g.dist.(u) <- 0;
+      Queue.add u q
+    end
+    else g.dist.(u) <- inf
+  done;
+  let found = ref false in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun v ->
+        let u' = g.match_r.(v) in
+        if u' < 0 then found := true
+        else if g.dist.(u') = inf then begin
+          g.dist.(u') <- g.dist.(u) + 1;
+          Queue.add u' q
+        end)
+      g.adj.(u)
+  done;
+  !found
+
+let rec dfs g u =
+  let rec try_edges = function
+    | [] ->
+      g.dist.(u) <- inf;
+      false
+    | v :: rest ->
+      let u' = g.match_r.(v) in
+      if u' < 0 || (g.dist.(u') = g.dist.(u) + 1 && dfs g u') then begin
+        g.match_l.(u) <- v;
+        g.match_r.(v) <- u;
+        true
+      end
+      else try_edges rest
+  in
+  try_edges g.adj.(u)
+
+let max_matching g =
+  Array.fill g.match_l 0 (Array.length g.match_l) (-1);
+  Array.fill g.match_r 0 (Array.length g.match_r) (-1);
+  let matching = ref 0 in
+  while bfs g do
+    for u = 0 to g.n_left - 1 do
+      if g.match_l.(u) < 0 && dfs g u then incr matching
+    done
+  done;
+  !matching
+
+let matching_pairs g =
+  let acc = ref [] in
+  for u = g.n_left - 1 downto 0 do
+    if g.match_l.(u) >= 0 then acc := (u, g.match_l.(u)) :: !acc
+  done;
+  !acc
+
+let min_vertex_cover g =
+  let _ = max_matching g in
+  (* König: Z = free left vertices plus everything reachable by alternating
+     paths (unmatched edge left→right, matched edge right→left).
+     Cover = (L \ Z_L) ∪ Z_R. *)
+  let visited_l = Array.make (max g.n_left 1) false in
+  let visited_r = Array.make (max g.n_right 1) false in
+  let rec explore u =
+    if not visited_l.(u) then begin
+      visited_l.(u) <- true;
+      List.iter
+        (fun v ->
+          if v <> g.match_l.(u) && not visited_r.(v) then begin
+            visited_r.(v) <- true;
+            let u' = g.match_r.(v) in
+            if u' >= 0 then explore u'
+          end)
+        g.adj.(u)
+    end
+  in
+  for u = 0 to g.n_left - 1 do
+    if g.match_l.(u) < 0 then explore u
+  done;
+  let left = ref [] and right = ref [] in
+  for u = g.n_left - 1 downto 0 do
+    if not visited_l.(u) && g.match_l.(u) >= 0 then left := u :: !left
+  done;
+  for v = g.n_right - 1 downto 0 do
+    if visited_r.(v) then right := v :: !right
+  done;
+  (!left, !right)

@@ -1,0 +1,20 @@
+(** Bipartite maximum matching (Hopcroft–Karp) and minimum vertex cover
+    (König's theorem).
+
+    Left vertices are [0 .. n_left-1], right vertices [0 .. n_right-1]. *)
+
+type t
+
+val create : n_left:int -> n_right:int -> t
+val add_edge : t -> int -> int -> unit
+
+val max_matching : t -> int
+(** Size of a maximum matching. *)
+
+val matching_pairs : t -> (int * int) list
+(** The matching found by the last {!max_matching} call, as
+    [(left, right)] pairs. *)
+
+val min_vertex_cover : t -> int list * int list
+(** König: minimum vertex cover as [(left_vertices, right_vertices)];
+    [|cover| = max_matching].  Runs {!max_matching} internally. *)

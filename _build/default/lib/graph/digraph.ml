@@ -1,0 +1,91 @@
+type t = {
+  mutable n : int;
+  mutable out_adj : (int * string option) list array;
+  mutable in_adj : (int * string option) list array;
+  mutable m : int;
+}
+
+let create ?(n = 0) () =
+  let cap = max n 4 in
+  { n; out_adj = Array.make cap []; in_adj = Array.make cap []; m = 0 }
+
+let grow g needed =
+  let cap = Array.length g.out_adj in
+  if needed > cap then begin
+    let cap' = max needed (2 * cap) in
+    let out' = Array.make cap' [] and in' = Array.make cap' [] in
+    Array.blit g.out_adj 0 out' 0 g.n;
+    Array.blit g.in_adj 0 in' 0 g.n;
+    g.out_adj <- out';
+    g.in_adj <- in'
+  end
+
+let add_vertex g =
+  grow g (g.n + 1);
+  let v = g.n in
+  g.n <- g.n + 1;
+  v
+
+let ensure_vertex g v =
+  if v >= g.n then begin
+    grow g (v + 1);
+    g.n <- v + 1
+  end
+
+let n_vertices g = g.n
+let n_edges g = g.m
+
+let add_edge ?label g u v =
+  ensure_vertex g (max u v);
+  g.out_adj.(u) <- (v, label) :: g.out_adj.(u);
+  g.in_adj.(v) <- (u, label) :: g.in_adj.(v);
+  g.m <- g.m + 1
+
+let succ g u = g.out_adj.(u)
+let pred g v = g.in_adj.(v)
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    List.iter (fun (v, l) -> acc := (u, v, l) :: !acc) g.out_adj.(u)
+  done;
+  !acc
+
+let mem_edge g u v = u < g.n && List.exists (fun (w, _) -> w = v) g.out_adj.(u)
+let out_degree g u = List.length g.out_adj.(u)
+let in_degree g v = List.length g.in_adj.(v)
+
+let undirected_components g =
+  let uf = Union_find.create g.n in
+  for u = 0 to g.n - 1 do
+    List.iter (fun (v, _) -> Union_find.union uf u v) g.out_adj.(u)
+  done;
+  let tbl = Hashtbl.create 16 in
+  for v = g.n - 1 downto 0 do
+    let r = Union_find.find uf v in
+    let cur = try Hashtbl.find tbl r with Not_found -> [] in
+    Hashtbl.replace tbl r (v :: cur)
+  done;
+  Hashtbl.fold (fun _ vs acc -> vs :: acc) tbl []
+  |> List.sort compare
+
+let reachable g src =
+  let seen = Array.make (max g.n (src + 1)) false in
+  let rec dfs u =
+    if not seen.(u) then begin
+      seen.(u) <- true;
+      List.iter (fun (v, _) -> dfs v) g.out_adj.(u)
+    end
+  in
+  if src < g.n then dfs src;
+  seen
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>digraph(%d vertices, %d edges)" g.n g.m;
+  List.iter
+    (fun (u, v, l) ->
+      match l with
+      | None -> Format.fprintf ppf "@,%d -> %d" u v
+      | Some s -> Format.fprintf ppf "@,%d -[%s]-> %d" u s v)
+    (edges g);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,44 @@
+(** Simple growable directed graphs with optional string edge labels.
+
+    Vertices are dense integers [0 .. n-1].  Used for binary-graph query
+    representations and small combinatorial constructions; the flow code in
+    {!Maxflow} keeps its own adjacency representation. *)
+
+type t
+
+val create : ?n:int -> unit -> t
+(** Fresh graph with [n] initial vertices (default 0). *)
+
+val add_vertex : t -> int
+(** Add a vertex and return its index. *)
+
+val ensure_vertex : t -> int -> unit
+(** Grow the graph so the given vertex index exists. *)
+
+val n_vertices : t -> int
+val n_edges : t -> int
+
+val add_edge : ?label:string -> t -> int -> int -> unit
+(** [add_edge g u v] adds a directed edge [u -> v] (parallel edges allowed). *)
+
+val succ : t -> int -> (int * string option) list
+(** Outgoing [(target, label)] pairs. *)
+
+val pred : t -> int -> (int * string option) list
+(** Incoming [(source, label)] pairs. *)
+
+val edges : t -> (int * int * string option) list
+(** All edges as [(src, dst, label)]. *)
+
+val mem_edge : t -> int -> int -> bool
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val undirected_components : t -> int list list
+(** Weakly connected components, each a sorted vertex list. *)
+
+val reachable : t -> int -> bool array
+(** Vertices reachable from the source by directed edges. *)
+
+val pp : Format.formatter -> t -> unit

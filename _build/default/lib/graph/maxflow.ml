@@ -1,0 +1,176 @@
+type int_buf = { mutable data : int array; mutable len : int }
+
+type t = {
+  mutable n : int;
+  mutable heads : int array; (* head of adjacency list per node, -1 = none *)
+  nexts : int_buf; (* next arc in list *)
+  dests : int_buf;
+  caps : int_buf; (* residual capacity per arc *)
+  orig : int_buf; (* original capacity (forward arcs only meaningful) *)
+  mutable arcs : int; (* number of arcs; forward arc ids are even *)
+  mutable level : int array;
+  mutable iter : int array;
+}
+
+type edge = int
+
+let infinite = max_int / 4
+
+let buf_create () = { data = Array.make 16 0; len = 0 }
+
+let buf_push b x =
+  if b.len = Array.length b.data then begin
+    let data' = Array.make (2 * b.len) 0 in
+    Array.blit b.data 0 data' 0 b.len;
+    b.data <- data'
+  end;
+  b.data.(b.len) <- x;
+  b.len <- b.len + 1
+
+let create n =
+  {
+    n;
+    heads = Array.make (max n 4) (-1);
+    nexts = buf_create ();
+    dests = buf_create ();
+    caps = buf_create ();
+    orig = buf_create ();
+    arcs = 0;
+    level = [||];
+    iter = [||];
+  }
+
+let grow_nodes g needed =
+  let cap = Array.length g.heads in
+  if needed > cap then begin
+    let heads' = Array.make (max needed (2 * cap)) (-1) in
+    Array.blit g.heads 0 heads' 0 g.n;
+    g.heads <- heads'
+  end
+
+let add_node g =
+  grow_nodes g (g.n + 1);
+  let v = g.n in
+  g.n <- g.n + 1;
+  v
+
+let n_nodes g = g.n
+
+let push_arc g ~src ~dst ~cap ~orig_cap =
+  let id = g.arcs in
+  g.arcs <- g.arcs + 1;
+  buf_push g.nexts g.heads.(src);
+  buf_push g.dests dst;
+  buf_push g.caps cap;
+  buf_push g.orig orig_cap;
+  g.heads.(src) <- id;
+  id
+
+let add_edge g ~src ~dst ~cap =
+  grow_nodes g (max src dst + 1);
+  if max src dst >= g.n then g.n <- max src dst + 1;
+  let fwd = push_arc g ~src ~dst ~cap ~orig_cap:cap in
+  let _bwd = push_arc g ~src:dst ~dst:src ~cap:0 ~orig_cap:0 in
+  fwd
+
+(* Arc pairing: arc a's reverse is a lxor 1. *)
+
+let bfs g src dst =
+  let level = g.level in
+  Array.fill level 0 g.n (-1);
+  level.(src) <- 0;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let a = ref g.heads.(u) in
+    while !a >= 0 do
+      let v = g.dests.data.(!a) in
+      if g.caps.data.(!a) > 0 && level.(v) < 0 then begin
+        level.(v) <- level.(u) + 1;
+        Queue.add v q
+      end;
+      a := g.nexts.data.(!a)
+    done
+  done;
+  level.(dst) >= 0
+
+let rec dfs g u dst f =
+  if u = dst then f
+  else begin
+    let result = ref 0 in
+    while !result = 0 && g.iter.(u) >= 0 do
+      let a = g.iter.(u) in
+      let v = g.dests.data.(a) in
+      if g.caps.data.(a) > 0 && g.level.(v) = g.level.(u) + 1 then begin
+        let d = dfs g v dst (min f g.caps.data.(a)) in
+        if d > 0 then begin
+          g.caps.data.(a) <- g.caps.data.(a) - d;
+          g.caps.data.(a lxor 1) <- g.caps.data.(a lxor 1) + d;
+          result := d
+        end
+        else g.iter.(u) <- g.nexts.data.(a)
+      end
+      else g.iter.(u) <- g.nexts.data.(a)
+    done;
+    !result
+  end
+
+let max_flow g ~src ~dst =
+  g.level <- Array.make g.n (-1);
+  g.iter <- Array.make g.n (-1);
+  let flow = ref 0 in
+  while bfs g src dst do
+    Array.blit g.heads 0 g.iter 0 g.n;
+    let rec loop () =
+      let f = dfs g src dst infinite in
+      if f > 0 then begin
+        flow := !flow + f;
+        loop ()
+      end
+    in
+    loop ()
+  done;
+  !flow
+
+let min_cut g ~src =
+  let side = Array.make g.n false in
+  side.(src) <- true;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let a = ref g.heads.(u) in
+    while !a >= 0 do
+      let v = g.dests.data.(!a) in
+      if g.caps.data.(!a) > 0 && not side.(v) then begin
+        side.(v) <- true;
+        Queue.add v q
+      end;
+      a := g.nexts.data.(!a)
+    done
+  done;
+  (* Forward arcs are even ids; walk each node's list, keep saturated
+     crossing ones. *)
+  let cut = ref [] in
+  for u = 0 to g.n - 1 do
+    if side.(u) then begin
+      let a = ref g.heads.(u) in
+      while !a >= 0 do
+        if !a land 1 = 0 then begin
+          let v = g.dests.data.(!a) in
+          if not side.(v) && g.orig.data.(!a) > 0 then cut := !a :: !cut
+        end;
+        a := g.nexts.data.(!a)
+      done
+    end
+  done;
+  (side, !cut)
+
+let edge_cap g e = g.orig.data.(e)
+
+let edge_endpoints g e =
+  (* The reverse arc's destination is the source. *)
+  (g.dests.data.(e lxor 1), g.dests.data.(e))
+
+let flow_on g e = g.orig.data.(e) - g.caps.data.(e)

@@ -1,0 +1,43 @@
+(** Maximum flow / minimum cut via Dinic's blocking-flow algorithm.
+
+    Integer capacities; use {!infinite} for edges that must never be cut
+    (exogenous tuples in resilience flow networks).  After {!max_flow} the
+    minimum cut is recovered from the residual graph. *)
+
+type t
+
+type edge = int
+(** Handle for an edge, as returned by {!add_edge}. *)
+
+val infinite : int
+(** A capacity treated as uncuttable ([max_int / 4]). *)
+
+val create : int -> t
+(** [create n] makes an empty network with nodes [0 .. n-1]. *)
+
+val add_node : t -> int
+(** Add a fresh node, returning its index. *)
+
+val n_nodes : t -> int
+
+val add_edge : t -> src:int -> dst:int -> cap:int -> edge
+(** Add a directed edge with the given capacity (a reverse residual edge of
+    capacity 0 is created internally). *)
+
+val max_flow : t -> src:int -> dst:int -> int
+(** Maximum [src]→[dst] flow.  May be called once per network. *)
+
+val min_cut : t -> src:int -> (bool array * edge list)
+(** After {!max_flow}: [(side, cut)] where [side.(v)] iff [v] is reachable
+    from [src] in the residual graph, and [cut] lists the saturated forward
+    edges crossing from the source side to the sink side.  The total capacity
+    of [cut] equals the max-flow value when no {!infinite} edge crosses. *)
+
+val edge_cap : t -> edge -> int
+(** Original capacity of an edge. *)
+
+val edge_endpoints : t -> edge -> int * int
+(** [(src, dst)] of an edge. *)
+
+val flow_on : t -> edge -> int
+(** Flow currently routed through an edge (after {!max_flow}). *)

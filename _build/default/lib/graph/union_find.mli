@@ -1,0 +1,18 @@
+(** Imperative disjoint-set forest with union by rank and path compression. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes a structure over elements [0 .. n-1], each its own set. *)
+
+val find : t -> int -> int
+(** Canonical representative of the element's set. *)
+
+val union : t -> int -> int -> unit
+(** Merge the two sets.  No-op if already merged. *)
+
+val same : t -> int -> int -> bool
+(** [same uf a b] iff [a] and [b] are in the same set. *)
+
+val count : t -> int
+(** Number of distinct sets. *)

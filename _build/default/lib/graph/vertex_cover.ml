@@ -1,0 +1,73 @@
+type graph = (int * int) list
+
+module IS = Set.Make (Int)
+
+let is_cover g cover =
+  let s = IS.of_list cover in
+  List.for_all (fun (u, v) -> IS.mem u s || IS.mem v s) g
+
+(* Branch and bound: pick an uncovered edge (u,v); any cover contains u or
+   v.  Lower bound: greedy matching of the remaining edges (each matched
+   edge needs one distinct cover vertex). *)
+let matching_lower_bound edges covered =
+  let used = Hashtbl.create 16 in
+  List.fold_left
+    (fun acc (u, v) ->
+      if IS.mem u covered || IS.mem v covered then acc
+      else if Hashtbl.mem used u || Hashtbl.mem used v then acc
+      else begin
+        Hashtbl.replace used u ();
+        Hashtbl.replace used v ();
+        acc + 1
+      end)
+    0 edges
+
+let min_cover g =
+  (* Self-loops force their vertex. *)
+  let forced =
+    List.filter_map (fun (u, v) -> if u = v then Some u else None) g
+    |> IS.of_list
+  in
+  let g = List.filter (fun (u, v) -> u <> v) g in
+  let best = ref None in
+  let best_size = ref max_int in
+  let rec solve covered size edges =
+    if size + matching_lower_bound edges covered >= !best_size then ()
+    else begin
+      match
+        List.find_opt (fun (u, v) -> not (IS.mem u covered || IS.mem v covered)) edges
+      with
+      | None ->
+        best_size := size;
+        best := Some covered
+      | Some (u, v) ->
+        let remaining =
+          List.filter (fun (a, b) -> not (IS.mem a covered || IS.mem b covered)) edges
+        in
+        solve (IS.add u covered) (size + 1) remaining;
+        solve (IS.add v covered) (size + 1) remaining
+    end
+  in
+  solve forced (IS.cardinal forced) g;
+  match !best with Some c -> IS.elements c | None -> IS.elements forced
+
+let min_cover_size g = List.length (min_cover g)
+
+let subdivide g k =
+  let fresh = ref (1 + List.fold_left (fun acc (u, v) -> max acc (max u v)) 0 g) in
+  let next () =
+    let v = !fresh in
+    incr fresh;
+    v
+  in
+  List.concat_map
+    (fun (u, v) ->
+      let rec path cur remaining =
+        if remaining = 0 then [ (cur, v) ]
+        else begin
+          let w = next () in
+          (cur, w) :: path w (remaining - 1)
+        end
+      in
+      path u (2 * k))
+    g

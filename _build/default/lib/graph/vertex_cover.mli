@@ -1,0 +1,24 @@
+(** Exact minimum vertex cover for small general (undirected) graphs.
+
+    Used by the hardness-reduction tests and the IJP "or-property" demo
+    (paper Figure 8): resilience reductions from Vertex Cover need a ground
+    truth VC solver on arbitrary graphs, which is NP-hard in general — this
+    is a branch-and-bound solver meant for instance sizes up to a few dozen
+    vertices. *)
+
+type graph = (int * int) list
+(** Edge list; vertices are arbitrary non-negative ints. *)
+
+val min_cover : graph -> int list
+(** A minimum vertex cover of the graph (ignoring self-loop duplicates;
+    a self-loop forces its vertex into the cover). *)
+
+val min_cover_size : graph -> int
+
+val is_cover : graph -> int list -> bool
+
+val subdivide : graph -> int -> graph
+(** [subdivide g k] replaces every edge by a path of [2k+1] edges through
+    [2k] fresh vertices — the construction of paper Figure 8(b) (with
+    [k = 1]: each edge becomes 3 edges).  [VC(subdivide g k) =
+    VC(g) + k * |edges g|]. *)

@@ -1,0 +1,1 @@
+lib/sat/max2sat.mli: Cnf

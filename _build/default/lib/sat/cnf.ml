@@ -1,0 +1,39 @@
+type literal = int
+type clause = literal list
+type t = { n_vars : int; clauses : clause list }
+
+let var l = abs l
+let negate l = -l
+
+let make ~n_vars clauses =
+  let check_lit l =
+    if l = 0 || var l > n_vars then
+      invalid_arg (Printf.sprintf "Cnf.make: bad literal %d (n_vars=%d)" l n_vars)
+  in
+  List.iter
+    (fun c ->
+      if c = [] then invalid_arg "Cnf.make: empty clause";
+      List.iter check_lit c)
+    clauses;
+  { n_vars; clauses }
+
+type assignment = bool array
+
+let eval_literal a l = if l > 0 then a.(l) else not a.(-l)
+let eval_clause a c = List.exists (eval_literal a) c
+let eval a f = List.for_all (eval_clause a) f.clauses
+let count_satisfied a f = List.length (List.filter (eval_clause a) f.clauses)
+
+let all_assignments n =
+  let total = 1 lsl n in
+  Seq.init total (fun mask ->
+      Array.init (n + 1) (fun v -> v > 0 && mask land (1 lsl (v - 1)) <> 0))
+
+let pp ppf f =
+  let pp_lit ppf l = if l > 0 then Format.fprintf ppf "x%d" l else Format.fprintf ppf "~x%d" (-l) in
+  let pp_clause ppf c =
+    Format.fprintf ppf "(%a)" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " | ") pp_lit) c
+  in
+  Format.fprintf ppf "@[<hov>%a@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " &@ ") pp_clause)
+    f.clauses

@@ -1,0 +1,29 @@
+(** CNF formulas over positive integer variables.
+
+    A literal is a non-zero integer: [v] is the positive literal of variable
+    [v >= 1], [-v] its negation (DIMACS convention). *)
+
+type literal = int
+type clause = literal list
+type t = { n_vars : int; clauses : clause list }
+
+val make : n_vars:int -> clause list -> t
+(** Validates that every literal's variable is in [1 .. n_vars] and no
+    clause is empty.  @raise Invalid_argument otherwise. *)
+
+val var : literal -> int
+val negate : literal -> literal
+
+type assignment = bool array
+(** Index 0 unused; [a.(v)] is the value of variable [v]. *)
+
+val eval_clause : assignment -> clause -> bool
+val eval : assignment -> t -> bool
+
+val count_satisfied : assignment -> t -> int
+(** Number of satisfied clauses. *)
+
+val all_assignments : int -> assignment Seq.t
+(** All [2^n] assignments of [n] variables (for brute-force testing). *)
+
+val pp : Format.formatter -> t -> unit

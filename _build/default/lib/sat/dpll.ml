@@ -1,0 +1,96 @@
+(* DPLL over an immutable clause-list representation.  Assignments are
+   partial maps var -> bool; simplification removes satisfied clauses and
+   false literals. *)
+
+module IM = Map.Make (Int)
+
+exception Conflict
+
+(* Simplify clauses under literal l being true.  Raises Conflict on an
+   empty clause. *)
+let assign clauses l =
+  List.filter_map
+    (fun c ->
+      if List.mem l c then None
+      else begin
+        match List.filter (fun x -> x <> -l) c with
+        | [] -> raise Conflict
+        | c' -> Some c'
+      end)
+    clauses
+
+let rec unit_propagate clauses model =
+  match List.find_opt (function [ _ ] -> true | _ -> false) clauses with
+  | Some [ l ] ->
+    unit_propagate (assign clauses l) (IM.add (Cnf.var l) (l > 0) model)
+  | _ -> (clauses, model)
+
+let pure_literals clauses =
+  let pos = Hashtbl.create 16 and neg = Hashtbl.create 16 in
+  List.iter
+    (List.iter (fun l ->
+         if l > 0 then Hashtbl.replace pos l () else Hashtbl.replace neg (-l) ()))
+    clauses;
+  Hashtbl.fold
+    (fun v () acc -> if Hashtbl.mem neg v then acc else v :: acc)
+    pos
+    (Hashtbl.fold (fun v () acc -> if Hashtbl.mem pos v then acc else -v :: acc) neg [])
+
+let rec dpll clauses model =
+  match unit_propagate clauses model with
+  | exception Conflict -> None
+  | [], model -> Some model
+  | clauses, model ->
+    let pures = pure_literals clauses in
+    if pures <> [] then begin
+      match
+        List.fold_left
+          (fun acc l ->
+            match acc with
+            | None -> None
+            | Some (cs, m) ->
+              (* A pure literal can never conflict, but successive pure
+                 assignments may subsume each other; re-check membership. *)
+              if IM.mem (Cnf.var l) m then Some (cs, m)
+              else begin
+                match assign cs l with
+                | cs' -> Some (cs', IM.add (Cnf.var l) (l > 0) m)
+                | exception Conflict -> None
+              end)
+          (Some (clauses, model))
+          pures
+      with
+      | None -> None
+      | Some (clauses', model') -> dpll clauses' model'
+    end
+    else begin
+      match clauses with
+      | [] -> Some model
+      | (l :: _) :: _ -> begin
+        let v = Cnf.var l in
+        let branch value =
+          let lit = if value then v else -v in
+          match assign clauses lit with
+          | clauses' -> dpll clauses' (IM.add v value model)
+          | exception Conflict -> None
+        in
+        match branch true with Some m -> Some m | None -> branch false
+      end
+      | [] :: _ -> None
+    end
+
+let solve (f : Cnf.t) =
+  match dpll f.clauses IM.empty with
+  | None -> None
+  | Some model ->
+    Some
+      (Array.init (f.n_vars + 1) (fun v ->
+           v > 0 && match IM.find_opt v model with Some b -> b | None -> false))
+
+let satisfiable f = solve f <> None
+
+let count_models (f : Cnf.t) =
+  Seq.fold_left
+    (fun acc a -> if Cnf.eval a f then acc + 1 else acc)
+    0
+    (Cnf.all_assignments f.n_vars)

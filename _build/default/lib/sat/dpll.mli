@@ -1,0 +1,11 @@
+(** Complete SAT solver: DPLL with unit propagation and pure-literal
+    elimination.  Adequate for the small formulas used to drive the
+    hardness-reduction gadgets and their verification. *)
+
+val solve : Cnf.t -> Cnf.assignment option
+(** A satisfying assignment, or [None] if unsatisfiable. *)
+
+val satisfiable : Cnf.t -> bool
+
+val count_models : Cnf.t -> int
+(** Number of satisfying assignments (exponential; testing only). *)

@@ -1,0 +1,63 @@
+(* Branch and bound on variables in order 1..n.  State: the still-undecided
+   clauses plus a count of already-satisfied ones.  Upper bound: satisfied +
+   number of undecided clauses. *)
+
+let check (f : Cnf.t) =
+  List.iter
+    (fun c ->
+      if List.length c > 2 then invalid_arg "Max2sat: clause with more than 2 literals")
+    f.clauses
+
+let best_assignment (f : Cnf.t) =
+  check f;
+  let n = f.n_vars in
+  let best_count = ref (-1) in
+  let best = ref (Array.make (n + 1) false) in
+  let current = Array.make (n + 1) false in
+  (* Decide variable v; clauses mention only variables >= v or are fully
+     decided by now because we simplify eagerly. *)
+  let rec go v satisfied undecided =
+    if satisfied + List.length undecided <= !best_count then ()
+    else if v > n then begin
+      (* Any remaining undecided clause mentions no variable <= n: none. *)
+      if satisfied > !best_count then begin
+        best_count := satisfied;
+        best := Array.copy current
+      end
+    end
+    else begin
+      let try_value value =
+        current.(v) <- value;
+        let lit_true l = (l = v && value) || (l = -v && not value) in
+        let lit_false l = (l = v && not value) || (l = -v && value) in
+        let sat = ref satisfied in
+        let remaining =
+          List.filter_map
+            (fun c ->
+              if List.exists lit_true c then begin
+                incr sat;
+                None
+              end
+              else begin
+                match List.filter (fun l -> not (lit_false l)) c with
+                | [] -> None (* falsified: contributes nothing *)
+                | c' -> Some c'
+              end)
+            undecided
+        in
+        go (v + 1) !sat remaining
+      in
+      try_value true;
+      try_value false
+    end
+  in
+  go 1 0 f.clauses;
+  (!best, !best_count)
+
+let max_satisfiable f = snd (best_assignment f)
+
+let brute_force (f : Cnf.t) =
+  Seq.fold_left
+    (fun acc a -> max acc (Cnf.count_satisfied a f))
+    0
+    (Cnf.all_assignments f.n_vars)

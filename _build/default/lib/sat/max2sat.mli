@@ -1,0 +1,14 @@
+(** Exact Max-2SAT by branch and bound.
+
+    Clauses have one or two literals (as in the paper's Max 2SAT reductions,
+    which allow size-1 clauses).  [max_satisfiable] returns the largest
+    number of simultaneously satisfiable clauses. *)
+
+val max_satisfiable : Cnf.t -> int
+(** @raise Invalid_argument if a clause has more than two literals. *)
+
+val best_assignment : Cnf.t -> Cnf.assignment * int
+(** An assignment achieving the optimum, with the count it achieves. *)
+
+val brute_force : Cnf.t -> int
+(** Exhaustive optimum, for cross-checking in tests. *)

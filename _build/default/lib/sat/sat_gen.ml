@@ -1,0 +1,62 @@
+let random_kcnf ~seed ~n_vars ~n_clauses ~k =
+  if n_vars < k then invalid_arg "Sat_gen.random_kcnf: n_vars < k";
+  let st = Random.State.make [| seed |] in
+  let clause () =
+    let rec pick acc =
+      if List.length acc = k then acc
+      else begin
+        let v = 1 + Random.State.int st n_vars in
+        if List.exists (fun l -> abs l = v) acc then pick acc
+        else begin
+          let l = if Random.State.bool st then v else -v in
+          pick (l :: acc)
+        end
+      end
+    in
+    pick []
+  in
+  Cnf.make ~n_vars (List.init n_clauses (fun _ -> clause ()))
+
+let random_2cnf ~seed ~n_vars ~n_clauses =
+  let st = Random.State.make [| seed; 7 |] in
+  let lit () =
+    let v = 1 + Random.State.int st n_vars in
+    if Random.State.bool st then v else -v
+  in
+  let clause () =
+    if Random.State.int st 4 = 0 then [ lit () ]
+    else begin
+      let a = lit () in
+      let rec other () =
+        let b = lit () in
+        if abs b = abs a then other () else b
+      in
+      [ a; other () ]
+    end
+  in
+  Cnf.make ~n_vars (List.init n_clauses (fun _ -> clause ()))
+
+let pigeonhole n =
+  (* Variable p(i,j) = pigeon i sits in hole j, for i in 1..n+1, j in 1..n. *)
+  let v i j = ((i - 1) * n) + j in
+  let each_pigeon_somewhere =
+    List.init (n + 1) (fun i0 ->
+        let i = i0 + 1 in
+        List.init n (fun j0 -> v i (j0 + 1)))
+  in
+  let no_two_share =
+    List.concat_map
+      (fun j0 ->
+        let j = j0 + 1 in
+        List.concat_map
+          (fun i0 ->
+            let i = i0 + 1 in
+            List.filter_map
+              (fun i0' ->
+                let i' = i0' + 1 in
+                if i' > i then Some [ -(v i j); -(v i' j) ] else None)
+              (List.init (n + 1) Fun.id))
+          (List.init (n + 1) Fun.id))
+      (List.init n Fun.id)
+  in
+  Cnf.make ~n_vars:((n + 1) * n) (each_pigeon_somewhere @ no_two_share)

@@ -1,0 +1,12 @@
+(** Deterministic pseudo-random CNF generators for tests and benches. *)
+
+val random_kcnf : seed:int -> n_vars:int -> n_clauses:int -> k:int -> Cnf.t
+(** Random [k]-CNF with distinct variables inside each clause.
+    Requires [n_vars >= k]. *)
+
+val random_2cnf : seed:int -> n_vars:int -> n_clauses:int -> Cnf.t
+(** Random mix of 1- and 2-literal clauses (for Max-2SAT reductions). *)
+
+val pigeonhole : int -> Cnf.t
+(** [pigeonhole n]: [n+1] pigeons in [n] holes — unsatisfiable for
+    [n >= 1]; a standard hard family for resolution-style solvers. *)

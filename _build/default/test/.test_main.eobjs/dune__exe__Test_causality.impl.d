@@ -1,0 +1,1 @@
+test/test_causality.ml: Alcotest Database Db_gen Exact List Option QCheck QCheck_alcotest Res_cq Res_db Resilience Responsibility Value

@@ -1,0 +1,1 @@
+test/test_classify.ml: Alcotest Classify Format List Parser Printf Query Query_iso Res_cq Resilience String Zoo

@@ -1,0 +1,1 @@
+test/test_cq.ml: Alcotest Atom Binary_graph Components Homomorphism Hypergraph List Parser QCheck QCheck_alcotest Query Random Res_cq String

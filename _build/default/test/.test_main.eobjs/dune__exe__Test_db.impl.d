@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Database Db_gen Eval List Res_cq Res_db Value

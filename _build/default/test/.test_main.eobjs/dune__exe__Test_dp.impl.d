@@ -1,0 +1,1 @@
+test/test_dp.ml: Alcotest Classify Database Dp Eval Fact_syntax Format List Res_cq Res_db Resilience Solution Solver String Value

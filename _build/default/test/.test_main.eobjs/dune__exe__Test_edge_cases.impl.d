@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Classify Database Db_gen Exact Flow Fun Ijp List QCheck QCheck_alcotest Res_cq Res_db Res_graph Resilience Seq Solution Solver Special Value Zoo

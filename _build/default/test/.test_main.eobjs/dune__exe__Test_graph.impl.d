@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Bipartite Digraph Fun List Maxflow QCheck QCheck_alcotest Random Res_graph Union_find Vertex_cover

@@ -1,0 +1,1 @@
+test/test_ijp.ml: Alcotest Certificate Database Exact Format Fun Ijp List Option Reductions Res_cq Res_db Res_graph Resilience Seq Value

@@ -1,0 +1,1 @@
+test/test_reductions.ml: Alcotest Cnf Exact List Option Reductions Res_cq Res_db Res_graph Res_sat Resilience Solution

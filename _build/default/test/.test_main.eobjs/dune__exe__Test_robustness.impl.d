@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Array Classify Database Db_gen Exact Flow List QCheck QCheck_alcotest Random Res_cq Res_db Res_graph Resilience Solution Solver Special Sys

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Cnf Dpll List Max2sat QCheck QCheck_alcotest Res_sat Sat_gen Seq

@@ -1,0 +1,1 @@
+test/test_solvers.ml: Alcotest Database Db_gen Domination Eval Exact Flow Format List Printf QCheck QCheck_alcotest Reductions Res_cq Res_db Resilience Solution Solver Special String

@@ -1,0 +1,1 @@
+test/test_structure.ml: Alcotest Array Atom Domination Homomorphism Linearity List Parser Patterns Query Query_iso Res_cq Resilience Triad Zoo

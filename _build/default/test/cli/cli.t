@@ -1,0 +1,67 @@
+The classify subcommand decides complexity (Theorem 37):
+
+  $ resilience classify "R(x,y), R(y,z)"
+  query: R(x,y), R(y,z)
+  minimized: R(x,y), R(y,z)
+  verdict: NP-complete: 2-chain (Props 29/30/38)
+    component 1: R(x,y), R(y,z) -> NP-complete: 2-chain (Props 29/30/38)
+
+  $ resilience classify "A(x), R(x,y), R(y,x)"
+  query: A(x), R(x,y), R(y,x)
+  minimized: A(x), R(x,y), R(y,x)
+  verdict: PTIME: unbound permutation (Props 33/35)
+    component 1: A(x), R(x,y), R(y,x) -> PTIME: unbound permutation (Props 33/35)
+
+Solving the Section 2 example:
+
+  $ resilience solve "R(x,y), R(y,z)" --facts "R(1,2); R(2,3); R(3,3)"
+  resilience: 2
+  minimum contingency set:
+    R(1,2)
+    R(3,3)
+
+Witness enumeration:
+
+  $ resilience witnesses "R(x,y), R(y,z)" --facts "R(3,3)"
+  1 witnesses
+    (x=3, y=3, z=3) via {R(3,3)}
+
+All optimal repairs:
+
+  $ resilience repairs "R(x,y), R(y,z)" --facts "R(1,2); R(2,3); R(3,3)"
+  2 minimum contingency sets (size 2):
+    { R(1,2); R(3,3) }
+    { R(2,3); R(3,3) }
+
+Responsibility ranking:
+
+  $ resilience blame "R(x,y), R(y,z)" --facts "R(1,2); R(2,3); R(3,3)"
+  tuple                          responsibility
+  R(1,2)                         0.5000
+  R(2,3)                         0.5000
+  R(3,3)                         0.5000
+
+Deletion propagation with source side-effects:
+
+  $ resilience propagate "E(x,y), E(y,z)" --facts "E(1,2); E(2,3); E(2,4)" --head "x=1,z=3"
+  minimum source side-effect: 1
+    delete E(1,2)
+
+Hardness gadgets from CNF formulas:
+
+  $ resilience gadget chain "1 2 3" --solve
+  3SAT -> RES(R(x,y), R(y,z)) (Prop 10 / Lemmas 52-54)
+  query: R(x,y), R(y,z)
+  tuples: 15, decision threshold k = 8
+  formula satisfiable (DPLL): true
+  exact resilience: 8 -> (D,k) IN RES(q)
+
+Error handling:
+
+  $ resilience classify "r(x,y)"
+  query parse error: expected an atom
+  [2]
+
+  $ resilience solve "R(x,y)"
+  no database given: use --db FILE or --facts "R(1,2); ..."
+  [2]

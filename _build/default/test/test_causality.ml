@@ -1,0 +1,123 @@
+(* Tests for the causality-side features: enumeration of all minimum
+   contingency sets and tuple responsibility ([31]). *)
+
+open Res_db
+open Resilience
+
+let q = Res_cq.Parser.query
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let chain_db = Database.of_int_rows [ ("R", [ [ 1; 2 ]; [ 2; 3 ]; [ 3; 3 ] ]) ]
+let chain = q "R(x,y), R(y,z)"
+
+(* --- minimum_sets -------------------------------------------------------- *)
+
+let min_sets_chain () =
+  let sets = Exact.minimum_sets chain_db chain in
+  check_int "two optimal repairs" 2 (List.length sets);
+  List.iter
+    (fun s ->
+      check_int "each of size rho" 2 (List.length s);
+      check_bool "each is a contingency set" true (Exact.is_contingency_set chain_db chain s))
+    sets
+
+let min_sets_unsat () =
+  let db = Database.of_int_rows [ ("R", [ [ 1; 2 ] ]) ] in
+  check_bool "query false: the empty repair" true (Exact.minimum_sets db chain = [ [ [] ] |> List.hd ])
+
+let min_sets_unbreakable () =
+  let db = Database.of_int_rows [ ("R", [ [ 1; 2 ]; [ 2; 3 ] ]) ] in
+  check_int "no repairs for exogenous-only" 0
+    (List.length (Exact.minimum_sets db (q "R^x(x,y), R^x(y,z)")))
+
+let min_sets_unique () =
+  (* single witness of one tuple: exactly one repair *)
+  let db = Database.of_int_rows [ ("R", [ [ 3; 3 ] ]) ] in
+  let sets = Exact.minimum_sets db chain in
+  check_int "unique repair" 1 (List.length sets)
+
+let min_sets_limit () =
+  (* many disjoint witnesses: the limit caps enumeration *)
+  let db = Db_gen.grid_pairs ~n:3 ~rel:"R" in
+  let perm = q "R(x,y), R(y,x)" in
+  ignore (Exact.minimum_sets ~limit:5 db perm);
+  check_bool "limit respected" true
+    (List.length (Exact.minimum_sets ~limit:5 db perm) <= 5)
+
+let min_sets_all_valid_qcheck =
+  QCheck.Test.make ~count:40 ~name:"every enumerated minimum set is optimal and valid"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let db = Db_gen.random_graph ~seed ~nodes:4 ~edges:8 ~rel:"R" in
+      match Exact.value db chain with
+      | None -> true
+      | Some rho ->
+        let sets = Exact.minimum_sets db chain in
+        sets <> []
+        && List.for_all
+             (fun s ->
+               List.length s = rho && Exact.is_contingency_set db chain s)
+             sets)
+
+(* --- responsibility -------------------------------------------------------- *)
+
+let resp_chain () =
+  check_float "R(3,3)" 0.5 (Responsibility.responsibility chain_db chain (Database.fact "R" [ Value.i 3; Value.i 3 ]));
+  check_float "R(1,2)" 0.5 (Responsibility.responsibility chain_db chain (Database.fact "R" [ Value.i 1; Value.i 2 ]))
+
+let resp_counterfactual_is_one () =
+  (* a tuple in every witness has responsibility 1 *)
+  let db = Database.of_int_rows [ ("R", [ [ 1; 2 ]; [ 2; 3 ] ]) ] in
+  check_float "bridge tuple" 1.0
+    (Responsibility.responsibility db chain (Database.fact "R" [ Value.i 1; Value.i 2 ]))
+
+let resp_non_participant_zero () =
+  let db = Database.of_int_rows [ ("R", [ [ 1; 2 ]; [ 2; 3 ]; [ 9; 9 ] ]) ] in
+  (* R(9,9) IS a witness by itself (x=y=z=9), so pick a truly idle tuple *)
+  let db = Database.add_row db "R" [ Value.i 7; Value.i 8 ] in
+  check_float "idle tuple" 0.0 (Responsibility.responsibility db chain (Database.fact "R" [ Value.i 7; Value.i 8 ]))
+
+let resp_exogenous_zero () =
+  let db = Database.of_int_rows [ ("T", [ [ 1; 2 ] ]); ("R", [ [ 1; 2 ] ]) ] in
+  let qx = q "T^x(x,y), R(x,y)" in
+  check_float "exogenous fact" 0.0 (Responsibility.responsibility db qx (Database.fact "T" [ Value.i 1; Value.i 2 ]))
+
+let resp_ranking_sorted () =
+  let ranking = Responsibility.ranking chain_db chain in
+  check_int "three causes" 3 (List.length ranking);
+  let values = List.map snd ranking in
+  check_bool "descending" true (values = List.sort (fun a b -> compare b a) values)
+
+let resp_relation_to_resilience () =
+  (* a tuple with responsibility 1/(1+k) gives contingency k < rho in
+     general; sanity: min over tuples of (1 + contingency) >= rho never
+     holds universally, but responsibility of any tuple in a minimum
+     contingency set is at least 1/rho *)
+  let rho = Option.get (Exact.value chain_db chain) in
+  let sets = Exact.minimum_sets chain_db chain in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun f ->
+          check_bool "member of optimal repair is responsible" true
+            (Responsibility.responsibility chain_db chain f >= 1.0 /. float_of_int rho))
+        s)
+    sets
+
+let suite =
+  [
+    Alcotest.test_case "minimum sets: chain example" `Quick min_sets_chain;
+    Alcotest.test_case "minimum sets: unsatisfied query" `Quick min_sets_unsat;
+    Alcotest.test_case "minimum sets: unbreakable" `Quick min_sets_unbreakable;
+    Alcotest.test_case "minimum sets: unique repair" `Quick min_sets_unique;
+    Alcotest.test_case "minimum sets: limit" `Quick min_sets_limit;
+    QCheck_alcotest.to_alcotest min_sets_all_valid_qcheck;
+    Alcotest.test_case "responsibility: chain example" `Quick resp_chain;
+    Alcotest.test_case "responsibility: counterfactual tuple" `Quick resp_counterfactual_is_one;
+    Alcotest.test_case "responsibility: idle tuple" `Quick resp_non_participant_zero;
+    Alcotest.test_case "responsibility: exogenous tuple" `Quick resp_exogenous_zero;
+    Alcotest.test_case "responsibility: ranking order" `Quick resp_ranking_sorted;
+    Alcotest.test_case "responsibility vs resilience" `Quick resp_relation_to_resilience;
+  ]

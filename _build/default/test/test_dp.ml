@@ -1,0 +1,117 @@
+(* Tests for deletion propagation with source side-effects (Dp) and the
+   fact/database text syntax (Fact_syntax). *)
+
+open Res_db
+open Resilience
+
+let q = Res_cq.Parser.query
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Fact_syntax -------------------------------------------------------- *)
+
+let fact_parse () =
+  let f = Fact_syntax.fact "R(1,2)" in
+  check_bool "int values" true (f = Database.fact "R" [ Value.i 1; Value.i 2 ]);
+  let g = Fact_syntax.fact "Follows(alice, bob)" in
+  check_bool "string values" true (g = Database.fact "Follows" [ Value.s "alice"; Value.s "bob" ]);
+  check_bool "whitespace" true (Fact_syntax.fact "  A( 7 ) " = Database.fact "A" [ Value.i 7 ])
+
+let fact_parse_errors () =
+  let bad s = match Fact_syntax.fact s with exception Fact_syntax.Parse_error _ -> true | _ -> false in
+  check_bool "no parens" true (bad "R");
+  check_bool "no rel" true (bad "(1,2)");
+  check_bool "empty arg" true (bad "R(1,,2)")
+
+let database_text () =
+  let db = Fact_syntax.database "R(1,2); R(2,3)\n# comment\nA(1)" in
+  check_int "three facts" 3 (Database.size db);
+  check_bool "comment ignored" true (Database.mem db (Database.fact "A" [ Value.i 1 ]))
+
+(* --- Dp ------------------------------------------------------------------ *)
+
+let two_hop = q "E(x,y), E(y,z)"
+
+let small_graph =
+  Database.of_int_rows [ ("E", [ [ 1; 2 ]; [ 2; 3 ]; [ 2; 4 ]; [ 5; 2 ] ]) ]
+
+let output_tuples () =
+  let outs = Dp.output_tuples small_graph two_hop ~head:[ "x"; "z" ] in
+  (* two-hop pairs: 1->3, 1->4, 5->3, 5->4 *)
+  check_int "four output pairs" 4 (List.length outs)
+
+let bind_forces_valuation () =
+  let q', db' = Dp.bind two_hop [ ("x", Value.i 1); ("z", Value.i 3) ] small_graph in
+  let ws = Eval.witnesses db' q' in
+  check_int "single bound witness" 1 (List.length ws);
+  check_bool "anchors exogenous" true
+    (List.for_all
+       (fun rel ->
+         (not (String.length rel >= 4 && String.sub rel 0 4 = "Bind"))
+         || Res_cq.Query.is_exogenous q' rel)
+       (Res_cq.Query.relations q'))
+
+let bind_rejects_unknown_var () =
+  Alcotest.check_raises "unknown head var"
+    (Invalid_argument "Dp.bind: head variable q not in query") (fun () ->
+      ignore (Dp.bind two_hop [ ("q", Value.i 1) ] small_graph))
+
+let side_effect_single () =
+  (* deleting output (1,3): the only witness is E(1,2),E(2,3); one deletion
+     suffices, and it must not be E(2,3)'s sibling path *)
+  match Dp.side_effect small_graph two_hop ~head:[ ("x", Value.i 1); ("z", Value.i 3) ] with
+  | Solution.Finite (v, facts) ->
+    check_int "one deletion" 1 v;
+    let db' = Database.remove_all small_graph facts in
+    let q', db'' = Dp.bind two_hop [ ("x", Value.i 1); ("z", Value.i 3) ] db' in
+    check_bool "tuple gone" false (Eval.sat db'' q')
+  | Solution.Unbreakable -> Alcotest.fail "should be deletable"
+
+let side_effect_hub () =
+  (* deleting ALL 2-hop outputs through the hub node 2 needs only the hub
+     edges; per-tuple side effects are 1 each *)
+  let all = Dp.side_effects_all small_graph two_hop ~head:[ "x"; "z" ] in
+  check_int "four outputs" 4 (List.length all);
+  List.iter
+    (fun (_, s) ->
+      match s with
+      | Solution.Finite (v, _) -> check_int "each output needs one deletion" 1 v
+      | Solution.Unbreakable -> Alcotest.fail "deletable")
+    all
+
+let side_effect_vs_resilience () =
+  (* binding no head variables = plain resilience *)
+  match (Dp.side_effect small_graph two_hop ~head:[], Solver.solve small_graph two_hop) with
+  | Solution.Finite (a, _), Solution.Finite (b, _) -> check_int "empty head = resilience" b a
+  | _ -> Alcotest.fail "finite expected"
+
+let side_effect_exogenous_context () =
+  (* exogenous relations stay undeletable through the translation *)
+  let qx = q "E(x,y), G^x(y)" in
+  let db = Fact_syntax.database "E(1,2); G(2)" in
+  match Dp.side_effect db qx ~head:[ ("x", Value.i 1) ] with
+  | Solution.Finite (1, [ f ]) -> Alcotest.(check string) "deletes E" "E" f.rel
+  | s -> Alcotest.failf "unexpected %s" (Format.asprintf "%a" Solution.pp s)
+
+let bound_query_classification () =
+  (* the bound query stays in the analyzed fragment: anchors are unary
+     exogenous and must not change the verdict class *)
+  let q', _ = Dp.bind (q "R(x,y), R(y,x)") [ ("x", Value.i 1) ] Database.empty in
+  match Classify.verdict_of q' with
+  | Classify.Ptime _ -> ()
+  | v -> Alcotest.failf "bound permutation should stay PTIME, got %s" (Classify.verdict_to_string v)
+
+let suite =
+  [
+    Alcotest.test_case "fact parsing" `Quick fact_parse;
+    Alcotest.test_case "fact parse errors" `Quick fact_parse_errors;
+    Alcotest.test_case "database text format" `Quick database_text;
+    Alcotest.test_case "output tuples" `Quick output_tuples;
+    Alcotest.test_case "bind forces valuation" `Quick bind_forces_valuation;
+    Alcotest.test_case "bind rejects unknown vars" `Quick bind_rejects_unknown_var;
+    Alcotest.test_case "side effect of one output" `Quick side_effect_single;
+    Alcotest.test_case "side effects of all outputs" `Quick side_effect_hub;
+    Alcotest.test_case "empty head = resilience" `Quick side_effect_vs_resilience;
+    Alcotest.test_case "exogenous context preserved" `Quick side_effect_exogenous_context;
+    Alcotest.test_case "bound query classification" `Quick bound_query_classification;
+  ]

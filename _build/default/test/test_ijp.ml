@@ -1,0 +1,235 @@
+(* Tests for Independent Join Paths: the Definition 48 checker on the
+   paper's examples, the Bell-enumeration search of Appendix C.2, the
+   generalized VC reduction, and the composability finding. *)
+
+open Res_db
+open Resilience
+
+let q = Res_cq.Parser.query
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let d58 = Database.of_int_rows [ ("R", [ [ 1 ]; [ 2 ] ]); ("S", [ [ 1; 2 ] ]) ]
+let qvc = q "R(x), S(x,y), R(y)"
+
+let d59 =
+  Database.of_int_rows
+    [ ("R", [ [ 1; 2 ]; [ 4; 2 ]; [ 4; 5 ] ]); ("S", [ [ 2; 3 ]; [ 5; 3 ] ]); ("T", [ [ 3; 1 ]; [ 3; 4 ] ]) ]
+
+let q_tri = q "R(x,y), S(y,z), T(z,x)"
+
+let example58 () = check_bool "qvc IJP" true (Ijp.is_ijp d58 qvc)
+
+let example58_conditions () =
+  let ra = Database.fact "R" [ Value.i 1 ] and rb = Database.fact "R" [ Value.i 2 ] in
+  check_bool "explicit pair passes" true (Ijp.check d58 qvc ra rb = Ok ())
+
+let example59 () =
+  match Ijp.find_pair d59 q_tri with
+  | Some (a, b) ->
+    let names = List.sort compare [ Format.asprintf "%a" Database.pp_fact a;
+                                    Format.asprintf "%a" Database.pp_fact b ] in
+    check_bool "endpoints R(1,2)/R(4,5)" true (names = [ "R(1,2)"; "R(4,5)" ])
+  | None -> Alcotest.fail "paper Example 59 must be an IJP"
+
+let example59_resilience () =
+  check_int "rho of the triangle IJP" 2 (Option.get (Exact.value d59 q_tri))
+
+let example60_erratum () =
+  (* As printed, Example 60's database violates condition 5: the overlooked
+     witness (5,2,3) keeps rho(D - A(13)) at 4 instead of 3.  We document
+     this as an erratum (EXPERIMENTS.md) and assert the checker's verdict. *)
+  let d60 =
+    Database.of_int_rows
+      [
+        ("A", [ [ 1 ]; [ 4 ]; [ 5 ]; [ 9 ]; [ 13 ] ]);
+        ( "R",
+          [
+            [ 1; 2 ]; [ 2; 2 ]; [ 2; 3 ]; [ 3; 3 ]; [ 4; 1 ]; [ 5; 2 ];
+            [ 5; 6 ]; [ 6; 7 ]; [ 7; 7 ]; [ 8; 7 ]; [ 9; 8 ];
+            [ 1; 10 ]; [ 10; 11 ]; [ 11; 11 ]; [ 12; 11 ]; [ 13; 12 ];
+          ] );
+      ]
+  in
+  let z5 = q "A(x), R(x,y), R(y,z), R(z,z)" in
+  check_int "rho(D60) = 4 as the paper states" 4 (Option.get (Exact.value d60 z5));
+  (match Ijp.check d60 z5 (Database.fact "A" [ Value.i 9 ]) (Database.fact "A" [ Value.i 13 ]) with
+  | Error v -> check_int "violated condition is 5" 5 v.condition
+  | Ok () -> Alcotest.fail "expected the printed Example 60 to fail condition 5");
+  check_bool "no other pair rescues it" true (Ijp.find_pair d60 z5 = None)
+
+let example61_condition4 () =
+  let d61 =
+    Database.of_int_rows
+      [ ("R", [ [ 1 ]; [ 3 ] ]); ("A", [ [ 1 ] ]); ("B", [ [ 3 ] ]); ("S", [ [ 1; 2 ]; [ 3; 2 ] ]) ]
+  in
+  let q61 = q "A^x(x), R(x), S(x,y), S(z,y), R(z), B^x(z)" in
+  match Ijp.check d61 q61 (Database.fact "R" [ Value.i 1 ]) (Database.fact "R" [ Value.i 3 ]) with
+  | Error v -> check_int "fails condition 4" 4 v.condition
+  | Ok () -> Alcotest.fail "Example 61 must fail condition 4"
+
+let condition1_comparable () =
+  (* z3-like instance where one endpoint's constants contain the other's *)
+  let db = Database.of_int_rows [ ("R", [ [ 1; 1 ]; [ 1; 2 ] ]); ("A", [ [ 2 ] ]) ] in
+  match Ijp.check db (q "R(x,x), R(x,y), A(y)")
+          (Database.fact "R" [ Value.i 1; Value.i 1 ])
+          (Database.fact "R" [ Value.i 1; Value.i 2 ]) with
+  | Error v -> check_int "condition 1" 1 v.condition
+  | Ok () -> Alcotest.fail "comparable tuples must fail condition 1"
+
+let condition2_multiple_witnesses () =
+  let db = Database.of_int_rows [ ("R", [ [ 1 ]; [ 2 ]; [ 3 ] ]); ("S", [ [ 1; 2 ]; [ 1; 3 ] ]) ] in
+  match Ijp.check db qvc (Database.fact "R" [ Value.i 1 ]) (Database.fact "R" [ Value.i 2 ]) with
+  | Error v -> check_int "condition 2" 2 v.condition
+  | Ok () -> Alcotest.fail "R(1) is in two witnesses"
+
+(* --- partitions ------------------------------------------------------------- *)
+
+let bell_numbers () =
+  let count n = Seq.fold_left (fun a _ -> a + 1) 0 (Ijp.partitions (List.init n Fun.id)) in
+  check_int "Bell(1)" 1 (count 1);
+  check_int "Bell(3)" 5 (count 3);
+  check_int "Bell(5)" 52 (count 5);
+  check_int "Bell(9) (Example 62)" 21147 (count 9)
+
+let partitions_are_partitions () =
+  let elements = [ 0; 1; 2; 3 ] in
+  Seq.iter
+    (fun blocks ->
+      let all = List.concat blocks |> List.sort compare in
+      check_bool "blocks cover exactly" true (all = elements))
+    (Ijp.partitions elements)
+
+let example62_search () =
+  match Ijp.search ~max_joins:3 q_tri with
+  | Some (db, a, b) ->
+    check_bool "found endpoints in the same relation" true (a.rel = b.rel);
+    check_bool "result verifies" true (Ijp.check db q_tri a b = Ok ())
+  | None -> Alcotest.fail "Example 62: the search must find a triangle IJP"
+
+let search_counts () =
+  check_int "triangle at 3 joins enumerates Bell(9)" 21147
+    (Ijp.count_partitions_tried q_tri ~max_joins:3)
+
+let search_qvc_single_join () =
+  match Ijp.search ~max_joins:1 qvc with
+  | Some (db, _, _) -> check_int "canonical database suffices" 3 (Database.size db)
+  | None -> Alcotest.fail "qvc's canonical database is an IJP"
+
+(* --- VC reduction and composability ------------------------------------------ *)
+
+let vc_reduction_triangle () =
+  let a = Database.fact "R" [ Value.i 1; Value.i 2 ] in
+  let b = Database.fact "R" [ Value.i 4; Value.i 5 ] in
+  List.iter
+    (fun (name, g) ->
+      let inst = Ijp.vc_instance d59 q_tri ~a ~b ~graph:g in
+      let c = 2 in
+      let expected = (List.length g * (c - 1)) + Res_graph.Vertex_cover.min_cover_size g in
+      check_int (name ^ " rho") expected (Option.get (Exact.value inst q_tri)))
+    [ ("K3", [ (1, 2); (2, 3); (3, 1) ]); ("P4", [ (1, 2); (2, 3); (3, 4) ]) ]
+
+let vc_reduction_rejects_overlap () =
+  let a = Database.fact "R" [ Value.i 1; Value.i 2 ] in
+  let b = Database.fact "R" [ Value.i 2; Value.i 5 ] in
+  Alcotest.check_raises "overlapping constants"
+    (Invalid_argument "Ijp.vc_instance: endpoint tuples share constants") (fun () ->
+      ignore (Ijp.vc_instance d59 q_tri ~a ~b ~graph:[ (1, 2) ]))
+
+let composable_examples () =
+  check_bool "triangle IJP composes" true
+    (Ijp.composable d59 q_tri
+       ~a:(Database.fact "R" [ Value.i 1; Value.i 2 ])
+       ~b:(Database.fact "R" [ Value.i 4; Value.i 5 ]));
+  check_bool "qvc IJP composes" true
+    (Ijp.composable d58 qvc ~a:(Database.fact "R" [ Value.i 1 ]) ~b:(Database.fact "R" [ Value.i 2 ]))
+
+let literal_def48_insufficient () =
+  (* Our finding: the PTIME query qACconf admits a literal Definition 48
+     IJP, but no composable one — strict search must reject it. *)
+  let acconf = q "A(x), R(x,y), R(z,y), C(z)" in
+  check_bool "literal IJP exists for a PTIME query" true
+    (Ijp.search ~max_joins:2 acconf <> None);
+  check_bool "but no composable one" true (Ijp.search ~strict:true ~max_joins:2 acconf = None)
+
+let strict_search_hard_queries () =
+  check_bool "qchain strict" true (Ijp.search ~strict:true ~max_joins:3 (q "R(x,y), R(y,z)") <> None);
+  check_bool "qvc strict" true (Ijp.search ~strict:true ~max_joins:2 qvc <> None)
+
+let strict_search_easy_queries () =
+  check_bool "qAperm has none" true
+    (Ijp.search ~strict:true ~max_joins:3 (q "A(x), R(x,y), R(y,x)") = None);
+  check_bool "z3 has none" true
+    (Ijp.search ~strict:true ~max_joins:3 (q "R(x,x), R(x,y), A(y)") = None)
+
+let suite =
+  [
+    Alcotest.test_case "Example 58 (qvc)" `Quick example58;
+    Alcotest.test_case "Example 58 explicit pair" `Quick example58_conditions;
+    Alcotest.test_case "Example 59 (triangle)" `Quick example59;
+    Alcotest.test_case "Example 59 resilience" `Quick example59_resilience;
+    Alcotest.test_case "Example 60 erratum" `Slow example60_erratum;
+    Alcotest.test_case "Example 61 (condition 4)" `Quick example61_condition4;
+    Alcotest.test_case "condition 1: comparable endpoints" `Quick condition1_comparable;
+    Alcotest.test_case "condition 2: multiple witnesses" `Quick condition2_multiple_witnesses;
+    Alcotest.test_case "Bell numbers" `Quick bell_numbers;
+    Alcotest.test_case "partitions are partitions" `Quick partitions_are_partitions;
+    Alcotest.test_case "Example 62 automated search" `Slow example62_search;
+    Alcotest.test_case "Example 62 search-space size" `Quick search_counts;
+    Alcotest.test_case "qvc found at one join" `Quick search_qvc_single_join;
+    Alcotest.test_case "IJP->VC reduction (Fig 8)" `Slow vc_reduction_triangle;
+    Alcotest.test_case "VC reduction overlap guard" `Quick vc_reduction_rejects_overlap;
+    Alcotest.test_case "composability of paper IJPs" `Slow composable_examples;
+    Alcotest.test_case "literal Def 48 insufficient (finding)" `Slow literal_def48_insufficient;
+    Alcotest.test_case "strict search: hard queries" `Slow strict_search_hard_queries;
+    Alcotest.test_case "strict search: easy queries" `Slow strict_search_easy_queries;
+  ]
+
+(* --- automated hardness certificates (Certificate) ----------------------- *)
+
+let certificate_for_hard_queries () =
+  List.iter
+    (fun (name, qs, joins) ->
+      match Certificate.search ~max_joins:joins (q qs) with
+      | Some cert ->
+        check_bool (name ^ " certificate verifies") true (Certificate.verify cert)
+      | None -> Alcotest.failf "no certificate for %s" name)
+    [ ("qvc", "R(x), S(x,y), R(y)", 2); ("qchain", "R(x,y), R(y,z)", 3) ]
+
+let certificate_reduction_threshold () =
+  match Certificate.search ~max_joins:3 (q "R(x,y), R(y,z)") with
+  | None -> Alcotest.fail "qchain certificate"
+  | Some cert ->
+    let g = [ (1, 2); (2, 3); (3, 1) ] in
+    (* K3 has no VC of size 1: the k=1 instance must NOT be in RES *)
+    let inst_no = Certificate.reduce cert g ~k:1 in
+    check_bool "k=1 rejected" false (Exact.in_res inst_no.Reductions.db inst_no.Reductions.query inst_no.Reductions.k);
+    let inst_yes = Certificate.reduce cert g ~k:2 in
+    check_bool "k=2 accepted" true (Exact.in_res inst_yes.Reductions.db inst_yes.Reductions.query inst_yes.Reductions.k)
+
+let certificate_none_for_ptime () =
+  List.iter
+    (fun (name, qs) ->
+      check_bool (name ^ " has no certificate") true
+        (Certificate.search ~max_joins:2 (q qs) = None))
+    [ ("qACconf", "A(x), R(x,y), R(z,y), C(z)"); ("qAperm", "A(x), R(x,y), R(y,x)") ]
+
+let certificate_from_paper_ijp () =
+  match
+    Certificate.of_ijp d59 q_tri
+      ~a:(Database.fact "R" [ Value.i 1; Value.i 2 ])
+      ~b:(Database.fact "R" [ Value.i 4; Value.i 5 ])
+  with
+  | Some cert ->
+    check_int "cost is the IJP resilience" 2 cert.Certificate.cost;
+    check_bool "verifies" true (Certificate.verify cert)
+  | None -> Alcotest.fail "Example 59 packages as a certificate"
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "certificates for hard queries" `Slow certificate_for_hard_queries;
+      Alcotest.test_case "certificate threshold is sharp" `Slow certificate_reduction_threshold;
+      Alcotest.test_case "no certificates for PTIME queries" `Slow certificate_none_for_ptime;
+      Alcotest.test_case "certificate from Example 59" `Slow certificate_from_paper_ijp;
+    ]

@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "resilience"
+    [
+      ("graph", Test_graph.suite);
+      ("sat", Test_sat.suite);
+      ("cq", Test_cq.suite);
+      ("db", Test_db.suite);
+      ("structure", Test_structure.suite);
+      ("classify", Test_classify.suite);
+      ("fragment", Test_fragment.suite);
+      ("solvers", Test_solvers.suite);
+      ("reductions", Test_reductions.suite);
+      ("ijp", Test_ijp.suite);
+      ("dp", Test_dp.suite);
+      ("causality", Test_causality.suite);
+      ("robustness", Test_robustness.suite);
+      ("edge-cases", Test_edge_cases.suite);
+    ]

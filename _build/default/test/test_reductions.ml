@@ -1,0 +1,189 @@
+(* End-to-end verification of the hardness reductions: every gadget's
+   yes-instance property (source yes-instance ⇔ (D,k) ∈ RES(q)) is checked
+   by solving the produced database exactly. *)
+
+open Res_sat
+open Resilience
+
+let q = Res_cq.Parser.query
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let f_sat1 = Cnf.make ~n_vars:3 [ [ 1; 2; 3 ] ]
+let f_sat2 = Cnf.make ~n_vars:2 [ [ 1; 2 ]; [ -1; 2 ]; [ 1; -2 ] ]
+let f_sat3 = Cnf.make ~n_vars:3 [ [ 1; -2; 3 ]; [ -1; 2; -3 ] ]
+let f_unsat1 = Cnf.make ~n_vars:1 [ [ 1 ]; [ -1 ] ]
+let f_unsat2 = Cnf.make ~n_vars:2 [ [ 1; 2 ]; [ 1; -2 ]; [ -1; 2 ]; [ -1; -2 ] ]
+
+let verify name (inst : Reductions.instance) ~sat () =
+  match Exact.value inst.db inst.query with
+  | None -> Alcotest.failf "%s: unbreakable instance" name
+  | Some rho ->
+    if sat then check_int (name ^ ": rho = k exactly") inst.k rho
+    else check_bool (name ^ ": rho > k") true (rho > inst.k)
+
+let gadget_cases builder name =
+  [
+    Alcotest.test_case (name ^ " sat (x|y|z)") `Quick (verify name (builder f_sat1) ~sat:true);
+    Alcotest.test_case (name ^ " sat 3 clauses") `Slow (verify name (builder f_sat2) ~sat:true);
+    Alcotest.test_case (name ^ " unsat (x)(~x)") `Slow (verify name (builder f_unsat1) ~sat:false);
+  ]
+
+(* --- VC reductions -------------------------------------------------------- *)
+
+let k3 = [ (1, 2); (2, 3); (3, 1) ]
+let p4 = [ (1, 2); (2, 3); (3, 4) ]
+let star = [ (1, 2); (1, 3); (1, 4); (1, 5) ]
+
+let vc_qvc_graphs () =
+  List.iter
+    (fun (name, g) ->
+      let vc = Res_graph.Vertex_cover.min_cover_size g in
+      let inst = Reductions.vc_to_qvc g ~k:vc in
+      check_int (name ^ " rho = VC") vc
+        (Option.get (Exact.value inst.db inst.query)))
+    [ ("K3", k3); ("P4", p4); ("star", star) ]
+
+let vc_unary_path () =
+  let vc = Res_graph.Vertex_cover.min_cover_size k3 in
+  let inst = Reductions.vc_to_unary_path k3 ~k:vc (q "R(x), S(x,y), R(y)") in
+  check_int "qvc via generic path machinery" vc (Option.get (Exact.value inst.db inst.query))
+
+let vc_binary_path_z1 () =
+  let vc = Res_graph.Vertex_cover.min_cover_size k3 in
+  let inst = Reductions.vc_to_binary_path k3 ~k:vc (q "R(x,x), S(x,y), R(y,y)") in
+  check_int "z1 rho = VC(K3)" vc (Option.get (Exact.value inst.db inst.query))
+
+let vc_binary_path_z2 () =
+  let vc = Res_graph.Vertex_cover.min_cover_size p4 in
+  let inst = Reductions.vc_to_binary_path p4 ~k:vc (q "R(x,x), S(x,y), R(y,z)") in
+  check_int "z2 rho = VC(P4)" vc (Option.get (Exact.value inst.db inst.query))
+
+let vc_binary_path_rejects_connected () =
+  Alcotest.check_raises "no path"
+    (Invalid_argument "vc_to_binary_path: R-atoms all connected (no path)") (fun () ->
+      ignore (Reductions.vc_to_binary_path k3 ~k:2 (q "R(x,y), R(y,z)")))
+
+(* --- query-to-query reductions --------------------------------------------- *)
+
+let triangle_db =
+  Res_db.Database.of_int_rows
+    [
+      ("R", [ [ 1; 2 ]; [ 4; 2 ]; [ 4; 5 ]; [ 1; 5 ] ]);
+      ("S", [ [ 2; 3 ]; [ 5; 3 ]; [ 2; 6 ] ]);
+      ("T", [ [ 3; 1 ]; [ 3; 4 ]; [ 6; 1 ] ]);
+    ]
+
+let triangle_rho () = Option.get (Exact.value triangle_db (q "R(x,y), S(y,z), T(z,x)"))
+
+let tripod_preserves () =
+  let inst = Reductions.triangle_to_tripod triangle_db in
+  check_int "tripod rho" (triangle_rho ()) (Option.get (Exact.value inst.db inst.query))
+
+let triad_preserves () =
+  let inst = Reductions.triangle_to_triad triangle_db (q "R(x,y), S(y,z), T(z,x), U(x,w)") in
+  check_int "triad rho" (triangle_rho ()) (Option.get (Exact.value inst.db inst.query))
+
+let triad_rejects_no_triad () =
+  Alcotest.check_raises "no triad" (Invalid_argument "triangle_to_triad: query has no triad")
+    (fun () -> ignore (Reductions.triangle_to_triad triangle_db (q "R(x,y), R(y,z)")))
+
+let sj_lifting_variants () =
+  let base = q "R(x,y), S(y,z), T(z,x)" in
+  List.iter
+    (fun target_s ->
+      let inst = Reductions.sjfree_to_sj_variation triangle_db ~base ~target:(q target_s) in
+      check_int (target_s ^ " preserves rho") (triangle_rho ())
+        (Option.get (Exact.value inst.db inst.query)))
+    [ "R(x,y), R(y,z), R(z,x)"; "R(x,y), R(y,z), T(z,x)"; "R(x,y), S(y,z), R(z,x)" ]
+
+let abperm_to_ac3perm () =
+  let db =
+    Res_db.Database.of_int_rows
+      [
+        ("A", [ [ 1 ]; [ 2 ]; [ 3 ] ]);
+        ("B", [ [ 1 ]; [ 2 ]; [ 4 ] ]);
+        ("R", [ [ 1; 2 ]; [ 2; 1 ]; [ 2; 3 ]; [ 3; 2 ]; [ 1; 4 ]; [ 4; 1 ]; [ 3; 4 ] ]);
+      ]
+  in
+  let rho_ab = Option.get (Exact.value db (q "A(x), R(x,y), R(y,x), B(y)")) in
+  let inst = Reductions.abperm_to_ac3perm db in
+  check_int "Prop 46 preserves rho" rho_ab (Option.get (Exact.value inst.db inst.query))
+
+(* --- gadget structural checks ------------------------------------------------ *)
+
+let chain_gadget_shape () =
+  let inst = Reductions.sat3_to_chain f_sat1 in
+  check_int "kψ = (n+5)m" ((3 + 5) * 1) inst.k;
+  (* variable cycles: 2 tuples per variable per clause + 9 clause tuples
+     + 3 connectors *)
+  check_int "tuple count" ((3 * 2 * 1) + (9 * 1)) (Res_db.Database.size inst.db)
+
+let chain_expansion_queries () =
+  let inst = Reductions.sat3_to_chain ~with_a:true ~with_c:true f_sat1 in
+  check_bool "query is the AC expansion" true
+    (Res_cq.Query.equal inst.query (q "A(x), R(x,y), R(y,z), C(z)"))
+
+let triangle_gadget_k () =
+  let inst = Reductions.sat3_to_triangle f_sat1 in
+  check_int "kψ = 18m" 18 inst.k
+
+let sat_assignment_yields_contingency () =
+  (* constructive direction: solve the formula, check a contingency set of
+     size k exists by the exact solver's own certificate *)
+  let inst = Reductions.sat3_to_chain f_sat3 in
+  match Exact.resilience inst.db inst.query with
+  | Solution.Finite (v, facts) ->
+    check_int "certificate size" inst.k v;
+    check_bool "certificate valid" true (Exact.is_contingency_set inst.db inst.query facts)
+  | Solution.Unbreakable -> Alcotest.fail "breakable"
+
+let clause_padding () =
+  (* 1- and 2-literal clauses are padded; instance still behaves *)
+  let f = Cnf.make ~n_vars:2 [ [ 1 ]; [ -1; 2 ] ] in
+  let inst = Reductions.sat3_to_chain f in
+  check_int "rho = k for satisfiable" inst.k (Option.get (Exact.value inst.db inst.query))
+
+let rejects_empty_formula () =
+  Alcotest.check_raises "empty" (Invalid_argument "sat3_to_chain: empty formula") (fun () ->
+      ignore (Reductions.sat3_to_chain (Cnf.make ~n_vars:1 [])))
+
+let unsat2_chain_gap () =
+  let inst = Reductions.sat3_to_chain f_unsat2 in
+  let rho = Option.get (Exact.value inst.db inst.query) in
+  check_int "gap is exactly one unsatisfied clause" (inst.k + 1) rho
+
+let suite =
+  gadget_cases Reductions.sat3_to_chain "3SAT->chain"
+  @ gadget_cases (Reductions.sat3_to_chain ~with_a:true) "3SAT->achain"
+  @ gadget_cases (Reductions.sat3_to_chain ~with_b:true) "3SAT->bchain"
+  @ gadget_cases (Reductions.sat3_to_chain ~with_c:true) "3SAT->cchain"
+  @ gadget_cases (Reductions.sat3_to_chain ~with_a:true ~with_b:true) "3SAT->abchain"
+  @ gadget_cases (Reductions.sat3_to_chain ~with_b:true ~with_c:true) "3SAT->bcchain"
+  @ gadget_cases (Reductions.sat3_to_chain ~with_a:true ~with_c:true) "3SAT->acchain"
+  @ gadget_cases
+      (Reductions.sat3_to_chain ~with_a:true ~with_b:true ~with_c:true)
+      "3SAT->abcchain"
+  @ gadget_cases Reductions.sat3_to_triangle "3SAT->triangle"
+  @ gadget_cases Reductions.sat3_to_tripod "3SAT->tripod"
+  @ gadget_cases Reductions.sat3_to_abperm "3SAT->qABperm"
+  @ gadget_cases Reductions.sat3_to_sxy3perm "3SAT->qSxy3perm"
+  @ [
+      Alcotest.test_case "VC->qvc on three graphs" `Quick vc_qvc_graphs;
+      Alcotest.test_case "VC->unary path (Thm 27)" `Quick vc_unary_path;
+      Alcotest.test_case "VC->binary path z1 (Thm 28)" `Quick vc_binary_path_z1;
+      Alcotest.test_case "VC->binary path z2 (Thm 28)" `Quick vc_binary_path_z2;
+      Alcotest.test_case "VC->binary path rejects chains" `Quick vc_binary_path_rejects_connected;
+      Alcotest.test_case "triangle->tripod (Prop 57)" `Quick tripod_preserves;
+      Alcotest.test_case "triangle->triad (Lemma 6)" `Quick triad_preserves;
+      Alcotest.test_case "triangle->triad rejects triad-free" `Quick triad_rejects_no_triad;
+      Alcotest.test_case "Lemma 21 lifting (3 variants)" `Quick sj_lifting_variants;
+      Alcotest.test_case "qABperm->qAC3perm-R (Prop 46)" `Quick abperm_to_ac3perm;
+      Alcotest.test_case "chain gadget bookkeeping" `Quick chain_gadget_shape;
+      Alcotest.test_case "expansion query labels" `Quick chain_expansion_queries;
+      Alcotest.test_case "triangle gadget k" `Quick triangle_gadget_k;
+      Alcotest.test_case "constructive certificate" `Quick sat_assignment_yields_contingency;
+      Alcotest.test_case "short clauses padded" `Quick clause_padding;
+      Alcotest.test_case "empty formula rejected" `Quick rejects_empty_formula;
+      Alcotest.test_case "unsat gap is +1 per clause" `Slow unsat2_chain_gap;
+    ]

@@ -1,0 +1,102 @@
+(* Robustness and scale: fuzzing the whole pipeline with arbitrary random
+   queries (any arity, multiple self-joins, random exogenous marks), and
+   stress-testing the polynomial solvers on larger instances. *)
+
+open Res_db
+open Resilience
+
+let qp = Res_cq.Parser.query
+
+let random_query st =
+  let vars = [| "x"; "y"; "z"; "w"; "u" |] in
+  let rels = [| ("R", 2); ("S", 2); ("A", 1); ("B", 1); ("W", 3) |] in
+  let n_atoms = 1 + Random.State.int st 4 in
+  let atoms =
+    List.init n_atoms (fun _ ->
+        let rel, ar = rels.(Random.State.int st 5) in
+        Res_cq.Atom.make rel (List.init ar (fun _ -> vars.(Random.State.int st 5))))
+  in
+  let exo = if Random.State.bool st then [] else [ fst rels.(Random.State.int st 5) ] in
+  Res_cq.Query.make ~exo atoms
+
+let prop_pipeline_never_crashes =
+  QCheck.Test.make ~count:150 ~name:"classify+solve never raise on arbitrary queries"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed; 99 |] in
+      let q = random_query st in
+      let _ = Classify.classify q in
+      let db = Db_gen.random_for_query ~seed ~domain:3 ~tuples_per_relation:5 q in
+      let _ = Solver.solve db q in
+      true)
+
+let prop_solver_exact_agreement_arbitrary =
+  QCheck.Test.make ~count:120 ~name:"dispatcher agrees with exact on arbitrary queries"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed; 7 |] in
+      let q = random_query st in
+      let db = Db_gen.random_for_query ~seed ~domain:3 ~tuples_per_relation:5 q in
+      Solver.value db q = Exact.value db q)
+
+let prop_contingency_facts_endogenous =
+  QCheck.Test.make ~count:80 ~name:"contingency sets only contain endogenous facts"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed; 13 |] in
+      let q = random_query st in
+      let db = Db_gen.random_for_query ~seed ~domain:3 ~tuples_per_relation:5 q in
+      match Solver.solve db q with
+      | Solution.Finite (_, facts) ->
+        List.for_all (fun (f : Database.fact) -> not (Res_cq.Query.is_exogenous q f.rel)) facts
+      | Solution.Unbreakable -> true)
+
+let flow_scales_to_10k () =
+  let q = qp "A(x), R(x,y), S(y,z)" in
+  let db = Db_gen.random_for_query ~seed:1 ~domain:300 ~tuples_per_relation:5000 q in
+  let t0 = Sys.time () in
+  match Flow.solve db q with
+  | Some (Solution.Finite (v, _)) ->
+    Alcotest.(check bool) "solved" true (v > 0);
+    Alcotest.(check bool) "well under a minute" true (Sys.time () -. t0 < 30.0)
+  | _ -> Alcotest.fail "flow must handle the linear query"
+
+let special_scales () =
+  let q = qp "A(x), R(x,y), R(y,z), R(z,y)" in
+  let db = Db_gen.random_for_query ~seed:2 ~domain:100 ~tuples_per_relation:2000 q in
+  let t0 = Sys.time () in
+  match Special.solve_a3perm ~a:"A" ~r:"R" db q with
+  | Solution.Finite _ -> Alcotest.(check bool) "fast" true (Sys.time () -. t0 < 30.0)
+  | Solution.Unbreakable -> Alcotest.fail "breakable"
+
+let perm_scales () =
+  let q = qp "R(x,y), R(y,x)" in
+  let db = Db_gen.random_graph ~seed:5 ~nodes:400 ~edges:20_000 ~rel:"R" in
+  match Special.solve_perm ~r:"R" db q with
+  | Solution.Finite (v, _) -> Alcotest.(check bool) "many pairs" true (v > 50)
+  | Solution.Unbreakable -> Alcotest.fail "breakable"
+
+let dinic_scales () =
+  (* a layered network with 2k nodes and 3k edges *)
+  let module M = Res_graph.Maxflow in
+  let n = 1000 in
+  let net = M.create (2 * n + 2) in
+  let src = 2 * n and dst = (2 * n) + 1 in
+  for i = 0 to n - 1 do
+    ignore (M.add_edge net ~src ~dst:i ~cap:1);
+    ignore (M.add_edge net ~src:i ~dst:(n + ((i + 1) mod n)) ~cap:1);
+    ignore (M.add_edge net ~src:i ~dst:(n + i) ~cap:1);
+    ignore (M.add_edge net ~src:(n + i) ~dst ~cap:1)
+  done;
+  Alcotest.(check int) "full flow" n (M.max_flow net ~src ~dst)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_pipeline_never_crashes;
+    QCheck_alcotest.to_alcotest prop_solver_exact_agreement_arbitrary;
+    QCheck_alcotest.to_alcotest prop_contingency_facts_endogenous;
+    Alcotest.test_case "flow on 10k tuples" `Slow flow_scales_to_10k;
+    Alcotest.test_case "Prop 13 flow on 8k tuples" `Slow special_scales;
+    Alcotest.test_case "permutation pairs on 20k edges" `Slow perm_scales;
+    Alcotest.test_case "Dinic on a 2k-node network" `Quick dinic_scales;
+  ]

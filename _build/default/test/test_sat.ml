@@ -1,0 +1,142 @@
+(* Tests for the SAT substrate: CNF representation, DPLL, exact Max-2SAT,
+   formula generators. *)
+
+open Res_sat
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let cnf_make_validates () =
+  Alcotest.check_raises "bad literal" (Invalid_argument "Cnf.make: bad literal 5 (n_vars=2)")
+    (fun () -> ignore (Cnf.make ~n_vars:2 [ [ 1; 5 ] ]));
+  Alcotest.check_raises "zero literal" (Invalid_argument "Cnf.make: bad literal 0 (n_vars=2)")
+    (fun () -> ignore (Cnf.make ~n_vars:2 [ [ 0 ] ]));
+  Alcotest.check_raises "empty clause" (Invalid_argument "Cnf.make: empty clause")
+    (fun () -> ignore (Cnf.make ~n_vars:2 [ [] ]))
+
+let cnf_eval () =
+  let f = Cnf.make ~n_vars:2 [ [ 1; 2 ]; [ -1; 2 ] ] in
+  let a = [| false; true; false |] in
+  (* x1=true x2=false *)
+  check_bool "clause1" true (Cnf.eval_clause a [ 1; 2 ]);
+  check_bool "clause2" false (Cnf.eval_clause a [ -1; 2 ]);
+  check_bool "formula" false (Cnf.eval a f);
+  check_int "count" 1 (Cnf.count_satisfied a f)
+
+let cnf_all_assignments () =
+  check_int "2^3 assignments" 8 (List.length (List.of_seq (Cnf.all_assignments 3)))
+
+let dpll_sat_simple () =
+  let f = Cnf.make ~n_vars:3 [ [ 1; 2; 3 ]; [ -1 ]; [ -2 ] ] in
+  match Dpll.solve f with
+  | Some a ->
+    check_bool "assignment satisfies" true (Cnf.eval a f);
+    check_bool "x3 forced" true a.(3)
+  | None -> Alcotest.fail "should be satisfiable"
+
+let dpll_unsat_pair () =
+  check_bool "x & ~x" false (Dpll.satisfiable (Cnf.make ~n_vars:1 [ [ 1 ]; [ -1 ] ]))
+
+let dpll_unsat_full_square () =
+  let f = Cnf.make ~n_vars:2 [ [ 1; 2 ]; [ 1; -2 ]; [ -1; 2 ]; [ -1; -2 ] ] in
+  check_bool "all sign patterns" false (Dpll.satisfiable f)
+
+let dpll_pure_literal () =
+  (* x2 appears only positively: pure-literal elimination should solve this
+     without branching on it *)
+  let f = Cnf.make ~n_vars:2 [ [ 1; 2 ]; [ -1; 2 ] ] in
+  match Dpll.solve f with
+  | Some a -> check_bool "model" true (Cnf.eval a f)
+  | None -> Alcotest.fail "satisfiable"
+
+let dpll_pigeonhole () =
+  check_bool "PHP(2) unsat" false (Dpll.satisfiable (Sat_gen.pigeonhole 2));
+  check_bool "PHP(3) unsat" false (Dpll.satisfiable (Sat_gen.pigeonhole 3))
+
+let dpll_count_models () =
+  (* x1 | x2 has 3 models *)
+  check_int "models of a single clause" 3 (Dpll.count_models (Cnf.make ~n_vars:2 [ [ 1; 2 ] ]))
+
+let prop_dpll_brute =
+  QCheck.Test.make ~count:150 ~name:"DPLL agrees with brute force"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let f =
+        Sat_gen.random_kcnf ~seed ~n_vars:(3 + (seed mod 3)) ~n_clauses:(4 + (seed mod 6)) ~k:3
+      in
+      let brute = Seq.exists (fun a -> Cnf.eval a f) (Cnf.all_assignments f.n_vars) in
+      Dpll.satisfiable f = brute)
+
+let prop_dpll_model_valid =
+  QCheck.Test.make ~count:100 ~name:"DPLL models actually satisfy"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let f = Sat_gen.random_kcnf ~seed:(seed + 7) ~n_vars:5 ~n_clauses:8 ~k:3 in
+      match Dpll.solve f with Some a -> Cnf.eval a f | None -> true)
+
+let max2sat_basic () =
+  let f = Cnf.make ~n_vars:1 [ [ 1 ]; [ -1 ] ] in
+  check_int "x & ~x: one of two" 1 (Max2sat.max_satisfiable f)
+
+let max2sat_all_satisfiable () =
+  let f = Cnf.make ~n_vars:2 [ [ 1; 2 ]; [ -1; 2 ] ] in
+  check_int "both" 2 (Max2sat.max_satisfiable f)
+
+let max2sat_rejects_3clauses () =
+  Alcotest.check_raises "3-literal clause"
+    (Invalid_argument "Max2sat: clause with more than 2 literals") (fun () ->
+      ignore (Max2sat.max_satisfiable (Cnf.make ~n_vars:3 [ [ 1; 2; 3 ] ])))
+
+let max2sat_assignment_achieves () =
+  let f = Sat_gen.random_2cnf ~seed:42 ~n_vars:5 ~n_clauses:12 in
+  let a, best = Max2sat.best_assignment f in
+  check_int "claimed optimum achieved" best (Cnf.count_satisfied a f)
+
+let prop_max2sat_brute =
+  QCheck.Test.make ~count:120 ~name:"Max2SAT B&B agrees with brute force"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let f = Sat_gen.random_2cnf ~seed ~n_vars:(2 + (seed mod 4)) ~n_clauses:(3 + (seed mod 8)) in
+      Max2sat.max_satisfiable f = Max2sat.brute_force f)
+
+let gen_kcnf_shape () =
+  let f = Sat_gen.random_kcnf ~seed:1 ~n_vars:6 ~n_clauses:10 ~k:3 in
+  check_int "clause count" 10 (List.length f.clauses);
+  List.iter
+    (fun c ->
+      check_int "clause width" 3 (List.length c);
+      let vars = List.sort_uniq compare (List.map abs c) in
+      check_int "distinct vars" 3 (List.length vars))
+    f.clauses
+
+let gen_kcnf_deterministic () =
+  let f1 = Sat_gen.random_kcnf ~seed:9 ~n_vars:4 ~n_clauses:5 ~k:3 in
+  let f2 = Sat_gen.random_kcnf ~seed:9 ~n_vars:4 ~n_clauses:5 ~k:3 in
+  check_bool "same seed, same formula" true (f1.clauses = f2.clauses)
+
+let gen_2cnf_widths () =
+  let f = Sat_gen.random_2cnf ~seed:3 ~n_vars:4 ~n_clauses:20 in
+  List.iter (fun c -> check_bool "width 1 or 2" true (List.length c <= 2 && c <> [])) f.clauses
+
+let suite =
+  [
+    Alcotest.test_case "Cnf.make validation" `Quick cnf_make_validates;
+    Alcotest.test_case "Cnf evaluation" `Quick cnf_eval;
+    Alcotest.test_case "all_assignments size" `Quick cnf_all_assignments;
+    Alcotest.test_case "DPLL simple sat" `Quick dpll_sat_simple;
+    Alcotest.test_case "DPLL unsat pair" `Quick dpll_unsat_pair;
+    Alcotest.test_case "DPLL unsat full square" `Quick dpll_unsat_full_square;
+    Alcotest.test_case "DPLL pure literal" `Quick dpll_pure_literal;
+    Alcotest.test_case "DPLL pigeonhole" `Quick dpll_pigeonhole;
+    Alcotest.test_case "DPLL model counting" `Quick dpll_count_models;
+    QCheck_alcotest.to_alcotest prop_dpll_brute;
+    QCheck_alcotest.to_alcotest prop_dpll_model_valid;
+    Alcotest.test_case "Max2SAT contradiction" `Quick max2sat_basic;
+    Alcotest.test_case "Max2SAT fully satisfiable" `Quick max2sat_all_satisfiable;
+    Alcotest.test_case "Max2SAT width check" `Quick max2sat_rejects_3clauses;
+    Alcotest.test_case "Max2SAT optimum achieved" `Quick max2sat_assignment_achieves;
+    QCheck_alcotest.to_alcotest prop_max2sat_brute;
+    Alcotest.test_case "k-CNF generator shape" `Quick gen_kcnf_shape;
+    Alcotest.test_case "k-CNF generator determinism" `Quick gen_kcnf_deterministic;
+    Alcotest.test_case "2-CNF generator widths" `Quick gen_2cnf_widths;
+  ]
