@@ -67,6 +67,54 @@ let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc:"Compute the resilience of a database w.r.t. a query")
     Term.(const run $ query_arg $ db_file_arg $ facts_arg $ trace_arg)
 
+(* --- batch ------------------------------------------------------------ *)
+
+let batch_cmd =
+  let run file no_cache repeat show_stats =
+    let instances =
+      try Res_engine.Batch.load_file file with
+      | Res_engine.Batch.Parse_error msg ->
+        Printf.eprintf "instance file error: %s\n" msg;
+        exit 2
+      | Sys_error msg ->
+        prerr_endline msg;
+        exit 2
+    in
+    let workload = List.concat (List.init (max 1 repeat) (fun _ -> instances)) in
+    let engine = Res_engine.Batch.create ~cached:(not no_cache) () in
+    let outcomes = Res_engine.Batch.run engine workload in
+    List.iter
+      (fun (o : Res_engine.Batch.outcome) ->
+        let rho =
+          match o.solution with
+          | Resilience.Solution.Unbreakable -> "unbreakable"
+          | Resilience.Solution.Finite (v, _) -> string_of_int v
+        in
+        Printf.printf "%-10s rho=%-12s %s%s\n" o.label rho
+          (Resilience.Classify.verdict_to_string o.verdict)
+          (if o.solve_cached then "  [cached]" else ""))
+      outcomes;
+    if show_stats then
+      Format.printf "%a@." Res_engine.Stats.pp (Res_engine.Batch.stats engine)
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Instance file: one \"QUERY | FACTS\" per line, optional \\@label prefix, # comments.")
+  in
+  let no_cache_arg =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable canonical-query caching (baseline mode).")
+  in
+  let repeat_arg =
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N" ~doc:"Process the instance list N times.")
+  in
+  let stats_arg =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print engine cache/timing statistics.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Solve a file of (query, database) instances through the caching engine")
+    Term.(const run $ file_arg $ no_cache_arg $ repeat_arg $ stats_arg)
+
 (* --- witnesses ---------------------------------------------------------- *)
 
 let witnesses_cmd =
@@ -283,4 +331,4 @@ let propagate_cmd =
 let () =
   let doc = "resilience of conjunctive queries with self-joins (PODS 2020 reproduction)" in
   let info = Cmd.info "resilience" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ classify_cmd; solve_cmd; witnesses_cmd; zoo_cmd; ijp_cmd; gadget_cmd; repairs_cmd; blame_cmd; propagate_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ classify_cmd; solve_cmd; batch_cmd; witnesses_cmd; zoo_cmd; ijp_cmd; gadget_cmd; repairs_cmd; blame_cmd; propagate_cmd ]))

@@ -31,3 +31,19 @@ val solve_traced : Database.t -> Res_cq.Query.t -> Solution.t * trace list
 
 val value : Database.t -> Res_cq.Query.t -> int option
 (** [Some ρ] or [None] (unbreakable). *)
+
+(** {2 The mirror symmetry}
+
+    Reversing every binary atom ({!Query_iso.mirror}) together with every
+    binary tuple is a global symmetry of resilience: ρ(D, q) =
+    ρ(mirror D, mirror q), and contingency sets transfer through
+    {!mirror_solution}.  The dispatcher uses this to match a template in
+    either orientation; {!Res_engine.Canon} uses it to merge a class with
+    its mirror under one key. *)
+
+val mirror_db : Database.t -> Res_cq.Query.t -> Database.t
+(** Reverse every tuple of the relations that are binary in the query. *)
+
+val mirror_solution : Res_cq.Query.t -> Solution.t -> Solution.t
+(** Map a solution of the mirrored instance back to the original
+    database's facts ([q] is the {e original} query). *)

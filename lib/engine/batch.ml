@@ -1,0 +1,167 @@
+open Res_cq
+open Res_db
+open Resilience
+
+type instance = { label : string; query : Query.t; db : Database.t }
+
+type outcome = {
+  label : string;
+  query : Query.t;
+  key : string;
+  verdict : Classify.verdict;
+  solution : Solution.t;
+  solve_cached : bool;
+}
+
+type t = {
+  cached : bool;
+  classify_cache : (string, Classify.verdict) Cache.t;
+  solve_cache : (string * string, Solution.t) Cache.t;
+  stats : Stats.t;
+}
+
+let create ?(cached = true) ?(classify_capacity = 4096) ?(solve_capacity = 4096) () =
+  {
+    cached;
+    classify_cache = Cache.create ~capacity:classify_capacity ();
+    solve_cache = Cache.create ~capacity:solve_capacity ();
+    stats = Stats.create ();
+  }
+
+let stats t = t.stats
+
+let timed_canon t f =
+  Stats.timed t.stats (fun s -> s.canon_time) (fun s v -> s.canon_time <- v) f
+
+let timed_digest t f =
+  Stats.timed t.stats (fun s -> s.digest_time) (fun s v -> s.digest_time <- v) f
+
+let timed_classify t f =
+  Stats.timed t.stats (fun s -> s.classify_time) (fun s v -> s.classify_time <- v) f
+
+let timed_solve t f =
+  Stats.timed t.stats (fun s -> s.solve_time) (fun s v -> s.solve_time <- v) f
+
+let classify_keyed t (k : Canon.keyed) =
+  match Cache.find t.classify_cache k.key with
+  | Some v ->
+    t.stats.classify_hits <- t.stats.classify_hits + 1;
+    v
+  | None ->
+    t.stats.classify_misses <- t.stats.classify_misses + 1;
+    let v = timed_classify t (fun () -> Classify.verdict_of (Canon.canonical_query k.key)) in
+    Cache.add t.classify_cache k.key v;
+    v
+
+let classify t q =
+  if not t.cached then begin
+    t.stats.classify_misses <- t.stats.classify_misses + 1;
+    timed_classify t (fun () -> Classify.verdict_of q)
+  end
+  else classify_keyed t (timed_canon t (fun () -> Canon.keyed q))
+
+(* (solution, served from cache).  On a miss the *canonical* instance is
+   solved, so the stored solution is reusable by — and translatable back
+   to — every instance of the class with the same database digest. *)
+let solve_keyed t (k : Canon.keyed) db q =
+  let dg = timed_digest t (fun () -> Canon.instance_digest k q db) in
+  match Cache.find t.solve_cache (k.key, dg) with
+  | Some sol ->
+    t.stats.solve_hits <- t.stats.solve_hits + 1;
+    (Canon.translate_solution_back k q sol, true)
+  | None ->
+    t.stats.solve_misses <- t.stats.solve_misses + 1;
+    let sol =
+      timed_solve t (fun () ->
+          Solver.solve (Canon.translate_db k q db) (Canon.canonical_query k.key))
+    in
+    Cache.add t.solve_cache (k.key, dg) sol;
+    (Canon.translate_solution_back k q sol, false)
+
+let solve t db q =
+  if not t.cached then begin
+    t.stats.solve_misses <- t.stats.solve_misses + 1;
+    timed_solve t (fun () -> Solver.solve db q)
+  end
+  else fst (solve_keyed t (timed_canon t (fun () -> Canon.keyed q)) db q)
+
+let run t instances =
+  let indexed = List.mapi (fun i (inst : instance) -> (i, inst)) instances in
+  let with_keys =
+    if not t.cached then List.map (fun (i, inst) -> (i, inst, None)) indexed
+    else
+      List.map
+        (fun (i, (inst : instance)) ->
+          (i, inst, Some (timed_canon t (fun () -> Canon.keyed inst.query))))
+        indexed
+  in
+  (* group equivalence classes consecutively; stable, so equal keys keep
+     input order *)
+  let sorted =
+    List.stable_sort
+      (fun (_, _, k1) (_, _, k2) ->
+        match (k1, k2) with
+        | Some a, Some b -> compare a.Canon.key b.Canon.key
+        | _ -> 0)
+      with_keys
+  in
+  let outcomes =
+    List.map
+      (fun (i, (inst : instance), keyed) ->
+        t.stats.instances <- t.stats.instances + 1;
+        match keyed with
+        | None ->
+          let verdict = classify t inst.query in
+          let solution = solve t inst.db inst.query in
+          (i, { label = inst.label; query = inst.query; key = ""; verdict; solution; solve_cached = false })
+        | Some k ->
+          let verdict = classify_keyed t k in
+          let solution, solve_cached = solve_keyed t k inst.db inst.query in
+          (i, { label = inst.label; query = inst.query; key = k.key; verdict; solution; solve_cached }))
+      sorted
+  in
+  List.sort (fun (i, _) (j, _) -> compare i j) outcomes |> List.map snd
+
+(* --- instance files ----------------------------------------------------- *)
+
+exception Parse_error of string
+
+let parse_line lineno line =
+  let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error (Printf.sprintf "line %d: %s" lineno m))) fmt in
+  let label, body =
+    if String.length line > 0 && line.[0] = '@' then begin
+      match String.index_opt line ' ' with
+      | Some i ->
+        ( String.sub line 1 (i - 1),
+          String.sub line (i + 1) (String.length line - i - 1) )
+      | None -> fail "label without an instance"
+    end
+    else (Printf.sprintf "#%d" lineno, line)
+  in
+  match String.index_opt body '|' with
+  | None -> fail "expected \"QUERY | FACTS\""
+  | Some i ->
+    let query_s = String.trim (String.sub body 0 i) in
+    let facts_s = String.trim (String.sub body (i + 1) (String.length body - i - 1)) in
+    let query =
+      match Parser.query_opt query_s with
+      | Ok q -> q
+      | Error msg -> fail "query: %s" msg
+    in
+    let db =
+      try Fact_syntax.database facts_s
+      with Fact_syntax.Parse_error msg -> fail "facts: %s" msg
+    in
+    { label; query; db }
+
+let parse_instances text =
+  String.split_on_char '\n' text
+  |> List.mapi (fun i line -> (i + 1, String.trim line))
+  |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+  |> List.map (fun (lineno, line) -> parse_line lineno line)
+
+let load_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse_instances (In_channel.input_all ic))

@@ -1,0 +1,61 @@
+(** The batched solving engine.
+
+    Classification (Theorem 37) is per-{e query} while solving is
+    per-{e instance}; an engine amortizes both across a stream of
+    [(query, database)] instances.  Every query is reduced to its
+    {!Canon} key, so classification runs once per isomorphism class and
+    solutions are shared by instances whose canonical databases coincide.
+    Solving a cache miss happens on the {e canonical} instance — the
+    cached solution is valid for every member of the class and is mapped
+    back through the instance's own renaming on each hit. *)
+
+open Res_cq
+open Res_db
+open Resilience
+
+type instance = { label : string; query : Query.t; db : Database.t }
+
+type outcome = {
+  label : string;
+  query : Query.t;
+  key : string;  (** canonical key (empty when the engine is uncached) *)
+  verdict : Classify.verdict;
+  solution : Solution.t;
+  solve_cached : bool;  (** the solution came from the cache *)
+}
+
+type t
+
+val create : ?cached:bool -> ?classify_capacity:int -> ?solve_capacity:int -> unit -> t
+(** [cached] defaults to [true]; with [~cached:false] the engine degrades
+    to plain per-instance [Classify]/[Solver] calls — the baseline the
+    cache benchmarks compare against. *)
+
+val classify : t -> Query.t -> Classify.verdict
+(** Classification verdict of the query's isomorphism class. *)
+
+val solve : t -> Database.t -> Query.t -> Solution.t
+(** ρ(D, q) with a minimum contingency set, via the caches. *)
+
+val run : t -> instance list -> outcome list
+(** Process a batch: instances are sorted by canonical key (stable), so
+    each equivalence class is handled consecutively, then results are
+    returned in the original input order. *)
+
+val stats : t -> Stats.t
+
+(** {2 Instance files}
+
+    One instance per line: [QUERY | FACTS], with an optional leading
+    [@label] token; blank lines and [#] comments are ignored.
+    {v
+      @chain R(x,y), R(y,z) | R(1,2); R(2,3); R(3,3)
+    v} *)
+
+exception Parse_error of string
+
+val parse_instances : string -> instance list
+(** @raise Parse_error with a line number on malformed input. *)
+
+val load_file : string -> instance list
+(** @raise Parse_error / [Sys_error]. *)

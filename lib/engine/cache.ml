@@ -1,0 +1,70 @@
+type ('k, 'v) entry = { value : 'v; mutable stamp : int }
+
+type ('k, 'v) t = {
+  tbl : ('k, ('k, 'v) entry) Hashtbl.t;
+  cap : int;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Cache.create: capacity must be positive";
+  {
+    tbl = Hashtbl.create (min capacity 64);
+    cap = capacity;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let touch c e =
+  c.tick <- c.tick + 1;
+  e.stamp <- c.tick
+
+let find c k =
+  match Hashtbl.find_opt c.tbl k with
+  | Some e ->
+    c.hits <- c.hits + 1;
+    touch c e;
+    Some e.value
+  | None ->
+    c.misses <- c.misses + 1;
+    None
+
+let mem c k = Hashtbl.mem c.tbl k
+
+(* Evict in batches of ~10% of capacity: one O(n) scan amortized over the
+   next cap/10 insertions, instead of a scan per insertion. *)
+let evict c =
+  let batch = max 1 (c.cap / 10) in
+  let entries = Hashtbl.fold (fun k e acc -> (e.stamp, k) :: acc) c.tbl [] in
+  let oldest = List.sort compare entries in
+  List.iteri
+    (fun i (_, k) ->
+      if i < batch then begin
+        Hashtbl.remove c.tbl k;
+        c.evictions <- c.evictions + 1
+      end)
+    oldest
+
+let add c k v =
+  (match Hashtbl.find_opt c.tbl k with
+  | Some _ -> Hashtbl.remove c.tbl k
+  | None -> if Hashtbl.length c.tbl >= c.cap then evict c);
+  let e = { value = v; stamp = 0 } in
+  touch c e;
+  Hashtbl.add c.tbl k e
+
+let length c = Hashtbl.length c.tbl
+let capacity c = c.cap
+let clear c = Hashtbl.reset c.tbl
+let hits c = c.hits
+let misses c = c.misses
+let evictions c = c.evictions
+
+let hit_rate c =
+  let total = c.hits + c.misses in
+  if total = 0 then 0. else float_of_int c.hits /. float_of_int total

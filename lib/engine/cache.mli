@@ -1,0 +1,34 @@
+(** Bounded memo tables with least-recently-used eviction.
+
+    The engine keeps two of these: canonical key → classification verdict,
+    and (canonical key, database digest) → solution.  Capacities bound
+    memory under adversarial workloads (millions of distinct instances)
+    while leaving hot classes resident; hit/miss counters feed
+    {!Stats}. *)
+
+type ('k, 'v) t
+
+val create : ?capacity:int -> unit -> ('k, 'v) t
+(** [capacity] defaults to 4096 entries; it must be positive. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Refreshes the entry's recency and counts a hit or a miss. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Like {!find} but without touching recency or the counters. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert (or overwrite) a binding, evicting the least recently used
+    entries when the table exceeds its capacity. *)
+
+val length : ('k, 'v) t -> int
+val capacity : ('k, 'v) t -> int
+val clear : ('k, 'v) t -> unit
+(** Drop all entries (counters are kept). *)
+
+val hits : ('k, 'v) t -> int
+val misses : ('k, 'v) t -> int
+val evictions : ('k, 'v) t -> int
+
+val hit_rate : ('k, 'v) t -> float
+(** Hits over lookups, 0. when nothing was looked up. *)

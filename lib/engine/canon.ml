@@ -1,0 +1,213 @@
+open Res_cq
+open Res_db
+
+type renaming = {
+  rel_map : (string * string) list;
+  mirrored : bool;
+}
+
+type keyed = { key : string; renaming : renaming }
+
+(* Equality pattern of an argument list: R(x,x) -> "0,0", R(x,y) -> "0,1". *)
+let pattern (a : Atom.t) =
+  let seen = Hashtbl.create 4 in
+  let next = ref 0 in
+  let idx v =
+    match Hashtbl.find_opt seen v with
+    | Some i -> i
+    | None ->
+      let i = !next in
+      incr next;
+      Hashtbl.add seen v i;
+      i
+  in
+  String.concat "," (List.map (fun v -> string_of_int (idx v)) a.args)
+
+(* Isomorphism-invariant signature of an atom within its query.  Atoms are
+   only permuted within equal-signature groups, so the finer the signature
+   the fewer orderings the minimization has to scan.  Everything used here
+   — arity, exogeneity, argument equality pattern, variable degrees, and
+   the multiset of patterns of the atom's relation — is preserved by any
+   relation/variable renaming, hence grouping by it never separates two
+   orderings an isomorphism could map to each other. *)
+let signature_fn (q : Query.t) =
+  let degree = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Atom.t) ->
+      List.iter
+        (fun v ->
+          Hashtbl.replace degree v
+            (1 + Option.value ~default:0 (Hashtbl.find_opt degree v)))
+        a.args)
+    (Query.atoms q);
+  let profiles = Hashtbl.create 8 in
+  List.iter
+    (fun (a : Atom.t) ->
+      Hashtbl.replace profiles a.rel
+        (pattern a :: Option.value ~default:[] (Hashtbl.find_opt profiles a.rel)))
+    (Query.atoms q);
+  fun (a : Atom.t) ->
+    Printf.sprintf "%d;%b;%s;%d;%s;%s" (Atom.arity a)
+      (Query.is_exogenous q a.rel)
+      (pattern a)
+      (List.length (Query.atoms_of_rel q a.rel))
+      (String.concat ","
+         (List.map (fun v -> string_of_int (Hashtbl.find degree v)) a.args))
+      (String.concat "|" (List.sort compare (Hashtbl.find profiles a.rel)))
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        List.map (fun p -> x :: p) (permutations (List.filter (fun y -> not (y == x)) l)))
+      l
+
+let rec factorial n = if n <= 1 then 1 else n * factorial (n - 1)
+
+(* The candidate atom orderings: signature groups in fixed (sorted) group
+   order, atoms permuted freely within each group.  Past the budget we keep
+   one ordering per group — still a sound key (see the .mli), just possibly
+   splitting a very symmetric class over several keys. *)
+let orderings (q : Query.t) =
+  let sign = signature_fn q in
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun a ->
+      let s = sign a in
+      Hashtbl.replace groups s (a :: Option.value ~default:[] (Hashtbl.find_opt groups s)))
+    (Query.atoms q);
+  let sorted =
+    Hashtbl.fold (fun s atoms acc -> (s, List.rev atoms) :: acc) groups []
+    |> List.sort (fun (s1, _) (s2, _) -> compare s1 s2)
+  in
+  let budget =
+    List.fold_left (fun acc (_, g) -> acc * factorial (List.length g)) 1 sorted
+  in
+  if budget > 40320 then [ List.concat_map snd sorted ]
+  else
+    List.fold_left
+      (fun prefixes (_, g) ->
+        List.concat_map
+          (fun prefix -> List.map (fun perm -> prefix @ perm) (permutations g))
+          prefixes)
+      [ [] ] sorted
+
+(* Serialize one ordering with fresh canonical names assigned in
+   first-occurrence order; the result is valid {!Res_cq.Parser} syntax. *)
+let serialize (q : Query.t) atoms =
+  let rels = Hashtbl.create 8 and vars = Hashtbl.create 8 in
+  let nr = ref 0 and nv = ref 0 in
+  let rel_name r =
+    match Hashtbl.find_opt rels r with
+    | Some n -> n
+    | None ->
+      let n = Printf.sprintf "R%d" !nr in
+      incr nr;
+      Hashtbl.add rels r n;
+      n
+  in
+  let var_name v =
+    match Hashtbl.find_opt vars v with
+    | Some n -> n
+    | None ->
+      let n = Printf.sprintf "v%d" !nv in
+      incr nv;
+      Hashtbl.add vars v n;
+      n
+  in
+  let buf = Buffer.create 64 in
+  List.iteri
+    (fun i (a : Atom.t) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (rel_name a.rel);
+      if Query.is_exogenous q a.rel then Buffer.add_string buf "^x";
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun j v ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (var_name v))
+        a.args;
+      Buffer.add_char buf ')')
+    atoms;
+  (Buffer.contents buf, Hashtbl.fold (fun orig canon acc -> (orig, canon) :: acc) rels [])
+
+let best_repr (q : Query.t) =
+  match orderings q with
+  | [] -> serialize q (Query.atoms q)
+  | o :: os ->
+    List.fold_left
+      (fun (bs, bm) ordering ->
+        let s, m = serialize q ordering in
+        if s < bs then (s, m) else (bs, bm))
+      (serialize q o) os
+
+let keyed q =
+  let s_direct, m_direct = best_repr q in
+  let s_mirror, m_mirror = best_repr (Resilience.Query_iso.mirror q) in
+  if s_mirror < s_direct then
+    { key = s_mirror; renaming = { rel_map = m_mirror; mirrored = true } }
+  else { key = s_direct; renaming = { rel_map = m_direct; mirrored = false } }
+
+let key q = (keyed q).key
+
+let canonical_query = Parser.query
+
+let translate_db (k : keyed) (q : Query.t) db =
+  List.fold_left
+    (fun acc rel ->
+      match List.assoc_opt rel k.renaming.rel_map with
+      | None -> acc
+      | Some canon_rel ->
+        let flip = k.renaming.mirrored && Query.arity_of q rel = 2 in
+        List.fold_left
+          (fun acc t -> Database.add_row acc canon_rel (if flip then List.rev t else t))
+          acc (Database.tuples_of db rel))
+    Database.empty (Query.relations q)
+
+(* Injective serialization of values — Value.to_string conflates e.g.
+   Int 1 with Str "1", which a digest must not. *)
+let rec value_repr = function
+  | Value.Int n -> "i" ^ string_of_int n
+  | Value.Str s -> Printf.sprintf "s%d:%s" (String.length s) s
+  | Value.Pair (a, b) -> "p(" ^ value_repr a ^ "," ^ value_repr b ^ ")"
+  | Value.Tag (t, v) -> Printf.sprintf "t%d:%s(%s)" (String.length t) t (value_repr v)
+
+let digest_of_reprs reprs =
+  Digest.to_hex (Digest.string (String.concat ";" (List.sort compare reprs)))
+
+let fact_repr rel tuple =
+  rel ^ "(" ^ String.concat "," (List.map value_repr tuple) ^ ")"
+
+let digest db =
+  digest_of_reprs
+    (List.map (fun (f : Database.fact) -> fact_repr f.rel f.tuple) (Database.facts db))
+
+let instance_digest (k : keyed) (q : Query.t) db =
+  let reprs =
+    List.concat_map
+      (fun rel ->
+        match List.assoc_opt rel k.renaming.rel_map with
+        | None -> []
+        | Some canon_rel ->
+          let flip = k.renaming.mirrored && Query.arity_of q rel = 2 in
+          List.map
+            (fun t -> fact_repr canon_rel (if flip then List.rev t else t))
+            (Database.tuples_of db rel))
+      (Query.relations q)
+  in
+  digest_of_reprs reprs
+
+let translate_solution_back (k : keyed) (q : Query.t) = function
+  | Resilience.Solution.Unbreakable -> Resilience.Solution.Unbreakable
+  | Resilience.Solution.Finite (v, facts) ->
+    let inverse = List.map (fun (orig, canon) -> (canon, orig)) k.renaming.rel_map in
+    let back (f : Database.fact) =
+      let rel = match List.assoc_opt f.rel inverse with Some r -> r | None -> f.rel in
+      let flip =
+        k.renaming.mirrored
+        && (match Query.arity_of q rel with 2 -> true | _ -> false | exception Not_found -> false)
+      in
+      Database.fact rel (if flip then List.rev f.tuple else f.tuple)
+    in
+    Resilience.Solution.Finite (v, List.map back facts)

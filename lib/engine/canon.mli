@@ -1,0 +1,61 @@
+(** Canonical keys for queries, up to variable renaming, relation renaming
+    and mirroring (global reversal of binary atoms).
+
+    Resilience complexity is a property of the query's isomorphism class
+    (Section 2), and ρ itself is preserved by any bijective renaming of
+    relations and constants and by mirroring — so one classification and
+    one solution per class suffice.  {!key} maps every query of a class to
+    the same string, which is itself parseable ({!canonical_query}) as the
+    class representative the engine actually solves.
+
+    Soundness does not depend on the minimization being perfect: any two
+    queries with equal keys are isomorphic-up-to-mirror by construction
+    (the key parses back to a query each is isomorphic to), so a cache
+    keyed by it can never conflate inequivalent queries.  Completeness
+    (equal class ⇒ equal key) holds whenever the ordering enumeration is
+    exhaustive; for pathologically symmetric queries the enumeration is
+    capped and a class may spread over several keys — a lost cache hit,
+    never a wrong answer. *)
+
+open Res_cq
+open Res_db
+
+type renaming = {
+  rel_map : (string * string) list;
+      (** original relation name → canonical name ([R0], [R1], …) *)
+  mirrored : bool;
+      (** the canonical representative is the mirror of the query *)
+}
+
+type keyed = { key : string; renaming : renaming }
+
+val key : Query.t -> string
+(** The canonical key alone. *)
+
+val keyed : Query.t -> keyed
+(** The key plus the witnessing renaming, needed to translate databases
+    into canonical terms and solutions back out. *)
+
+val canonical_query : string -> Query.t
+(** Parse a key back into the class representative. *)
+
+val translate_db : keyed -> Query.t -> Database.t -> Database.t
+(** Rewrite a database into the canonical representative's vocabulary:
+    relations renamed by [rel_map], binary tuples reversed when
+    [mirrored].  Relations not mentioned by the query are dropped — they
+    can contribute no witness and no contingency set. *)
+
+val digest : Database.t -> string
+(** Structural digest of a (canonical) database: an MD5 of its sorted
+    fact list.  Two instances of the same class with equal digests have
+    literally identical canonical databases. *)
+
+val instance_digest : keyed -> Query.t -> Database.t -> string
+(** [instance_digest k q db] = [digest (translate_db k q db)], computed
+    without materializing the canonical database — the hot path of a
+    cache hit, which must stay far below the cost of a solve. *)
+
+val translate_solution_back :
+  keyed -> Query.t -> Resilience.Solution.t -> Resilience.Solution.t
+(** Map a solution of the canonical instance back to the original
+    vocabulary (inverse renaming, un-mirroring of binary facts). *)

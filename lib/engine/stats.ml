@@ -1,0 +1,73 @@
+type t = {
+  mutable instances : int;
+  mutable classify_hits : int;
+  mutable classify_misses : int;
+  mutable solve_hits : int;
+  mutable solve_misses : int;
+  mutable canon_time : float;
+  mutable digest_time : float;
+  mutable classify_time : float;
+  mutable solve_time : float;
+}
+
+let src = Logs.Src.create "resilience.engine" ~doc:"Batched resilience engine"
+
+let create () =
+  {
+    instances = 0;
+    classify_hits = 0;
+    classify_misses = 0;
+    solve_hits = 0;
+    solve_misses = 0;
+    canon_time = 0.;
+    digest_time = 0.;
+    classify_time = 0.;
+    solve_time = 0.;
+  }
+
+let reset s =
+  s.instances <- 0;
+  s.classify_hits <- 0;
+  s.classify_misses <- 0;
+  s.solve_hits <- 0;
+  s.solve_misses <- 0;
+  s.canon_time <- 0.;
+  s.digest_time <- 0.;
+  s.classify_time <- 0.;
+  s.solve_time <- 0.
+
+let timed s get set f =
+  let t0 = Sys.time () in
+  let r = f () in
+  set s (get s +. (Sys.time () -. t0));
+  r
+
+let rate hits misses =
+  let total = hits + misses in
+  if total = 0 then 0. else float_of_int hits /. float_of_int total
+
+let classify_hit_rate s = rate s.classify_hits s.classify_misses
+let solve_hit_rate s = rate s.solve_hits s.solve_misses
+let total_time s = s.canon_time +. s.digest_time +. s.classify_time +. s.solve_time
+
+let pp ppf s =
+  Fmt.pf ppf
+    "@[<v>engine stats:@,\
+    \  instances          %d@,\
+    \  classify cache     %d hits / %d misses (%.0f%% hit rate)@,\
+    \  solution cache     %d hits / %d misses (%.0f%% hit rate)@,\
+    \  time: canon %.4fs, digest %.4fs, classify %.4fs, solve %.4fs@]"
+    s.instances s.classify_hits s.classify_misses
+    (100. *. classify_hit_rate s)
+    s.solve_hits s.solve_misses
+    (100. *. solve_hit_rate s)
+    s.canon_time s.digest_time s.classify_time s.solve_time
+
+let log_summary s =
+  Logs.info ~src (fun m ->
+      m "engine: %d instances, classify %d/%d hit, solve %d/%d hit, %.4fs total"
+        s.instances s.classify_hits
+        (s.classify_hits + s.classify_misses)
+        s.solve_hits
+        (s.solve_hits + s.solve_misses)
+        (total_time s))

@@ -1,0 +1,34 @@
+(** Engine instrumentation: cache hit/miss counters and per-phase CPU
+    time, surfaced as a {!Fmt} report and through {!Logs}. *)
+
+type t = {
+  mutable instances : int;  (** instances pushed through the engine *)
+  mutable classify_hits : int;
+  mutable classify_misses : int;
+  mutable solve_hits : int;
+  mutable solve_misses : int;
+  mutable canon_time : float;  (** seconds spent computing canonical keys *)
+  mutable digest_time : float;  (** seconds spent translating + digesting databases *)
+  mutable classify_time : float;  (** seconds spent in {!Resilience.Classify} (misses only) *)
+  mutable solve_time : float;  (** seconds spent in the solvers (misses only) *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+val timed : t -> (t -> float) -> (t -> float -> unit) -> (unit -> 'a) -> 'a
+(** [timed s get set f] runs [f] and adds its CPU time to the field
+    accessed by [get]/[set]. *)
+
+val classify_hit_rate : t -> float
+val solve_hit_rate : t -> float
+val total_time : t -> float
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line engine report (counters, hit rates, per-phase timings). *)
+
+val log_summary : t -> unit
+(** Emit a one-line summary at [Logs.Info] level on the
+    ["resilience.engine"] source. *)
+
+val src : Logs.src

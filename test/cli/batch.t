@@ -1,0 +1,82 @@
+The batch subcommand pushes an instance file through the caching engine.
+Build a workload where the second instance is a relation-renamed copy of
+the first (same canonical key, same canonical database) and the fourth is
+the mirror image of the third:
+
+  $ cat > instances.txt <<'EOF'
+  > # repeated-query workload
+  > @chain    R(x,y), R(y,z) | R(1,2); R(2,3); R(3,3)
+  > @renamed  S(x,y), S(y,z) | S(1,2); S(2,3); S(3,3)
+  > @aperm    A(x), R(x,y), R(y,x) | A(1); R(1,2); R(2,1)
+  > @mirrored A(x), R(y,x), R(x,y) | A(1); R(2,1); R(1,2)
+  > @quickstart A(x), R(x,y), R(z,y), C(z) | A(1); R(1,2); R(3,2); C(3)
+  > EOF
+
+The renamed and mirrored instances are answered from the cache entries of
+their class representatives:
+
+  $ resilience batch instances.txt
+  chain      rho=2            NP-complete: 2-chain (Props 29/30/38)
+  renamed    rho=2            NP-complete: 2-chain (Props 29/30/38)  [cached]
+  aperm      rho=1            PTIME: unbound permutation (Props 33/35)
+  mirrored   rho=1            PTIME: unbound permutation (Props 33/35)  [cached]
+  quickstart rho=1            PTIME: confluence flow (Props 31/32)
+
+Repeating the workload only re-solves via the cache; --stats shows the
+hit counters and per-phase timing (times vary, so keep them out of the
+expected output):
+
+  $ resilience batch instances.txt --repeat 3 --stats | grep -v "^  time:"
+  chain      rho=2            NP-complete: 2-chain (Props 29/30/38)
+  renamed    rho=2            NP-complete: 2-chain (Props 29/30/38)  [cached]
+  aperm      rho=1            PTIME: unbound permutation (Props 33/35)
+  mirrored   rho=1            PTIME: unbound permutation (Props 33/35)  [cached]
+  quickstart rho=1            PTIME: confluence flow (Props 31/32)
+  chain      rho=2            NP-complete: 2-chain (Props 29/30/38)  [cached]
+  renamed    rho=2            NP-complete: 2-chain (Props 29/30/38)  [cached]
+  aperm      rho=1            PTIME: unbound permutation (Props 33/35)  [cached]
+  mirrored   rho=1            PTIME: unbound permutation (Props 33/35)  [cached]
+  quickstart rho=1            PTIME: confluence flow (Props 31/32)  [cached]
+  chain      rho=2            NP-complete: 2-chain (Props 29/30/38)  [cached]
+  renamed    rho=2            NP-complete: 2-chain (Props 29/30/38)  [cached]
+  aperm      rho=1            PTIME: unbound permutation (Props 33/35)  [cached]
+  mirrored   rho=1            PTIME: unbound permutation (Props 33/35)  [cached]
+  quickstart rho=1            PTIME: confluence flow (Props 31/32)  [cached]
+  engine stats:
+    instances          15
+    classify cache     12 hits / 3 misses (80% hit rate)
+    solution cache     12 hits / 3 misses (80% hit rate)
+
+--no-cache degrades to the plain per-instance pipeline:
+
+  $ resilience batch instances.txt --no-cache
+  chain      rho=2            NP-complete: 2-chain (Props 29/30/38)
+  renamed    rho=2            NP-complete: 2-chain (Props 29/30/38)
+  aperm      rho=1            PTIME: unbound permutation (Props 33/35)
+  mirrored   rho=1            PTIME: unbound permutation (Props 33/35)
+  quickstart rho=1            PTIME: confluence flow (Props 31/32)
+
+Classification and solving of the same queries through the one-shot
+subcommands stays consistent with the batch answers:
+
+  $ resilience classify "A(x), R(x,y), R(z,y), C(z)"
+  query: A(x), R(x,y), R(z,y), C(z)
+  minimized: A(x), R(x,y), R(z,y), C(z)
+  verdict: PTIME: confluence flow (Props 31/32)
+    component 1: A(x), R(x,y), R(z,y), C(z) -> PTIME: confluence flow (Props 31/32)
+
+  $ resilience solve "A(x), R(x,y), R(z,y), C(z)" --facts "A(1); R(1,2); R(3,2); C(3)"
+  resilience: 1
+  minimum contingency set:
+    A(1)
+
+Malformed instance files are rejected with a line number:
+
+  $ resilience batch bad.txt
+  bad.txt: No such file or directory
+  [2]
+
+  $ echo "R(x,y) without separator" > bad.txt
+  $ resilience batch bad.txt
+  instance file error: line 1: expected "QUERY | FACTS"
+  [2]

@@ -14,5 +14,6 @@ let () =
       ("dp", Test_dp.suite);
       ("causality", Test_causality.suite);
       ("robustness", Test_robustness.suite);
+      ("differential", Test_differential.suite);
       ("edge-cases", Test_edge_cases.suite);
     ]

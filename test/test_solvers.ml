@@ -277,6 +277,51 @@ let prop_sj_variation_harder =
         Exact.value inst.db inst.query = Some inst.k
       end)
 
+(* --- the mirror symmetry (Solver.mirror_db / mirror_solution) ------------- *)
+
+let mirror_queries =
+  [
+    "R(x,y), R(y,z)";
+    "A(x), R(x,y), R(y,x)";
+    "A(x), R(x,y), R(z,y), C(z)";
+    "R(x), S(x,y), R(y)";
+    "T^x(x,y), R(x,y), R(z,y)";
+    "R(x,x), R(x,y), A(y)";
+  ]
+
+let prop_mirror_invariance =
+  QCheck.Test.make ~count:120 ~name:"rho invariant under mirror_db + mirrored query"
+    QCheck.(pair (int_bound 10_000) (int_bound 5))
+    (fun (seed, qi) ->
+      let query = q (List.nth mirror_queries qi) in
+      let db = Db_gen.random_for_query ~seed ~domain:4 ~tuples_per_relation:6 query in
+      Solver.value (Solver.mirror_db db query) (Query_iso.mirror query) = Solver.value db query)
+
+let prop_mirror_solution_valid =
+  QCheck.Test.make ~count:120
+    ~name:"mirror_solution maps back to a contingency set of the original"
+    QCheck.(pair (int_bound 10_000) (int_bound 5))
+    (fun (seed, qi) ->
+      let query = q (List.nth mirror_queries qi) in
+      let db = Db_gen.random_for_query ~seed ~domain:4 ~tuples_per_relation:6 query in
+      let mirrored_sol = Solver.solve (Solver.mirror_db db query) (Query_iso.mirror query) in
+      match Solver.mirror_solution query mirrored_sol with
+      | Solution.Unbreakable -> Exact.value db query = None
+      | Solution.Finite (v, facts) ->
+        List.length facts = v
+        && List.for_all (Database.mem db) facts
+        && Exact.is_contingency_set db query facts
+        && Exact.value db query = Some v)
+
+let prop_mirror_involution =
+  QCheck.Test.make ~count:60 ~name:"mirror_db is an involution"
+    QCheck.(pair (int_bound 10_000) (int_bound 5))
+    (fun (seed, qi) ->
+      let query = q (List.nth mirror_queries qi) in
+      let db = Db_gen.random_for_query ~seed ~domain:4 ~tuples_per_relation:6 query in
+      let back = Solver.mirror_db (Solver.mirror_db db query) query in
+      List.sort compare (Database.facts back) = List.sort compare (Database.facts db))
+
 let suite =
   [
     Alcotest.test_case "exact: Section 2 example" `Quick exact_section2_example;
@@ -310,4 +355,7 @@ let suite =
       QCheck_alcotest.to_alcotest prop_domination_preserves_rho;
       QCheck_alcotest.to_alcotest prop_components_min;
       QCheck_alcotest.to_alcotest prop_sj_variation_harder;
+      QCheck_alcotest.to_alcotest prop_mirror_invariance;
+      QCheck_alcotest.to_alcotest prop_mirror_solution_valid;
+      QCheck_alcotest.to_alcotest prop_mirror_involution;
     ]
