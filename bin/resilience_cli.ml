@@ -46,26 +46,49 @@ let classify_cmd =
 (* --- solve ------------------------------------------------------------ *)
 
 let solve_cmd =
-  let run query_s db_file facts_inline show_trace =
+  let run query_s db_file facts_inline show_trace timeout =
     let q = parse_query query_s in
     let db = load_db db_file facts_inline in
-    let solution, traces = Resilience.Solver.solve_traced db q in
-    (match solution with
-    | Resilience.Solution.Unbreakable ->
-      print_endline "resilience: unbreakable (a witness uses only exogenous tuples)"
-    | Resilience.Solution.Finite (v, facts) ->
-      Printf.printf "resilience: %d\n" v;
-      print_endline "minimum contingency set:";
-      List.iter (fun f -> Format.printf "  %a@." Database.pp_fact f) facts);
-    if show_trace then
-      List.iter
-        (fun (t : Resilience.Solver.trace) ->
-          Format.printf "component %a -> %s@." Res_cq.Query.pp t.component t.algorithm)
-        traces
+    let cancel =
+      match timeout with
+      | Some secs when secs > 0. -> Resilience.Cancel.of_timeout secs
+      | Some _ ->
+        prerr_endline "--timeout must be positive";
+        exit 2
+      | None -> Resilience.Cancel.never
+    in
+    match Resilience.Solver.solve_bounded ~cancel db q with
+    | Resilience.Solver.Done (solution, traces) ->
+      (match solution with
+      | Resilience.Solution.Unbreakable ->
+        print_endline "resilience: unbreakable (a witness uses only exogenous tuples)"
+      | Resilience.Solution.Finite (v, facts) ->
+        Printf.printf "resilience: %d\n" v;
+        print_endline "minimum contingency set:";
+        List.iter (fun f -> Format.printf "  %a@." Database.pp_fact f) facts);
+      if show_trace then
+        List.iter
+          (fun (t : Resilience.Solver.trace) ->
+            Format.printf "component %a -> %s@." Res_cq.Query.pp t.component t.algorithm)
+          traces
+    | Resilience.Solver.Timeout ub ->
+      (match ub with
+      | Some (Resilience.Solution.Finite (v, facts)) ->
+        Printf.printf "timeout: search interrupted; best known upper bound: %d\n" v;
+        print_endline "contingency set achieving the bound (possibly not minimum):";
+        List.iter (fun f -> Format.printf "  %a@." Database.pp_fact f) facts
+      | Some Resilience.Solution.Unbreakable | None ->
+        print_endline "timeout: search interrupted before any bound was established");
+      exit 124
   in
   let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Show which algorithm solved each component.") in
+  let timeout_arg =
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECS"
+           ~doc:"Deadline for the solve; on expiry exit with code 124 and print the \
+                 best-known upper bound instead of running forever.")
+  in
   Cmd.v (Cmd.info "solve" ~doc:"Compute the resilience of a database w.r.t. a query")
-    Term.(const run $ query_arg $ db_file_arg $ facts_arg $ trace_arg)
+    Term.(const run $ query_arg $ db_file_arg $ facts_arg $ trace_arg $ timeout_arg)
 
 (* --- batch ------------------------------------------------------------ *)
 
@@ -114,6 +137,131 @@ let batch_cmd =
     (Cmd.info "batch"
        ~doc:"Solve a file of (query, database) instances through the caching engine")
     Term.(const run $ file_arg $ no_cache_arg $ repeat_arg $ stats_arg)
+
+(* --- serve / client ----------------------------------------------------- *)
+
+let address_of socket port host =
+  match (socket, port) with
+  | Some path, None -> Res_server.Server.Unix_socket path
+  | None, Some p -> Res_server.Server.Tcp (host, p)
+  | Some _, Some _ ->
+    prerr_endline "choose one of --socket PATH / --port N, not both";
+    exit 2
+  | None, None ->
+    prerr_endline "no address given: use --socket PATH or --port N";
+    exit 2
+
+let socket_arg =
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let port_arg =
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc:"TCP port.")
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"TCP bind/connect address.")
+
+let serve_cmd =
+  let run socket port host workers queue timeout_ms no_timeout verbose =
+    Fmt_tty.setup_std_outputs ();
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs_threaded.enable ();
+    Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning));
+    let cfg =
+      {
+        Res_server.Server.address = address_of socket port host;
+        workers;
+        queue_capacity = queue;
+        default_timeout_ms = (if no_timeout then None else Some timeout_ms);
+      }
+    in
+    let srv = Res_server.Server.start cfg in
+    let graceful _ = ignore (Thread.create (fun () -> Res_server.Server.stop srv) ()) in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle graceful);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle graceful);
+    Res_server.Server.wait srv
+  in
+  let workers_arg =
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc:"Worker threads solving requests.")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N"
+           ~doc:"Admission-control bound on queued requests; beyond it clients get \"error busy\".")
+  in
+  let timeout_arg =
+    Arg.(value & opt int 30_000 & info [ "timeout-ms" ] ~docv:"MS"
+           ~doc:"Default per-request deadline for requests without their own timeout=MS.")
+  in
+  let no_timeout_arg =
+    Arg.(value & flag & info [ "no-timeout" ] ~doc:"No default deadline (requests may run forever).")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log every request (debug level).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the resilience service: a concurrent socket server with per-request \
+             deadlines, cooperative cancellation and a metrics registry (see the protocol \
+             in the README)")
+    Term.(const run $ socket_arg $ port_arg $ host_arg $ workers_arg $ queue_arg
+          $ timeout_arg $ no_timeout_arg $ verbose_arg)
+
+let client_cmd =
+  let run socket port host retry requests =
+    let sockaddr, domain =
+      match address_of socket port host with
+      | Res_server.Server.Unix_socket path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
+      | Res_server.Server.Tcp (h, p) ->
+        let addr =
+          try Unix.inet_addr_of_string h
+          with Failure _ -> (Unix.gethostbyname h).Unix.h_addr_list.(0)
+        in
+        (Unix.ADDR_INET (addr, p), Unix.PF_INET)
+    in
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    let rec connect attempts =
+      try Unix.connect fd sockaddr
+      with Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) when attempts > 0 ->
+        Unix.sleepf 0.1;
+        connect (attempts - 1)
+    in
+    (try connect retry
+     with Unix.Unix_error (e, _, _) ->
+       Printf.eprintf "cannot connect: %s\n" (Unix.error_message e);
+       exit 3);
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let send line =
+      output_string oc line;
+      output_char oc '\n';
+      flush oc;
+      match input_line ic with
+      | reply -> print_endline reply
+      | exception End_of_file ->
+        prerr_endline "server closed the connection";
+        exit 3
+    in
+    if requests = [] then begin
+      try
+        while true do
+          send (input_line stdin)
+        done
+      with End_of_file -> ()
+    end
+    else List.iter send requests
+  in
+  let retry_arg =
+    Arg.(value & opt int 50 & info [ "retry" ] ~docv:"N"
+           ~doc:"Connection attempts (100ms apart) before giving up — lets scripts start \
+                 the client right after the server.")
+  in
+  let requests_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"REQUEST"
+           ~doc:"Protocol lines to send; with none, lines are read from stdin.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send protocol requests to a running resilience server and print the replies")
+    Term.(const run $ socket_arg $ port_arg $ host_arg $ retry_arg $ requests_arg)
 
 (* --- witnesses ---------------------------------------------------------- *)
 
@@ -331,4 +479,4 @@ let propagate_cmd =
 let () =
   let doc = "resilience of conjunctive queries with self-joins (PODS 2020 reproduction)" in
   let info = Cmd.info "resilience" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ classify_cmd; solve_cmd; batch_cmd; witnesses_cmd; zoo_cmd; ijp_cmd; gadget_cmd; repairs_cmd; blame_cmd; propagate_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ classify_cmd; solve_cmd; batch_cmd; serve_cmd; client_cmd; witnesses_cmd; zoo_cmd; ijp_cmd; gadget_cmd; repairs_cmd; blame_cmd; propagate_cmd ]))

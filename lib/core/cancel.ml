@@ -1,0 +1,46 @@
+exception Cancelled
+
+(* A token is a poll function plus a sticky [fired] bit.  [probe] may be
+   expensive (a clock read); it runs every [interval] polls.  Once a
+   token fires it stays fired — polls after that are a single load. *)
+type t = { mutable fired : bool; mutable budget : int; interval : int; probe : unit -> bool }
+
+let never = { fired = false; budget = max_int; interval = max_int; probe = (fun () -> false) }
+
+let make ?(interval = 256) probe = { fired = false; budget = interval; interval; probe }
+
+let of_deadline deadline = make (fun () -> Unix.gettimeofday () >= deadline)
+
+let of_timeout secs = of_deadline (Unix.gettimeofday () +. secs)
+
+(* Flags flip asynchronously (another thread), so probe on every poll. *)
+let of_flag flag = make ~interval:1 (fun () -> !flag)
+
+let of_steps n =
+  let left = ref n in
+  make ~interval:1 (fun () ->
+      if !left <= 0 then true
+      else begin
+        decr left;
+        false
+      end)
+
+let cancelled t =
+  if t.fired then true
+  else if t == never then false
+  else begin
+    t.budget <- t.budget - 1;
+    if t.budget > 0 then false
+    else begin
+      t.budget <- t.interval;
+      if t.probe () then t.fired <- true;
+      t.fired
+    end
+  end
+
+let all = function
+  | [] -> never
+  | [ t ] -> t
+  | ts -> make ~interval:1 (fun () -> List.exists cancelled ts)
+
+let guard t = if cancelled t then raise Cancelled

@@ -1,0 +1,45 @@
+(** Cooperative cancellation tokens for long-running solvers.
+
+    The exact branch-and-bound solver is the ground truth for NP-complete
+    queries (Theorem 37) and can run unboundedly long; a service cannot
+    afford that.  A token is threaded into the hot loops ({!Exact},
+    {!Flow}) and polled at each unit of work — clock reads are amortized
+    over a step interval, so polling costs a few instructions per branch
+    node.  Cancellation is {e cooperative}: the solver observes the token
+    at safe points and unwinds cleanly, reporting the best bound it has
+    established so far.
+
+    Tokens are safe to poll concurrently from systhreads: the state only
+    ever moves from live to cancelled. *)
+
+type t
+
+exception Cancelled
+(** Raised by {!guard} (and by solvers that have no partial answer to
+    salvage) when the token fires. *)
+
+val never : t
+(** The default token: never cancels, polling is a single load. *)
+
+val of_deadline : float -> t
+(** Cancel once [Unix.gettimeofday ()] passes the given absolute time.
+    The clock is probed every [interval] polls (default 256). *)
+
+val of_timeout : float -> t
+(** [of_timeout secs] = [of_deadline (now + secs)]. *)
+
+val of_flag : bool ref -> t
+(** Cancel once the flag is set — for tests and for server shutdown. *)
+
+val of_steps : int -> t
+(** Cancel after a fixed number of polls — a deterministic step budget,
+    used by the soundness property tests. *)
+
+val all : t list -> t
+(** Fires as soon as any of the tokens fires. *)
+
+val cancelled : t -> bool
+(** Poll without raising.  Cheap enough for the innermost loops. *)
+
+val guard : t -> unit
+(** @raise Cancelled once the token has fired. *)

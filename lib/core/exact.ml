@@ -87,9 +87,13 @@ let greedy_packing_bound sets =
   in
   go IS.empty 0 (List.sort (fun a b -> compare (IS.cardinal a) (IS.cardinal b)) sets)
 
-let solve_hitting_set sets =
+(* Branch-and-bound on the hitting-set instance.  [best] always holds a
+   genuine hitting set (seeded by the greedy cover, only ever replaced by
+   completed branches), so when [cancel] fires mid-search the current
+   incumbent is a sound upper bound — that is what [`Interrupted] carries. *)
+let solve_hitting_set ?(cancel = Cancel.never) sets =
   match sets with
-  | [] -> (0, [])
+  | [] -> `Complete (0, [])
   | _ ->
     let sets = minimal_sets sets in
     let allowed = useful_facts sets in
@@ -121,6 +125,7 @@ let solve_hitting_set sets =
     let ub_set = greedy_cover sets in
     let best = ref (List.length ub_set, ub_set) in
     let rec branch chosen depth sets =
+      Cancel.guard cancel;
       match sets with
       | [] -> if depth < fst !best then best := (depth, chosen)
       | _ ->
@@ -142,15 +147,29 @@ let solve_hitting_set sets =
             pivot
         end
     in
-    branch [] 0 sets;
-    !best
+    (match branch [] 0 sets with
+     | () -> `Complete !best
+     | exception Cancel.Cancelled -> `Interrupted !best)
+
+type outcome =
+  | Complete of Solution.t
+  | Interrupted of Solution.t
+
+let resilience_bounded ?cancel db q =
+  match instance db q with
+  | None -> Complete Solution.Unbreakable
+  | Some (sets, facts_rev) ->
+    let finish (value, chosen) =
+      Solution.Finite (value, List.map (Hashtbl.find facts_rev) chosen)
+    in
+    (match solve_hitting_set ?cancel sets with
+     | `Complete r -> Complete (finish r)
+     | `Interrupted r -> Interrupted (finish r))
 
 let resilience db q =
-  match instance db q with
-  | None -> Solution.Unbreakable
-  | Some (sets, facts_rev) ->
-    let value, chosen = solve_hitting_set sets in
-    Solution.Finite (value, List.map (Hashtbl.find facts_rev) chosen)
+  match resilience_bounded db q with
+  | Complete s -> s
+  | Interrupted _ -> assert false (* Cancel.never cannot fire *)
 
 let value db q = Solution.value (resilience db q)
 
@@ -172,7 +191,11 @@ let minimum_sets ?(limit = 1000) db q =
   match instance db q with
   | None -> []
   | Some (sets, facts_rev) ->
-    let opt, _ = solve_hitting_set sets in
+    let opt =
+      match solve_hitting_set sets with
+      | `Complete (v, _) -> v
+      | `Interrupted _ -> assert false
+    in
     if opt = 0 then [ [] ]
     else begin
       let sets = minimal_sets sets in

@@ -17,6 +17,25 @@ open Res_db
 
 val resilience : Database.t -> Res_cq.Query.t -> Solution.t
 
+(** {2 Deadline-aware search}
+
+    The branch-and-bound incumbent is a genuine contingency set from the
+    moment the greedy cover is computed, so interrupting the search still
+    yields a {e sound upper bound} together with the set witnessing it. *)
+
+type outcome =
+  | Complete of Solution.t  (** the search finished; this is ρ exactly *)
+  | Interrupted of Solution.t
+      (** the token fired mid-search; the carried [Finite (ub, set)] is the
+          best incumbent — [set] is a genuine contingency set of size [ub],
+          so ρ ≤ ub (never [Unbreakable]: that case completes instantly) *)
+
+val resilience_bounded : ?cancel:Cancel.t -> Database.t -> Res_cq.Query.t -> outcome
+(** Like {!resilience}, but polls [cancel] at every branch node.  The
+    polynomial preprocessing (witness enumeration, reductions, greedy
+    cover) always runs to completion; only the exponential search is
+    interruptible. *)
+
 val value : Database.t -> Res_cq.Query.t -> int option
 (** [Some ρ], or [None] when {!Unbreakable}.  ρ = 0 iff D ⊭ q. *)
 

@@ -37,7 +37,7 @@ let boundaries atoms =
         SS.elements (SS.inter !before !after)
       end)
 
-let solve ?(fact_exogenous = fun _ -> false) db (q : Res_cq.Query.t) =
+let solve ?(cancel = Cancel.never) ?(fact_exogenous = fun _ -> false) db (q : Res_cq.Query.t) =
   match Linearity.linear_order q with
   | None -> None
   | Some order ->
@@ -65,6 +65,7 @@ let solve ?(fact_exogenous = fun _ -> false) db (q : Res_cq.Query.t) =
       let exo_rel = Res_cq.Query.is_exogenous q a.rel in
       List.iter
         (fun tuple ->
+          Cancel.guard cancel;
           match match_atom a tuple with
           | None -> ()
           | Some subst ->
@@ -79,7 +80,9 @@ let solve ?(fact_exogenous = fun _ -> false) db (q : Res_cq.Query.t) =
             if cap = 1 then edge_facts := (e, f) :: !edge_facts)
         (Database.tuples_of db a.rel)
     done;
+    Cancel.guard cancel;
     let flow = Maxflow.max_flow net ~src:source ~dst:sink in
+    Cancel.guard cancel;
     if flow >= Maxflow.infinite then Some Solution.Unbreakable
     else begin
       let _, cut = Maxflow.min_cut net ~src:source in
@@ -97,6 +100,7 @@ let solve ?(fact_exogenous = fun _ -> false) db (q : Res_cq.Query.t) =
         else
           List.fold_left
             (fun kept f ->
+              Cancel.guard cancel;
               let candidate = List.filter (fun g -> g <> f) kept in
               if Eval.sat (Database.remove_all db candidate) q then kept else candidate)
             facts facts
@@ -106,7 +110,7 @@ let solve ?(fact_exogenous = fun _ -> false) db (q : Res_cq.Query.t) =
       Some (Solution.Finite (List.length contingency, contingency))
     end
 
-let solve_exn ?fact_exogenous db q =
-  match solve ?fact_exogenous db q with
+let solve_exn ?cancel ?fact_exogenous db q =
+  match solve ?cancel ?fact_exogenous db q with
   | Some s -> s
   | None -> invalid_arg "Flow.solve_exn: query is not linear"

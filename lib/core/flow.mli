@@ -18,20 +18,27 @@
 
     [fact_exogenous] lets callers force specific {e tuples} (not whole
     relations) to be uncuttable — e.g. Prop 36 makes off-diagonal R-tuples
-    exogenous for the z3 family. *)
+    exogenous for the z3 family.
+
+    [cancel] is polled once per tuple while the network is built and once
+    per kept fact during cut minimalization; a fired token raises
+    {!Cancel.Cancelled} (flow has no useful partial answer to salvage). *)
 
 open Res_db
 
 val solve :
+  ?cancel:Cancel.t ->
   ?fact_exogenous:(Database.fact -> bool) ->
   Database.t ->
   Res_cq.Query.t ->
   Solution.t option
 (** [None] when the query is not linear (no contiguous atom order).
     The result is verified: the returned set is a genuine contingency set
-    (deleting it falsifies the query). *)
+    (deleting it falsifies the query).
+    @raise Cancel.Cancelled when [cancel] fires. *)
 
 val solve_exn :
+  ?cancel:Cancel.t ->
   ?fact_exogenous:(Database.fact -> bool) ->
   Database.t ->
   Res_cq.Query.t ->

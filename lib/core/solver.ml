@@ -64,19 +64,28 @@ let try_template tmpl db q k =
 
 let rel rel_map name = List.assoc name rel_map
 
-let dispatch_ptime (m : Classify.ptime_method) db q =
+(* An exact search that hit its deadline, carrying the incumbent —
+   unwinds out of the dispatcher to the component combiner. *)
+exception Partial_exact of Solution.t
+
+let exact_bounded cancel db q =
+  match Exact.resilience_bounded ~cancel db q with
+  | Exact.Complete s -> s
+  | Exact.Interrupted s -> raise (Partial_exact s)
+
+let dispatch_ptime ~cancel (m : Classify.ptime_method) db q =
   let fallback note =
     (* last polynomial resort before exact search: the instance-level
        bipartite witness cover (twin collapse + König) *)
     match Special.solve_witness_bipartite db q with
     | Some s -> (Printf.sprintf "bipartite witness cover (%s)" note, s)
-    | None -> (Printf.sprintf "exact (fallback: %s)" note, Exact.resilience db q)
+    | None -> (Printf.sprintf "exact (fallback: %s)" note, exact_bounded cancel db q)
   in
   match m with
   | Classify.Trivial_no_endogenous ->
     if Eval.sat db q then ("trivial", Solution.Unbreakable) else ("trivial", Solution.Finite (0, []))
   | Classify.Sj_free_no_triad | Classify.Confluence_flow -> begin
-    match Flow.solve db q with
+    match Flow.solve ~cancel db q with
     | Some s ->
       let name =
         if m = Classify.Confluence_flow then "confluence flow (Prop 31)" else "linear flow [31]"
@@ -123,7 +132,7 @@ let dispatch_ptime (m : Classify.ptime_method) db q =
         let off_diag (f : Database.fact) =
           f.rel = r && match f.tuple with [ a; b ] -> not (Value.equal a b) | _ -> false
         in
-        match Flow.solve ~fact_exogenous:off_diag db q with
+        match Flow.solve ~cancel ~fact_exogenous:off_diag db q with
         | Some s -> ("REP flow with exogenous off-diagonal (Prop 36)", s)
         | None -> fallback "REP expansion not linear"
       end
@@ -154,34 +163,61 @@ let dispatch_ptime (m : Classify.ptime_method) db q =
     | None -> fallback "qTS3conf template mismatch"
   end
 
-let solve_component db qc =
+(* One component: [`Done trace], or [`Partial (Some ub)] when the exact
+   search was interrupted with an incumbent, or [`Partial None] when a
+   polynomial solver was cancelled mid-run (nothing to salvage). *)
+let solve_component ~cancel db qc =
   let q', verdict = Classify.classify_component qc in
   let db = extend_db_for_split db q' in
-  let algorithm, solution =
+  match
     match verdict with
-    | Classify.Ptime m -> dispatch_ptime m db q'
+    | Classify.Ptime m -> dispatch_ptime ~cancel m db q'
     | Classify.Np_complete r ->
-      (Printf.sprintf "exact (NP-complete: %s)" (Classify.reason_to_string r), Exact.resilience db q')
-    | Classify.Open_problem s -> (Printf.sprintf "exact (open: %s)" s, Exact.resilience db q')
-    | Classify.Unknown s -> (Printf.sprintf "exact (unknown: %s)" s, Exact.resilience db q')
-  in
-  { component = q'; algorithm; solution }
+      ( Printf.sprintf "exact (NP-complete: %s)" (Classify.reason_to_string r),
+        exact_bounded cancel db q' )
+    | Classify.Open_problem s -> (Printf.sprintf "exact (open: %s)" s, exact_bounded cancel db q')
+    | Classify.Unknown s -> (Printf.sprintf "exact (unknown: %s)" s, exact_bounded cancel db q')
+  with
+  | algorithm, solution -> `Done { component = q'; algorithm; solution }
+  | exception Partial_exact ub -> `Partial (Some ub)
+  | exception Cancel.Cancelled -> `Partial None
 
-let solve_traced db q =
+(* ρ is the minimum over components (Lemma 14): the smaller of two
+   [Finite] answers wins, [Unbreakable] is the identity. *)
+let min_solution a b =
+  match (a, b) with
+  | Solution.Unbreakable, s | s, Solution.Unbreakable -> s
+  | Solution.Finite (v1, _), Solution.Finite (v2, _) -> if v2 < v1 then b else a
+
+type bounded =
+  | Done of Solution.t * trace list
+  | Timeout of Solution.t option
+
+let solve_bounded ?(cancel = Cancel.never) db q =
   let minimized = Res_cq.Homomorphism.minimize q in
   let comps = Res_cq.Components.split minimized in
-  let traces = List.map (solve_component db) comps in
+  let results = List.map (solve_component ~cancel db) comps in
+  let timed_out = List.exists (function `Partial _ -> true | `Done _ -> false) results in
+  (* Every finished component value and every interrupted incumbent is a
+     sound upper bound on the minimum: deleting one component's
+     contingency set already falsifies the conjunction. *)
   let best =
     List.fold_left
-      (fun acc t ->
-        match (acc, t.solution) with
-        | Solution.Unbreakable, s -> s
-        | s, Solution.Unbreakable -> s
-        | Solution.Finite (v1, _), Solution.Finite (v2, _) ->
-          if v2 < v1 then t.solution else acc)
-      Solution.Unbreakable traces
+      (fun acc -> function
+        | `Done t -> min_solution acc t.solution
+        | `Partial (Some ub) -> min_solution acc ub
+        | `Partial None -> acc)
+      Solution.Unbreakable results
   in
-  (best, traces)
+  if not timed_out then
+    Done (best, List.filter_map (function `Done t -> Some t | `Partial _ -> None) results)
+  else
+    Timeout (match best with Solution.Finite _ -> Some best | Solution.Unbreakable -> None)
+
+let solve_traced db q =
+  match solve_bounded db q with
+  | Done (best, traces) -> (best, traces)
+  | Timeout _ -> assert false (* Cancel.never cannot fire *)
 
 let solve db q = fst (solve_traced db q)
 let value db q = Solution.value (solve db q)

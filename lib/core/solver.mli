@@ -29,6 +29,25 @@ val solve : Database.t -> Res_cq.Query.t -> Solution.t
 
 val solve_traced : Database.t -> Res_cq.Query.t -> Solution.t * trace list
 
+(** {2 Deadline-aware solving}
+
+    The service layer cannot let an NP-complete component run unboundedly:
+    [solve_bounded] threads a {!Cancel} token into every cancellable hot
+    loop ({!Exact} branch nodes, {!Flow} network construction).  When the
+    token fires the answer degrades gracefully: any component that already
+    finished, and any interrupted exact search's incumbent, yields a sound
+    upper bound on ρ (deleting one component's contingency set falsifies
+    the whole conjunction), and the smallest such bound is reported. *)
+
+type bounded =
+  | Done of Solution.t * trace list  (** finished before the deadline *)
+  | Timeout of Solution.t option
+      (** the token fired; [Some (Finite (ub, set))] is the best sound
+          upper bound established so far ([set] is a genuine contingency
+          set), [None] when no bound was reached in time *)
+
+val solve_bounded : ?cancel:Cancel.t -> Database.t -> Res_cq.Query.t -> bounded
+
 val value : Database.t -> Res_cq.Query.t -> int option
 (** [Some ρ] or [None] (unbreakable). *)
 

@@ -4,20 +4,38 @@ type token = Ident of string | Rel of string * bool (* exogenous? *) | Lpar | Rp
 
 let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
 
+let token_str = function
+  | Ident v -> Printf.sprintf "%S" v
+  | Rel (r, false) -> Printf.sprintf "relation %S" r
+  | Rel (r, true) -> Printf.sprintf "relation %S" (r ^ "^x")
+  | Lpar -> "'('"
+  | Rpar -> "')'"
+  | Comma -> "','"
+  | Turnstile -> "':-'"
+
+(* Where an error happened: the offending token with its character
+   offset in the input, or the end of the input. *)
+let at = function
+  | (tok, off) :: _ -> Printf.sprintf "%s at offset %d" (token_str tok) off
+  | [] -> "end of input"
+
+(* Tokens are paired with the character offset where they start, so
+   parse errors can point at the offending input. *)
 let tokenize s =
   let n = String.length s in
   let toks = ref [] in
   let i = ref 0 in
   let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') in
   let is_word c = is_alpha c || (c >= '0' && c <= '9') || c = '_' || c = '\'' in
+  let push tok start = toks := (tok, start) :: !toks in
   while !i < n do
     let c = s.[!i] in
     if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
-    else if c = '(' then begin toks := Lpar :: !toks; incr i end
-    else if c = ')' then begin toks := Rpar :: !toks; incr i end
-    else if c = ',' then begin toks := Comma :: !toks; incr i end
+    else if c = '(' then begin push Lpar !i; incr i end
+    else if c = ')' then begin push Rpar !i; incr i end
+    else if c = ',' then begin push Comma !i; incr i end
     else if c = ':' && !i + 1 < n && s.[!i + 1] = '-' then begin
-      toks := Turnstile :: !toks;
+      push Turnstile !i;
       i := !i + 2
     end
     else if is_alpha c then begin
@@ -28,11 +46,11 @@ let tokenize s =
         (* Relation name; check for ^x exogenous marker. *)
         if !i + 1 < n && s.[!i] = '^' && s.[!i + 1] = 'x' then begin
           i := !i + 2;
-          toks := Rel (word, true) :: !toks
+          push (Rel (word, true)) start
         end
-        else toks := Rel (word, false) :: !toks
+        else push (Rel (word, false)) start
       end
-      else toks := Ident word :: !toks
+      else push (Ident word) start
     end
     else fail "unexpected character %C at offset %d" c !i
   done;
@@ -44,12 +62,12 @@ let query s =
   let toks =
     let rec contains_turnstile = function
       | [] -> false
-      | Turnstile :: _ -> true
+      | (Turnstile, _) :: _ -> true
       | _ :: rest -> contains_turnstile rest
     in
     if contains_turnstile toks then begin
       let rec drop = function
-        | Turnstile :: rest -> rest
+        | (Turnstile, _) :: rest -> rest
         | _ :: rest -> drop rest
         | [] -> fail "missing body after ':-'"
       in
@@ -60,23 +78,28 @@ let query s =
   let exo = ref [] in
   let rec parse_atoms acc = function
     | [] -> List.rev acc
-    | Rel (name, is_exo) :: Lpar :: rest ->
+    | (Rel (name, is_exo), _) :: (Lpar, _) :: rest ->
       let rec parse_args args = function
-        | Ident v :: Comma :: rest -> parse_args (v :: args) rest
-        | Ident v :: Rpar :: rest -> (List.rev (v :: args), rest)
-        | _ -> fail "malformed argument list for %s" name
+        | (Ident v, _) :: (Comma, _) :: rest -> parse_args (v :: args) rest
+        | (Ident v, _) :: (Rpar, _) :: rest -> (List.rev (v :: args), rest)
+        | rest ->
+          fail "malformed argument list for %s: expected a lowercase variable, found %s" name
+            (at rest)
       in
       let args, rest = parse_args [] rest in
       if is_exo then exo := name :: !exo;
       let atom = Atom.make name args in
       begin match rest with
       | [] -> List.rev (atom :: acc)
-      | Comma :: [] -> fail "trailing comma after %s" (Atom.to_string atom)
-      | Comma :: rest -> parse_atoms (atom :: acc) rest
-      | _ -> fail "expected ',' or end of input after %s" (Atom.to_string atom)
+      | (Comma, off) :: [] -> fail "trailing comma at offset %d after %s" off (Atom.to_string atom)
+      | (Comma, _) :: rest -> parse_atoms (atom :: acc) rest
+      | rest -> fail "expected ',' or end of input after %s, found %s" (Atom.to_string atom) (at rest)
       end
-    | Rel (name, _) :: _ -> fail "expected '(' after relation %s" name
-    | _ -> fail "expected an atom"
+    | (Rel (name, _), _) :: rest -> fail "expected '(' after relation %s, found %s" name (at rest)
+    | rest ->
+      fail
+        "expected an atom (RELNAME(vars), relation names start uppercase), found %s"
+        (at rest)
   in
   let atoms = parse_atoms [] toks in
   if atoms = [] then fail "empty query";

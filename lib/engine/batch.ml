@@ -18,6 +18,10 @@ type t = {
   classify_cache : (string, Classify.verdict) Cache.t;
   solve_cache : (string * string, Solution.t) Cache.t;
   stats : Stats.t;
+  lock : Mutex.t;
+      (* guards the caches and the stats; never held while classifying or
+         solving, so a slow exact search cannot stall other threads'
+         cache hits *)
 }
 
 let create ?(cached = true) ?(classify_capacity = 4096) ?(solve_capacity = 4096) () =
@@ -26,64 +30,123 @@ let create ?(cached = true) ?(classify_capacity = 4096) ?(solve_capacity = 4096)
     classify_cache = Cache.create ~capacity:classify_capacity ();
     solve_cache = Cache.create ~capacity:solve_capacity ();
     stats = Stats.create ();
+    lock = Mutex.create ();
   }
 
 let stats t = t.stats
 
+let locked t f = Mutex.protect t.lock f
+
+let with_time f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+(* Canonicalization is pure; only the time accounting needs the lock. *)
 let timed_canon t f =
-  Stats.timed t.stats (fun s -> s.canon_time) (fun s v -> s.canon_time <- v) f
-
-let timed_digest t f =
-  Stats.timed t.stats (fun s -> s.digest_time) (fun s v -> s.digest_time <- v) f
-
-let timed_classify t f =
-  Stats.timed t.stats (fun s -> s.classify_time) (fun s v -> s.classify_time <- v) f
-
-let timed_solve t f =
-  Stats.timed t.stats (fun s -> s.solve_time) (fun s v -> s.solve_time <- v) f
+  let r, dt = with_time f in
+  locked t (fun () -> t.stats.canon_time <- t.stats.canon_time +. dt);
+  r
 
 let classify_keyed t (k : Canon.keyed) =
-  match Cache.find t.classify_cache k.key with
-  | Some v ->
-    t.stats.classify_hits <- t.stats.classify_hits + 1;
-    v
+  let hit =
+    locked t (fun () ->
+        match Cache.find t.classify_cache k.key with
+        | Some v ->
+          t.stats.classify_hits <- t.stats.classify_hits + 1;
+          Some v
+        | None -> None)
+  in
+  match hit with
+  | Some v -> v
   | None ->
-    t.stats.classify_misses <- t.stats.classify_misses + 1;
-    let v = timed_classify t (fun () -> Classify.verdict_of (Canon.canonical_query k.key)) in
-    Cache.add t.classify_cache k.key v;
+    let v, dt = with_time (fun () -> Classify.verdict_of (Canon.canonical_query k.key)) in
+    locked t (fun () ->
+        t.stats.classify_misses <- t.stats.classify_misses + 1;
+        t.stats.classify_time <- t.stats.classify_time +. dt;
+        (* two threads may race to the same miss; both insertions store
+           the same verdict, so the duplicate work is harmless *)
+        Cache.add t.classify_cache k.key v);
     v
 
 let classify t q =
   if not t.cached then begin
-    t.stats.classify_misses <- t.stats.classify_misses + 1;
-    timed_classify t (fun () -> Classify.verdict_of q)
+    let v, dt = with_time (fun () -> Classify.verdict_of q) in
+    locked t (fun () ->
+        t.stats.classify_misses <- t.stats.classify_misses + 1;
+        t.stats.classify_time <- t.stats.classify_time +. dt);
+    v
   end
   else classify_keyed t (timed_canon t (fun () -> Canon.keyed q))
 
-(* (solution, served from cache).  On a miss the *canonical* instance is
-   solved, so the stored solution is reusable by — and translatable back
-   to — every instance of the class with the same database digest. *)
-let solve_keyed t (k : Canon.keyed) db q =
-  let dg = timed_digest t (fun () -> Canon.instance_digest k q db) in
-  match Cache.find t.solve_cache (k.key, dg) with
-  | Some sol ->
-    t.stats.solve_hits <- t.stats.solve_hits + 1;
-    (Canon.translate_solution_back k q sol, true)
+type solve_outcome =
+  | Solved of Solution.t * bool
+  | Timed_out of Solution.t option
+
+(* On a miss the *canonical* instance is solved, so the stored solution is
+   reusable by — and translatable back to — every instance of the class
+   with the same database digest.  A timed-out search is never cached:
+   its bound is not the exact answer, and a retry with a longer deadline
+   must not be poisoned by it. *)
+let solve_keyed_bounded t ?(cancel = Resilience.Cancel.never) (k : Canon.keyed) db q =
+  let dg, dt_dg = with_time (fun () -> Canon.instance_digest k q db) in
+  let hit =
+    locked t (fun () ->
+        t.stats.digest_time <- t.stats.digest_time +. dt_dg;
+        match Cache.find t.solve_cache (k.key, dg) with
+        | Some sol ->
+          t.stats.solve_hits <- t.stats.solve_hits + 1;
+          Some sol
+        | None -> None)
+  in
+  match hit with
+  | Some sol -> Solved (Canon.translate_solution_back k q sol, true)
   | None ->
-    t.stats.solve_misses <- t.stats.solve_misses + 1;
-    let sol =
-      timed_solve t (fun () ->
-          Solver.solve (Canon.translate_db k q db) (Canon.canonical_query k.key))
+    let res, dt =
+      with_time (fun () ->
+          Solver.solve_bounded ~cancel (Canon.translate_db k q db) (Canon.canonical_query k.key))
     in
-    Cache.add t.solve_cache (k.key, dg) sol;
-    (Canon.translate_solution_back k q sol, false)
+    (match res with
+    | Solver.Done (sol, _) ->
+      locked t (fun () ->
+          t.stats.solve_misses <- t.stats.solve_misses + 1;
+          t.stats.solve_time <- t.stats.solve_time +. dt;
+          Cache.add t.solve_cache (k.key, dg) sol);
+      Solved (Canon.translate_solution_back k q sol, false)
+    | Solver.Timeout ub ->
+      locked t (fun () ->
+          t.stats.solve_timeouts <- t.stats.solve_timeouts + 1;
+          t.stats.solve_time <- t.stats.solve_time +. dt);
+      Timed_out (Option.map (Canon.translate_solution_back k q) ub))
+
+let solve_keyed t k db q =
+  match solve_keyed_bounded t k db q with
+  | Solved (sol, cached) -> (sol, cached)
+  | Timed_out _ -> assert false (* Cancel.never cannot fire *)
+
+let solve_bounded t ?cancel db q =
+  if not t.cached then begin
+    let res, dt = with_time (fun () -> Solver.solve_bounded ?cancel db q) in
+    match res with
+    | Solver.Done (sol, _) ->
+      locked t (fun () ->
+          t.stats.solve_misses <- t.stats.solve_misses + 1;
+          t.stats.solve_time <- t.stats.solve_time +. dt);
+      Solved (sol, false)
+    | Solver.Timeout ub ->
+      locked t (fun () ->
+          t.stats.solve_timeouts <- t.stats.solve_timeouts + 1;
+          t.stats.solve_time <- t.stats.solve_time +. dt);
+      Timed_out ub
+  end
+  else solve_keyed_bounded t ?cancel (timed_canon t (fun () -> Canon.keyed q)) db q
 
 let solve t db q =
-  if not t.cached then begin
-    t.stats.solve_misses <- t.stats.solve_misses + 1;
-    timed_solve t (fun () -> Solver.solve db q)
-  end
-  else fst (solve_keyed t (timed_canon t (fun () -> Canon.keyed q)) db q)
+  match solve_bounded t db q with
+  | Solved (sol, _) -> sol
+  | Timed_out _ -> assert false
+
+let count_instance t = locked t (fun () -> t.stats.instances <- t.stats.instances + 1)
 
 let run t instances =
   let indexed = List.mapi (fun i (inst : instance) -> (i, inst)) instances in
@@ -108,7 +171,7 @@ let run t instances =
   let outcomes =
     List.map
       (fun (i, (inst : instance), keyed) ->
-        t.stats.instances <- t.stats.instances + 1;
+        count_instance t;
         match keyed with
         | None ->
           let verdict = classify t inst.query in

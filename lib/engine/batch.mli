@@ -37,6 +37,22 @@ val classify : t -> Query.t -> Classify.verdict
 val solve : t -> Database.t -> Query.t -> Solution.t
 (** ρ(D, q) with a minimum contingency set, via the caches. *)
 
+(** {2 Deadline-aware solving}
+
+    An engine is shared by every worker of the service layer, so the
+    caches and counters are guarded by an internal mutex.  The lock is
+    {e never} held while classifying or solving — a slow exact search on
+    one worker cannot stall another worker's cache hit. *)
+
+type solve_outcome =
+  | Solved of Solution.t * bool  (** the solution, and whether it was served from cache *)
+  | Timed_out of Solution.t option
+      (** deadline fired mid-search; carries {!Resilience.Solver.solve_bounded}'s
+          best sound upper bound.  Timed-out results are never cached. *)
+
+val solve_bounded :
+  t -> ?cancel:Resilience.Cancel.t -> Database.t -> Query.t -> solve_outcome
+
 val run : t -> instance list -> outcome list
 (** Process a batch: instances are sorted by canonical key (stable), so
     each equivalence class is handled consecutively, then results are

@@ -4,6 +4,7 @@ type t = {
   mutable classify_misses : int;
   mutable solve_hits : int;
   mutable solve_misses : int;
+  mutable solve_timeouts : int;
   mutable canon_time : float;
   mutable digest_time : float;
   mutable classify_time : float;
@@ -19,6 +20,7 @@ let create () =
     classify_misses = 0;
     solve_hits = 0;
     solve_misses = 0;
+    solve_timeouts = 0;
     canon_time = 0.;
     digest_time = 0.;
     classify_time = 0.;
@@ -31,6 +33,7 @@ let reset s =
   s.classify_misses <- 0;
   s.solve_hits <- 0;
   s.solve_misses <- 0;
+  s.solve_timeouts <- 0;
   s.canon_time <- 0.;
   s.digest_time <- 0.;
   s.classify_time <- 0.;
@@ -56,11 +59,13 @@ let pp ppf s =
     \  instances          %d@,\
     \  classify cache     %d hits / %d misses (%.0f%% hit rate)@,\
     \  solution cache     %d hits / %d misses (%.0f%% hit rate)@,\
+    \  solve timeouts     %d@,\
     \  time: canon %.4fs, digest %.4fs, classify %.4fs, solve %.4fs@]"
     s.instances s.classify_hits s.classify_misses
     (100. *. classify_hit_rate s)
     s.solve_hits s.solve_misses
     (100. *. solve_hit_rate s)
+    s.solve_timeouts
     s.canon_time s.digest_time s.classify_time s.solve_time
 
 let log_summary s =

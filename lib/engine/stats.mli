@@ -7,6 +7,9 @@ type t = {
   mutable classify_misses : int;
   mutable solve_hits : int;
   mutable solve_misses : int;
+  mutable solve_timeouts : int;
+      (** bounded solves whose deadline fired before the search finished;
+          these are never cached *)
   mutable canon_time : float;  (** seconds spent computing canonical keys *)
   mutable digest_time : float;  (** seconds spent translating + digesting databases *)
   mutable classify_time : float;  (** seconds spent in {!Resilience.Classify} (misses only) *)

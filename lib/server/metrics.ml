@@ -1,0 +1,104 @@
+(* All instruments of a registry share one mutex: updates are a few
+   machine instructions, so contention is irrelevant next to a solve. *)
+
+type counter = { c_lock : Mutex.t; mutable count : int }
+
+type histogram = {
+  h_lock : Mutex.t;
+  bounds : float array;  (* ascending upper bounds; implicit +inf last *)
+  counts : int array;  (* length = Array.length bounds + 1 *)
+  mutable total : int;
+  mutable sum : float;
+}
+
+type t = {
+  lock : Mutex.t;
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, unit -> float) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 8;
+    histograms = Hashtbl.create 8;
+  }
+
+let get_or_create t table name make =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some x -> x
+      | None ->
+        let x = make () in
+        Hashtbl.replace table name x;
+        x)
+
+let counter t name =
+  get_or_create t t.counters name (fun () -> { c_lock = t.lock; count = 0 })
+
+let inc ?(by = 1) c = Mutex.protect c.c_lock (fun () -> c.count <- c.count + by)
+
+let counter_value c = Mutex.protect c.c_lock (fun () -> c.count)
+
+let gauge t name f = Mutex.protect t.lock (fun () -> Hashtbl.replace t.gauges name f)
+
+let default_buckets = [ 0.001; 0.005; 0.01; 0.05; 0.1; 0.5; 1.0; 5.0 ]
+
+let histogram ?(buckets = default_buckets) t name =
+  get_or_create t t.histograms name (fun () ->
+      let bounds = Array.of_list buckets in
+      {
+        h_lock = t.lock;
+        bounds;
+        counts = Array.make (Array.length bounds + 1) 0;
+        total = 0;
+        sum = 0.;
+      })
+
+let observe h v =
+  Mutex.protect h.h_lock (fun () ->
+      let n = Array.length h.bounds in
+      let i = ref 0 in
+      while !i < n && v > h.bounds.(!i) do
+        incr i
+      done;
+      h.counts.(!i) <- h.counts.(!i) + 1;
+      h.total <- h.total + 1;
+      h.sum <- h.sum +. v)
+
+let histogram_count h = Mutex.protect h.h_lock (fun () -> h.total)
+
+let render t =
+  let rows =
+    Mutex.protect t.lock (fun () ->
+        let rows = ref [] in
+        Hashtbl.iter
+          (fun name c -> rows := (name, string_of_int c.count) :: !rows)
+          t.counters;
+        Hashtbl.iter
+          (fun name h ->
+            Array.iteri
+              (fun i n ->
+                let label =
+                  if i = Array.length h.bounds then "inf"
+                  else Printf.sprintf "%g" h.bounds.(i)
+                in
+                rows := (Printf.sprintf "%s.le_%s" name label, string_of_int n) :: !rows)
+              h.counts;
+            rows := (name ^ ".count", string_of_int h.total) :: !rows;
+            rows := (name ^ ".sum_ms", Printf.sprintf "%.1f" (1000. *. h.sum)) :: !rows)
+          t.histograms;
+        (* snapshot the gauge callbacks; run them outside the lock so a
+           gauge reading another mutex cannot deadlock the registry *)
+        let gauges = Hashtbl.fold (fun name f acc -> (name, f) :: acc) t.gauges [] in
+        (!rows, gauges))
+  in
+  let rows, gauges = rows in
+  let rows =
+    List.fold_left
+      (fun acc (name, f) -> (name, Printf.sprintf "%g" (f ())) :: acc)
+      rows gauges
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) rows

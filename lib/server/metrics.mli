@@ -1,0 +1,45 @@
+(** A small metrics registry for the service layer.
+
+    Three instrument kinds, all safe to update from any thread:
+
+    - {e counters} — monotone event counts (requests by kind and outcome);
+    - {e gauges} — values sampled at render time from a callback (queue
+      depth, cache hit rate, live connections);
+    - {e histograms} — latency distributions over a fixed set of
+      upper-bound buckets, with running count and sum.
+
+    Instruments are registered by name; registering a name twice returns
+    the existing instrument, so call sites need no coordination.
+    {!render} flattens the whole registry into sorted [(key, value)]
+    pairs — the payload of the server's [stats] protocol command. *)
+
+type t
+
+type counter
+type histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Get or create the counter registered under this name. *)
+
+val inc : ?by:int -> counter -> unit
+
+val counter_value : counter -> int
+
+val gauge : t -> string -> (unit -> float) -> unit
+(** Register (or replace) a gauge; the callback runs at {!render} time
+    and must not block. *)
+
+val histogram : ?buckets:float list -> t -> string -> histogram
+(** [buckets] are inclusive upper bounds in seconds, sorted ascending; an
+    implicit +∞ bucket is appended.  Default: 1ms … 5s in 1–5–10 steps. *)
+
+val observe : histogram -> float -> unit
+
+val histogram_count : histogram -> int
+
+val render : t -> (string * string) list
+(** Sorted snapshot: counters as [name=count], gauges as [name=value]
+    ([%g]), histograms expanded into [name.le_UB], [name.count] and
+    [name.sum_ms] entries. *)

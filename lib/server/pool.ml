@@ -1,0 +1,77 @@
+type t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  capacity : int;
+  mutable running : int;
+  mutable stopping : bool;
+  mutable workers : Thread.t list;
+}
+
+let worker_loop t =
+  let rec next () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.jobs && not t.stopping do
+      Condition.wait t.nonempty t.lock
+    done;
+    (* drain-then-exit: on shutdown the queue is emptied before workers
+       leave, so every admitted job still runs *)
+    if Queue.is_empty t.jobs then begin
+      Mutex.unlock t.lock;
+      ()
+    end
+    else begin
+      let job = Queue.pop t.jobs in
+      t.running <- t.running + 1;
+      Mutex.unlock t.lock;
+      (try job () with _ -> ());
+      Mutex.lock t.lock;
+      t.running <- t.running - 1;
+      Mutex.unlock t.lock;
+      next ()
+    end
+  in
+  next ()
+
+let create ~workers ~capacity =
+  if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
+  if capacity < 1 then invalid_arg "Pool.create: capacity must be >= 1";
+  let t =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      jobs = Queue.create ();
+      capacity;
+      running = 0;
+      stopping = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init workers (fun _ -> Thread.create worker_loop t);
+  t
+
+let submit t job =
+  Mutex.protect t.lock (fun () ->
+      if t.stopping || Queue.length t.jobs >= t.capacity then false
+      else begin
+        Queue.push job t.jobs;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let depth t = Mutex.protect t.lock (fun () -> Queue.length t.jobs)
+
+let running t = Mutex.protect t.lock (fun () -> t.running)
+
+let shutdown t =
+  let to_join =
+    Mutex.protect t.lock (fun () ->
+        if t.stopping then []
+        else begin
+          t.stopping <- true;
+          Condition.broadcast t.nonempty;
+          t.workers
+        end)
+  in
+  let self = Thread.id (Thread.self ()) in
+  List.iter (fun w -> if Thread.id w <> self then Thread.join w) to_join

@@ -1,0 +1,32 @@
+(** A bounded worker pool with backpressure.
+
+    Jobs are closures run FIFO by a fixed set of threads.  The queue has
+    a hard capacity: {!submit} refuses instead of blocking when it is
+    full, which is the server's admission control — the caller answers
+    [error busy] and the client can retry, rather than piling unbounded
+    work behind a slow exact solve.
+
+    {!shutdown} is graceful: no new work is admitted, queued jobs are
+    drained by the workers, and the call returns once every worker has
+    exited.  Jobs must handle their own cancellation (the server arms
+    each job's {!Resilience.Cancel} token with the shutdown flag). *)
+
+type t
+
+val create : workers:int -> capacity:int -> t
+(** [workers ≥ 1] threads; the queue holds at most [capacity] pending
+    jobs (jobs already running do not count). *)
+
+val submit : t -> (unit -> unit) -> bool
+(** [false] when the queue is full or the pool is shutting down.  A job
+    must not raise: exceptions escaping a job are caught and dropped
+    (the worker survives), but that always indicates a bug. *)
+
+val depth : t -> int
+(** Jobs currently queued (not yet picked up by a worker). *)
+
+val running : t -> int
+(** Jobs currently executing. *)
+
+val shutdown : t -> unit
+(** Idempotent; safe to call from any thread, including a worker. *)

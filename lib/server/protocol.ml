@@ -1,0 +1,117 @@
+open Res_db
+
+type request =
+  | Ping
+  | Classify of string
+  | Solve of { timeout_ms : int option; body : string }
+  | Batch of { timeout_ms : int option; bodies : string list }
+  | Stats
+  | Quit
+  | Shutdown
+
+(* "timeout=MS " prefix of a solve/batch argument string. *)
+let split_timeout s =
+  let s = String.trim s in
+  let prefix = "timeout=" in
+  if String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+  then begin
+    let rest = String.sub s (String.length prefix) (String.length s - String.length prefix) in
+    let ms_s, body =
+      match String.index_opt rest ' ' with
+      | Some i -> (String.sub rest 0 i, String.sub rest (i + 1) (String.length rest - i - 1))
+      | None -> (rest, "")
+    in
+    match int_of_string_opt ms_s with
+    | Some ms when ms > 0 -> Ok (Some ms, String.trim body)
+    | _ -> Error (Printf.sprintf "invalid timeout %S: expected a positive integer (ms)" ms_s)
+  end
+  else Ok (None, s)
+
+let split_command line =
+  let line = String.trim line in
+  match String.index_opt line ' ' with
+  | Some i ->
+    (String.lowercase_ascii (String.sub line 0 i),
+     String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+  | None -> (String.lowercase_ascii line, "")
+
+let split_on_string sep s =
+  let seplen = String.length sep in
+  let rec go start acc =
+    match
+      let rec find i =
+        if i + seplen > String.length s then None
+        else if String.sub s i seplen = sep then Some i
+        else find (i + 1)
+      in
+      find start
+    with
+    | Some i -> go (i + seplen) (String.sub s start (i - start) :: acc)
+    | None -> List.rev (String.sub s start (String.length s - start) :: acc)
+  in
+  go 0 []
+
+let parse line =
+  let cmd, arg = split_command line in
+  match cmd with
+  | "" -> Error "empty request"
+  | "ping" -> Ok Ping
+  | "stats" -> Ok Stats
+  | "quit" -> Ok Quit
+  | "shutdown" -> Ok Shutdown
+  | "classify" ->
+    if arg = "" then Error "classify: missing query" else Ok (Classify arg)
+  | "solve" -> begin
+    match split_timeout arg with
+    | Error _ as e -> e
+    | Ok (_, "") -> Error "solve: missing \"QUERY | FACTS\""
+    | Ok (timeout_ms, body) -> Ok (Solve { timeout_ms; body })
+  end
+  | "batch" -> begin
+    match split_timeout arg with
+    | Error _ as e -> e
+    | Ok (_, "") -> Error "batch: missing instances"
+    | Ok (timeout_ms, body) ->
+      let bodies = List.map String.trim (split_on_string ";;" body) in
+      if List.exists (fun b -> b = "") bodies then Error "batch: empty instance between ';;'"
+      else Ok (Batch { timeout_ms; bodies })
+  end
+  | other -> Error (Printf.sprintf "unknown command %S (try ping/classify/solve/batch/stats/quit)" other)
+
+(* --- responses ---------------------------------------------------------- *)
+
+let ok payload = if payload = "" then "ok" else "ok " ^ payload
+
+let error msg =
+  (* responses are single lines; a multi-line message would desync the
+     client *)
+  let flat = String.map (function '\n' | '\r' -> ' ' | c -> c) msg in
+  "error " ^ flat
+
+let pp_facts facts =
+  String.concat "; " (List.map (Format.asprintf "%a" Database.pp_fact) facts)
+
+let solution ~cached = function
+  | Resilience.Solution.Unbreakable -> ok "unbreakable"
+  | Resilience.Solution.Finite (v, facts) ->
+    ok
+      (Printf.sprintf "rho=%d set={%s}%s" v (pp_facts facts)
+         (if cached then " cached" else ""))
+
+let bound_value = function
+  | Some (Resilience.Solution.Finite (v, _)) -> string_of_int v
+  | Some Resilience.Solution.Unbreakable | None -> "none"
+
+let timeout ub = Printf.sprintf "timeout bound=%s" (bound_value ub)
+
+let batch_item = function
+  | Res_engine.Batch.Solved (Resilience.Solution.Unbreakable, _) -> "unbreakable"
+  | Res_engine.Batch.Solved (Resilience.Solution.Finite (v, _), _) -> Printf.sprintf "rho=%d" v
+  | Res_engine.Batch.Timed_out None -> "timeout"
+  | Res_engine.Batch.Timed_out (Some ub) -> begin
+    match bound_value (Some ub) with
+    | "none" -> "timeout"
+    | b -> "timeout:" ^ b
+  end
+
+let stats_line kvs = ok (String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs))

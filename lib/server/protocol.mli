@@ -1,0 +1,56 @@
+(** The line protocol of the resilience service.
+
+    Requests and responses are single LF-terminated lines of UTF-8 text.
+    Requests:
+    {v
+      ping
+      classify QUERY
+      solve [timeout=MS] QUERY | FACTS
+      batch [timeout=MS] QUERY | FACTS ;; QUERY | FACTS ;; ...
+      stats
+      quit
+      shutdown
+    v}
+
+    Responses start with a status word:
+    {v
+      ok <payload>
+      timeout bound=<N|none>
+      error <message>
+    v}
+
+    [solve] answers [ok rho=N set={f1; f2; ...}] or [ok unbreakable];
+    when its deadline fires first it answers [timeout bound=N] with the
+    best sound upper bound the interrupted search had established (ρ ≤ N),
+    or [timeout bound=none] when no bound was reached.  [batch] answers
+    one [ok] line with [;;]-separated per-instance results ([rho=N],
+    [unbreakable], [timeout] or [timeout:N]) sharing a single deadline.
+    [stats] answers the metrics registry as space-separated [key=value]
+    pairs.  [quit] closes the connection; [shutdown] additionally stops
+    the whole server gracefully. *)
+
+type request =
+  | Ping
+  | Classify of string  (** query text *)
+  | Solve of { timeout_ms : int option; body : string }  (** ["QUERY | FACTS"] *)
+  | Batch of { timeout_ms : int option; bodies : string list }
+  | Stats
+  | Quit
+  | Shutdown
+
+val parse : string -> (request, string) result
+(** Never raises; malformed lines come back as [Error msg] ready to be
+    wrapped in an [error] response. *)
+
+val ok : string -> string
+val error : string -> string
+
+val solution : cached:bool -> Resilience.Solution.t -> string
+(** The [ok] response line for a completed solve. *)
+
+val timeout : Resilience.Solution.t option -> string
+(** The [timeout bound=...] response line. *)
+
+val batch_item : Res_engine.Batch.solve_outcome -> string
+
+val stats_line : (string * string) list -> string

@@ -1,0 +1,349 @@
+let src = Logs.Src.create "resilience.server" ~doc:"Resilience service layer"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type address = Unix_socket of string | Tcp of string * int
+
+type config = {
+  address : address;
+  workers : int;
+  queue_capacity : int;
+  default_timeout_ms : int option;
+}
+
+let default_config address =
+  { address; workers = 4; queue_capacity = 64; default_timeout_ms = Some 30_000 }
+
+(* A one-shot synchronization cell: the connection thread blocks on
+   [read] while the worker [fill]s the response, preserving one-request-
+   at-a-time ordering per connection. *)
+module Ivar = struct
+  type 'a t = { m : Mutex.t; c : Condition.t; mutable v : 'a option }
+
+  let create () = { m = Mutex.create (); c = Condition.create (); v = None }
+
+  let fill t x =
+    Mutex.protect t.m (fun () ->
+        t.v <- Some x;
+        Condition.signal t.c)
+
+  let read t =
+    Mutex.lock t.m;
+    while t.v = None do
+      Condition.wait t.c t.m
+    done;
+    let x = Option.get t.v in
+    Mutex.unlock t.m;
+    x
+end
+
+type state = Running | Stopping | Stopped
+
+type t = {
+  cfg : config;
+  engine : Res_engine.Batch.t;
+  metrics : Metrics.t;
+  pool : Pool.t;
+  listen_fd : Unix.file_descr;
+  lock : Mutex.t;
+  state_changed : Condition.t;
+  mutable state : state;
+  stop_flag : bool ref;
+  mutable conns : (Thread.t * Unix.file_descr) list;
+  mutable accept_thread : Thread.t option;
+  latency : Metrics.histogram;
+}
+
+let metrics t = t.metrics
+let engine t = t.engine
+
+let count t kind outcome =
+  Metrics.inc (Metrics.counter t.metrics (Printf.sprintf "requests.%s.%s" kind outcome))
+
+let now () = Unix.gettimeofday ()
+
+(* --- request execution -------------------------------------------------- *)
+
+let cancel_for t deadline =
+  let stop = Resilience.Cancel.of_flag t.stop_flag in
+  match deadline with
+  | None -> stop
+  | Some d -> Resilience.Cancel.all [ stop; Resilience.Cancel.of_deadline d ]
+
+let deadline_of t timeout_ms =
+  let ms = match timeout_ms with Some _ as s -> s | None -> t.cfg.default_timeout_ms in
+  Option.map (fun ms -> now () +. (float_of_int ms /. 1000.)) ms
+
+let expired deadline = match deadline with Some d -> now () >= d | None -> false
+
+let solve_one t ~cancel ~deadline (inst : Res_engine.Batch.instance) =
+  if expired deadline then Res_engine.Batch.Timed_out None
+  else Res_engine.Batch.solve_bounded t.engine ~cancel inst.db inst.query
+
+(* Parse errors are caught on the connection thread (before a queue slot
+   is consumed); this runs on a worker. *)
+let run_solve t ~kind ~deadline instances fill =
+  let cancel = cancel_for t deadline in
+  match (kind, instances) with
+  | "solve", inst :: _ -> begin
+    match solve_one t ~cancel ~deadline inst with
+    | Res_engine.Batch.Solved (sol, cached) ->
+      count t "solve" "ok";
+      fill (Protocol.solution ~cached sol)
+    | Res_engine.Batch.Timed_out ub ->
+      count t "solve" "timeout";
+      fill (Protocol.timeout ub)
+  end
+  | _, instances ->
+    let outcomes = List.map (fun inst -> solve_one t ~cancel ~deadline inst) instances in
+    let any_timeout =
+      List.exists (function Res_engine.Batch.Timed_out _ -> true | _ -> false) outcomes
+    in
+    count t kind (if any_timeout then "timeout" else "ok");
+    fill (Protocol.ok (String.concat " ;; " (List.map Protocol.batch_item outcomes)))
+
+let submit_solve t ~kind ~timeout_ms body_lines =
+  match
+    List.concat_map (fun body -> Res_engine.Batch.parse_instances body) body_lines
+  with
+  | exception Res_engine.Batch.Parse_error msg ->
+    count t kind "error";
+    Protocol.error msg
+  | [] ->
+    count t kind "error";
+    Protocol.error "no instance given"
+  | instances ->
+    let deadline = deadline_of t timeout_ms in
+    let ivar = Ivar.create () in
+    if Pool.submit t.pool (fun () -> run_solve t ~kind ~deadline instances (Ivar.fill ivar)) then
+      Ivar.read ivar
+    else begin
+      count t kind "rejected";
+      Protocol.error "busy: request queue is full, retry later"
+    end
+
+let stats_reply t =
+  Protocol.stats_line (Metrics.render t.metrics)
+
+let execute t line =
+  match Protocol.parse line with
+  | Error msg ->
+    count t "invalid" "error";
+    `Reply (Protocol.error msg)
+  | Ok Protocol.Ping ->
+    count t "ping" "ok";
+    `Reply (Protocol.ok "pong")
+  | Ok Protocol.Stats ->
+    count t "stats" "ok";
+    `Reply (stats_reply t)
+  | Ok (Protocol.Classify q_s) -> begin
+    match Res_cq.Parser.query_opt q_s with
+    | Error msg ->
+      count t "classify" "error";
+      `Reply (Protocol.error ("query: " ^ msg))
+    | Ok q ->
+      let verdict = Res_engine.Batch.classify t.engine q in
+      count t "classify" "ok";
+      `Reply (Protocol.ok (Resilience.Classify.verdict_to_string verdict))
+  end
+  | Ok (Protocol.Solve { timeout_ms; body }) ->
+    `Reply (submit_solve t ~kind:"solve" ~timeout_ms [ body ])
+  | Ok (Protocol.Batch { timeout_ms; bodies }) ->
+    `Reply (submit_solve t ~kind:"batch" ~timeout_ms bodies)
+  | Ok Protocol.Quit ->
+    count t "quit" "ok";
+    `Close (Protocol.ok "bye")
+  | Ok Protocol.Shutdown ->
+    count t "shutdown" "ok";
+    `Shutdown (Protocol.ok "shutting down")
+
+(* --- connection and accept loops ---------------------------------------- *)
+
+let unregister t fd =
+  Mutex.protect t.lock (fun () ->
+      t.conns <- List.filter (fun (_, fd') -> fd' != fd) t.conns)
+
+let rec stop t =
+  let join_state =
+    Mutex.protect t.lock (fun () ->
+        match t.state with
+        | Running ->
+          t.state <- Stopping;
+          `Lead
+        | Stopping -> `Follow
+        | Stopped -> `Done)
+  in
+  match join_state with
+  | `Done -> ()
+  | `Follow ->
+    Mutex.lock t.lock;
+    while t.state <> Stopped do
+      Condition.wait t.state_changed t.lock
+    done;
+    Mutex.unlock t.lock
+  | `Lead ->
+    Log.info (fun m -> m "stopping: draining in-flight work");
+    (* cooperative cancellation of every in-flight solve; their clients
+       still receive a [timeout] answer *)
+    t.stop_flag := true;
+    (* [shutdown] (not [close]) wakes a thread blocked in [accept]; the
+       fd itself is closed only after the accept thread is joined, so
+       its number cannot be recycled under the accept loop's feet *)
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    let self = Thread.id (Thread.self ()) in
+    (match t.accept_thread with
+    | Some th when Thread.id th <> self -> Thread.join th
+    | _ -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (match t.cfg.address with
+    | Unix_socket path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Tcp _ -> ());
+    (* half-close the read side of every connection: readers see EOF and
+       exit once their current request is answered; the write side stays
+       open so pending replies are still delivered.  (shutdown, not
+       close: the fd stays valid until its own thread releases it.) *)
+    let conns = Mutex.protect t.lock (fun () -> t.conns) in
+    List.iter
+      (fun (_, fd) -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+      conns;
+    (* drain the queue, join the workers *)
+    Pool.shutdown t.pool;
+    List.iter (fun (th, _) -> if Thread.id th <> self then Thread.join th) conns;
+    Mutex.protect t.lock (fun () ->
+        t.state <- Stopped;
+        Condition.broadcast t.state_changed);
+    Log.info (fun m -> m "stopped")
+
+and conn_loop t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let send line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> ()
+    | exception Unix.Unix_error _ -> ()
+    | line when String.trim line = "" -> loop ()
+    | line ->
+      Log.debug (fun m -> m "request: %s" line);
+      let t0 = now () in
+      let action = execute t line in
+      (* observed before the reply is written: once a client holds a
+         response, the corresponding histogram entry is visible *)
+      Metrics.observe t.latency (now () -. t0);
+      (match action with
+      | `Reply reply ->
+        send reply;
+        loop ()
+      | `Close reply -> send reply
+      | `Shutdown reply ->
+        send reply;
+        stop t)
+  in
+  (try loop () with _ -> ());
+  unregister t fd;
+  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let accept_loop t =
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | exception Unix.Unix_error _ ->
+      (* the listener was closed: shutdown *)
+      ()
+    | fd, _ ->
+      let accepted =
+        Mutex.protect t.lock (fun () ->
+            if t.state <> Running then false
+            else begin
+              let th = Thread.create (fun () -> conn_loop t fd) () in
+              t.conns <- (th, fd) :: t.conns;
+              true
+            end)
+      in
+      if not accepted then begin
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+      end;
+      loop ()
+  in
+  loop ()
+
+(* --- startup ------------------------------------------------------------- *)
+
+let bind_listener = function
+  | Unix_socket path ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (* a stale socket file from a crashed server would make bind fail *)
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    fd
+  | Tcp (host, port) ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    let addr =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    in
+    Unix.bind fd (Unix.ADDR_INET (addr, port));
+    fd
+
+let register_engine_gauges metrics (engine : Res_engine.Batch.t) =
+  let s = Res_engine.Batch.stats engine in
+  let g name f = Metrics.gauge metrics name f in
+  g "engine.classify_hits" (fun () -> float_of_int s.Res_engine.Stats.classify_hits);
+  g "engine.classify_misses" (fun () -> float_of_int s.Res_engine.Stats.classify_misses);
+  g "engine.solve_hits" (fun () -> float_of_int s.Res_engine.Stats.solve_hits);
+  g "engine.solve_misses" (fun () -> float_of_int s.Res_engine.Stats.solve_misses);
+  g "engine.solve_timeouts" (fun () -> float_of_int s.Res_engine.Stats.solve_timeouts);
+  g "engine.solve_hit_rate" (fun () -> Res_engine.Stats.solve_hit_rate s);
+  g "engine.classify_hit_rate" (fun () -> Res_engine.Stats.classify_hit_rate s)
+
+let start ?engine:(eng = Res_engine.Batch.create ()) cfg =
+  (* a client hanging up mid-reply must not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listen_fd = bind_listener cfg.address in
+  Unix.listen listen_fd 64;
+  let metrics = Metrics.create () in
+  let pool = Pool.create ~workers:cfg.workers ~capacity:cfg.queue_capacity in
+  let t =
+    {
+      cfg;
+      engine = eng;
+      metrics;
+      pool;
+      listen_fd;
+      lock = Mutex.create ();
+      state_changed = Condition.create ();
+      state = Running;
+      stop_flag = ref false;
+      conns = [];
+      accept_thread = None;
+      latency = Metrics.histogram metrics "latency.request";
+    }
+  in
+  Metrics.gauge metrics "queue.depth" (fun () -> float_of_int (Pool.depth pool));
+  Metrics.gauge metrics "queue.running" (fun () -> float_of_int (Pool.running pool));
+  Metrics.gauge metrics "connections.active" (fun () ->
+      float_of_int (Mutex.protect t.lock (fun () -> List.length t.conns)));
+  register_engine_gauges metrics eng;
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  Log.info (fun m ->
+      m "listening on %s (%d workers, queue %d, default timeout %s)"
+        (match cfg.address with
+        | Unix_socket p -> p
+        | Tcp (h, p) -> Printf.sprintf "%s:%d" h p)
+        cfg.workers cfg.queue_capacity
+        (match cfg.default_timeout_ms with Some ms -> Printf.sprintf "%dms" ms | None -> "none"));
+  t
+
+let wait t =
+  Mutex.lock t.lock;
+  while t.state <> Stopped do
+    Condition.wait t.state_changed t.lock
+  done;
+  Mutex.unlock t.lock

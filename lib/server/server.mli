@@ -1,0 +1,59 @@
+(** The resilience service: a concurrent socket server over the engine.
+
+    Architecture (see DESIGN.md):
+
+    - an {e accept thread} takes connections on a Unix-domain or TCP
+      socket and spawns one reader thread per connection;
+    - connection threads parse {!Protocol} lines; cheap requests (ping,
+      classify, stats) run inline, solves are submitted to a bounded
+      {!Pool} — when the queue is full the request is refused with
+      [error busy] instead of queueing unboundedly (admission control);
+    - each solve gets a {e deadline}: a {!Resilience.Cancel} token armed
+      with the request deadline and the server's stop flag is threaded
+      into the engine, so NP-hard searches abort cooperatively and answer
+      [timeout bound=...] with the best sound upper bound found;
+    - {!stop} is graceful: the listener closes, in-flight solves are
+      cancelled (their clients still get a [timeout] answer), queued jobs
+      drain, and every thread is joined.
+
+    All requests share one {!Res_engine.Batch} engine, so the canonical
+    query/solution caches are warmed across connections; cache behaviour
+    is surfaced through the metrics registry ([stats] command). *)
+
+type address =
+  | Unix_socket of string  (** path; an existing stale socket file is replaced *)
+  | Tcp of string * int  (** bind address and port, e.g. [("127.0.0.1", 7227)] *)
+
+type config = {
+  address : address;
+  workers : int;  (** worker threads solving requests *)
+  queue_capacity : int;  (** max queued (not yet running) solves *)
+  default_timeout_ms : int option;
+      (** deadline for requests that do not carry [timeout=MS]; [None]
+          means such requests may run forever *)
+}
+
+val default_config : address -> config
+(** 4 workers, queue capacity 64, default timeout 30s. *)
+
+type t
+
+val start : ?engine:Res_engine.Batch.t -> config -> t
+(** Binds, listens and spawns the accept thread; returns immediately.
+    [engine] defaults to a fresh cached engine.
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val stop : t -> unit
+(** Graceful shutdown as described above.  Idempotent; a concurrent
+    caller blocks until the shutdown completes.  Safe to call from a
+    connection thread (the [shutdown] protocol command does). *)
+
+val wait : t -> unit
+(** Block until the server has fully stopped. *)
+
+val metrics : t -> Metrics.t
+val engine : t -> Res_engine.Batch.t
+
+val src : Logs.src
+(** The ["resilience.server"] log source: lifecycle events at info,
+    per-request lines at debug. *)

@@ -46,6 +46,7 @@ expected output):
     instances          15
     classify cache     12 hits / 3 misses (80% hit rate)
     solution cache     12 hits / 3 misses (80% hit rate)
+    solve timeouts     0
 
 --no-cache degrades to the plain per-instance pipeline:
 

@@ -59,7 +59,7 @@ Hardness gadgets from CNF formulas:
 Error handling:
 
   $ resilience classify "r(x,y)"
-  query parse error: expected an atom
+  query parse error: expected an atom (RELNAME(vars), relation names start uppercase), found "r" at offset 0
   [2]
 
   $ resilience solve "R(x,y)"

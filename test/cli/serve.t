@@ -1,0 +1,50 @@
+The resilience service: start a server on a Unix socket in the
+background, drive it with the bundled line-protocol client, and shut it
+down cleanly.
+
+  $ resilience serve --socket ./serve.sock --workers 2 &
+  $ resilience client --socket ./serve.sock --retry 100 "ping"
+  ok pong
+
+Classification and solving over the wire (same query/instance syntax as
+the one-shot CLI):
+
+  $ resilience client --socket ./serve.sock "classify R(x,y), R(y,z)"
+  ok NP-complete: 2-chain (Props 29/30/38)
+
+  $ resilience client --socket ./serve.sock "solve R(x,y), R(y,z) | R(1,2); R(2,3); R(3,3)"
+  ok rho=2 set={R(1,2); R(3,3)}
+
+The second identical solve is served from the engine cache:
+
+  $ resilience client --socket ./serve.sock "solve R(x,y), R(y,z) | R(1,2); R(2,3); R(3,3)"
+  ok rho=2 set={R(1,2); R(3,3)} cached
+
+A batch shares one line, one deadline:
+
+  $ resilience client --socket ./serve.sock "batch A(x), R(x,y) | A(1); R(1,2) ;; R^x(x,y) | R(1,1)"
+  ok rho=1 ;; unbreakable
+
+Malformed requests are answered, never dropped:
+
+  $ resilience client --socket ./serve.sock "frobnicate"
+  error unknown command "frobnicate" (try ping/classify/solve/batch/stats/quit)
+
+  $ resilience client --socket ./serve.sock "solve R(x | R(1,2)"
+  error line 1: query: malformed argument list for R: expected a lowercase variable, found "x" at offset 2
+
+The stats command exposes the metrics registry; spot-check the cache
+counters (three distinct instances solved, one repeat served from cache):
+
+  $ resilience client --socket ./serve.sock "stats" | tr ' ' '\n' | grep -E "^engine\.solve_(hits|misses|timeouts)="
+  engine.solve_hits=1
+  engine.solve_misses=3
+  engine.solve_timeouts=0
+
+Graceful shutdown: the reply still arrives, the process exits, the
+socket file is removed.
+
+  $ resilience client --socket ./serve.sock "shutdown"
+  ok shutting down
+  $ wait
+  $ test -e ./serve.sock && echo "socket left behind" || true

@@ -16,4 +16,5 @@ let () =
       ("robustness", Test_robustness.suite);
       ("differential", Test_differential.suite);
       ("edge-cases", Test_edge_cases.suite);
+      ("server", Test_server.suite);
     ]

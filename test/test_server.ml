@@ -1,0 +1,459 @@
+(* The service layer: metrics registry, line protocol, worker pool,
+   cooperative-cancellation soundness, and a concurrent flood of a live
+   server over a Unix-domain socket (the PR's acceptance scenario). *)
+
+open Res_db
+module Cancel = Resilience.Cancel
+module Metrics = Res_server.Metrics
+module Protocol = Res_server.Protocol
+module Pool = Res_server.Pool
+module Server = Res_server.Server
+
+let qp = Res_cq.Parser.query
+
+(* --- metrics registry ---------------------------------------------------- *)
+
+let metrics_counters () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "requests.solve.ok" in
+  Metrics.inc c;
+  Metrics.inc c ~by:3;
+  Alcotest.(check int) "incremented" 4 (Metrics.counter_value c);
+  (* registering the same name returns the same instrument *)
+  let c' = Metrics.counter m "requests.solve.ok" in
+  Metrics.inc c';
+  Alcotest.(check int) "shared" 5 (Metrics.counter_value c);
+  Alcotest.(check (list (pair string string)))
+    "rendered" [ ("requests.solve.ok", "5") ] (Metrics.render m)
+
+let metrics_gauges () =
+  let m = Metrics.create () in
+  let v = ref 1.5 in
+  Metrics.gauge m "queue.depth" (fun () -> !v);
+  Alcotest.(check (list (pair string string)))
+    "sampled at render time" [ ("queue.depth", "1.5") ] (Metrics.render m);
+  v := 42.0;
+  Alcotest.(check (list (pair string string)))
+    "re-sampled" [ ("queue.depth", "42") ] (Metrics.render m)
+
+let metrics_histograms () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram ~buckets:[ 0.01; 0.1 ] m "latency" in
+  Metrics.observe h 0.005;
+  Metrics.observe h 0.05;
+  Metrics.observe h 3.0;
+  Alcotest.(check int) "count" 3 (Metrics.histogram_count h);
+  let kvs = Metrics.render m in
+  let get k = List.assoc k kvs in
+  Alcotest.(check string) "first bucket" "1" (get "latency.le_0.01");
+  Alcotest.(check string) "second bucket" "1" (get "latency.le_0.1");
+  Alcotest.(check string) "overflow bucket" "1" (get "latency.le_inf");
+  Alcotest.(check string) "count key" "3" (get "latency.count");
+  (* 5 + 50 + 3000 ms *)
+  Alcotest.(check string) "sum in ms" "3055.0" (get "latency.sum_ms")
+
+let metrics_render_sorted () =
+  let m = Metrics.create () in
+  Metrics.inc (Metrics.counter m "b");
+  Metrics.inc (Metrics.counter m "a");
+  Metrics.gauge m "c" (fun () -> 0.0);
+  Alcotest.(check (list string)) "keys sorted" [ "a"; "b"; "c" ]
+    (List.map fst (Metrics.render m))
+
+let metrics_concurrent () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "hits" in
+  let threads =
+    List.init 8 (fun _ -> Thread.create (fun () -> for _ = 1 to 1000 do Metrics.inc c done) ())
+  in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "no lost increments" 8000 (Metrics.counter_value c)
+
+(* --- line protocol ------------------------------------------------------- *)
+
+let req = Alcotest.testable (fun ppf _ -> Format.pp_print_string ppf "<request>") ( = )
+
+let parse_ok line expected () =
+  match Protocol.parse line with
+  | Ok r -> Alcotest.check req line expected r
+  | Error msg -> Alcotest.failf "%S should parse, got: %s" line msg
+
+let parse_err line () =
+  match Protocol.parse line with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%S should be rejected" line
+
+let protocol_responses () =
+  let f1 = Database.fact "R" [ Value.i 1; Value.i 2 ] in
+  let f2 = Database.fact "R" [ Value.i 3; Value.i 3 ] in
+  Alcotest.(check string) "solution" "ok rho=2 set={R(1,2); R(3,3)}"
+    (Protocol.solution ~cached:false (Resilience.Solution.Finite (2, [ f1; f2 ])));
+  Alcotest.(check string) "cached suffix" "ok rho=0 set={} cached"
+    (Protocol.solution ~cached:true (Resilience.Solution.Finite (0, [])));
+  Alcotest.(check string) "unbreakable" "ok unbreakable"
+    (Protocol.solution ~cached:false Resilience.Solution.Unbreakable);
+  Alcotest.(check string) "timeout with bound" "timeout bound=7"
+    (Protocol.timeout (Some (Resilience.Solution.Finite (7, []))));
+  Alcotest.(check string) "timeout without bound" "timeout bound=none" (Protocol.timeout None);
+  Alcotest.(check string) "error is one line" "error a b"
+    (Protocol.error "a\nb");
+  Alcotest.(check string) "batch timeout item" "timeout:5"
+    (Protocol.batch_item (Res_engine.Batch.Timed_out (Some (Resilience.Solution.Finite (5, [])))));
+  Alcotest.(check string) "stats line" "ok a=1 b=2"
+    (Protocol.stats_line [ ("a", "1"); ("b", "2") ])
+
+(* --- worker pool --------------------------------------------------------- *)
+
+let pool_runs_jobs () =
+  let pool = Pool.create ~workers:3 ~capacity:32 in
+  let hits = Atomic.make 0 in
+  for _ = 1 to 20 do
+    Alcotest.(check bool) "admitted" true
+      (Pool.submit pool (fun () -> Atomic.incr hits))
+  done;
+  Pool.shutdown pool;
+  Alcotest.(check int) "all jobs ran before shutdown returned" 20 (Atomic.get hits)
+
+let pool_backpressure () =
+  let pool = Pool.create ~workers:1 ~capacity:2 in
+  let release = Mutex.create () in
+  let started = Atomic.make false in
+  Mutex.lock release;
+  (* park the only worker so the queue can fill *)
+  let parked =
+    Pool.submit pool (fun () ->
+        Atomic.set started true;
+        Mutex.lock release;
+        Mutex.unlock release)
+  in
+  Alcotest.(check bool) "worker parked" true parked;
+  (* wait until the worker has actually picked the job up *)
+  while not (Atomic.get started) do
+    Thread.yield ()
+  done;
+  Alcotest.(check bool) "queue slot 1" true (Pool.submit pool ignore);
+  Alcotest.(check bool) "queue slot 2" true (Pool.submit pool ignore);
+  Alcotest.(check bool) "full: refused" false (Pool.submit pool ignore);
+  Alcotest.(check int) "depth" 2 (Pool.depth pool);
+  Mutex.unlock release;
+  Pool.shutdown pool;
+  Alcotest.(check bool) "after shutdown: refused" false (Pool.submit pool ignore)
+
+let pool_job_exception_survives () =
+  let pool = Pool.create ~workers:1 ~capacity:8 in
+  let ok = ref false in
+  ignore (Pool.submit pool (fun () -> failwith "job bug"));
+  ignore (Pool.submit pool (fun () -> ok := true));
+  Pool.shutdown pool;
+  Alcotest.(check bool) "worker survived the raising job" true !ok
+
+(* --- cancellation tokens ------------------------------------------------- *)
+
+let cancel_steps () =
+  let t = Cancel.of_steps 5 in
+  for i = 1 to 5 do
+    Alcotest.(check bool) (Printf.sprintf "poll %d live" i) false (Cancel.cancelled t)
+  done;
+  Alcotest.(check bool) "budget exhausted" true (Cancel.cancelled t);
+  Alcotest.(check bool) "sticky" true (Cancel.cancelled t)
+
+let cancel_flag_and_all () =
+  let flag = ref false in
+  let t = Cancel.all [ Cancel.never; Cancel.of_flag flag ] in
+  Alcotest.(check bool) "live" false (Cancel.cancelled t);
+  flag := true;
+  Alcotest.(check bool) "fires through [all]" true (Cancel.cancelled t);
+  Alcotest.check Alcotest.unit "guard raises" ()
+    (try Cancel.guard t; Alcotest.fail "guard must raise" with Cancel.Cancelled -> ())
+
+(* --- soundness of interrupted searches ----------------------------------- *)
+
+(* Reused from the robustness suite: arbitrary small queries with
+   self-joins and random exogenous marks. *)
+let random_query st =
+  let vars = [| "x"; "y"; "z"; "w"; "u" |] in
+  let rels = [| ("R", 2); ("S", 2); ("A", 1); ("B", 1); ("W", 3) |] in
+  let n_atoms = 1 + Random.State.int st 4 in
+  let atoms =
+    List.init n_atoms (fun _ ->
+        let rel, ar = rels.(Random.State.int st 5) in
+        Res_cq.Atom.make rel (List.init ar (fun _ -> vars.(Random.State.int st 5))))
+  in
+  let exo = if Random.State.bool st then [] else [ fst rels.(Random.State.int st 5) ] in
+  Res_cq.Query.make ~exo atoms
+
+(* The acceptance property: a cancelled exact solve's partial bound is
+   always a sound upper bound — the carried set is a genuine contingency
+   set of that size, so ρ ≤ ub, cross-checked against the uninterrupted
+   run on the same instance. *)
+let prop_interrupted_bound_sound =
+  QCheck.Test.make ~count:120 ~name:"cancelled exact solve yields a sound upper bound"
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 60))
+    (fun (seed, steps) ->
+      let st = Random.State.make [| seed; 23 |] in
+      let q = random_query st in
+      let db = Db_gen.random_for_query ~seed ~domain:3 ~tuples_per_relation:6 q in
+      match Resilience.Exact.resilience_bounded ~cancel:(Cancel.of_steps steps) db q with
+      | Resilience.Exact.Complete s ->
+        (* finishing under a step budget must give the exact answer *)
+        Resilience.Solution.equal_value s (Resilience.Exact.resilience db q)
+      | Resilience.Exact.Interrupted (Resilience.Solution.Finite (ub, set)) ->
+        List.length set = ub
+        && Resilience.Exact.is_contingency_set db q set
+        && (match Resilience.Exact.value db q with
+           | Some rho -> rho <= ub
+           | None -> false)
+      | Resilience.Exact.Interrupted Resilience.Solution.Unbreakable -> false)
+
+(* Same property through the component-splitting front end. *)
+let prop_solver_bounded_sound =
+  QCheck.Test.make ~count:120 ~name:"solve_bounded timeout bound is a sound upper bound"
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 40))
+    (fun (seed, steps) ->
+      let st = Random.State.make [| seed; 31 |] in
+      let q = random_query st in
+      let db = Db_gen.random_for_query ~seed ~domain:3 ~tuples_per_relation:6 q in
+      match Resilience.Solver.solve_bounded ~cancel:(Cancel.of_steps steps) db q with
+      | Resilience.Solver.Done (s, _) ->
+        Resilience.Solution.equal_value s (Resilience.Solver.solve db q)
+      | Resilience.Solver.Timeout None -> true
+      | Resilience.Solver.Timeout (Some (Resilience.Solution.Finite (ub, set))) ->
+        Resilience.Exact.is_contingency_set db q set
+        && (match Resilience.Solver.value db q with
+           | Some rho -> rho <= ub
+           | None -> false)
+      | Resilience.Solver.Timeout (Some Resilience.Solution.Unbreakable) -> false)
+
+(* Deterministic gadget version: interrupt the search on a 3SAT chain
+   gadget at growing step budgets — the incumbent must stay sound and
+   can only improve. *)
+let gadget_interruption_monotone () =
+  let f = Res_sat.Cnf.make ~n_vars:4 [ [ 1; 2; 3 ]; [ -1; -2; 4 ]; [ -3; -4; 1 ]; [ 2; -4; -1 ] ] in
+  let inst = Resilience.Reductions.sat3_to_chain f in
+  let exact =
+    match Resilience.Exact.value inst.db inst.query with
+    | Some v -> v
+    | None -> Alcotest.fail "gadget instances are breakable"
+  in
+  let last = ref max_int in
+  List.iter
+    (fun steps ->
+      match
+        Resilience.Exact.resilience_bounded ~cancel:(Cancel.of_steps steps) inst.db inst.query
+      with
+      | Resilience.Exact.Complete (Resilience.Solution.Finite (v, _)) ->
+        Alcotest.(check int) "complete = exact" exact v;
+        last := v
+      | Resilience.Exact.Complete Resilience.Solution.Unbreakable ->
+        Alcotest.fail "gadget instances are breakable"
+      | Resilience.Exact.Interrupted (Resilience.Solution.Finite (ub, set)) ->
+        Alcotest.(check bool) "sound" true (exact <= ub);
+        Alcotest.(check bool) "genuine contingency set" true
+          (Resilience.Exact.is_contingency_set inst.db inst.query set);
+        Alcotest.(check bool) "incumbent never degrades" true (ub <= !last);
+        last := ub
+      | Resilience.Exact.Interrupted Resilience.Solution.Unbreakable ->
+        Alcotest.fail "interruption never reports unbreakable")
+    [ 1; 10; 100; 1_000; 10_000; 1_000_000_000 ]
+
+(* --- a live server over a Unix socket ------------------------------------ *)
+
+let temp_socket_path =
+  let count = ref 0 in
+  fun () ->
+    incr count;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "res-test-%d-%d.sock" (Unix.getpid ()) !count)
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let request ic oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  input_line ic
+
+let starts_with prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let server_basics () =
+  let path = temp_socket_path () in
+  let server = Server.start { (Server.default_config (Server.Unix_socket path)) with workers = 2 } in
+  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  let fd, ic, oc = connect path in
+  Alcotest.(check string) "ping" "ok pong" (request ic oc "ping");
+  Alcotest.(check string) "classify"
+    "ok NP-complete: 2-chain (Props 29/30/38)"
+    (request ic oc "classify R(x,y), R(y,z)");
+  Alcotest.(check string) "solve" "ok rho=2 set={R(1,2); R(3,3)}"
+    (request ic oc "solve R(x,y), R(y,z) | R(1,2); R(2,3); R(3,3)");
+  Alcotest.(check string) "second solve hits the cache" "ok rho=2 set={R(1,2); R(3,3)} cached"
+    (request ic oc "solve R(x,y), R(y,z) | R(1,2); R(2,3); R(3,3)");
+  Alcotest.(check string) "batch" "ok rho=1 ;; unbreakable"
+    (request ic oc "batch A(x), R(x,y) | A(1); R(1,2) ;; R^x(x,y) | R(1,1)");
+  Alcotest.(check bool) "malformed request answered, not dropped" true
+    (starts_with "error" (request ic oc "frobnicate the database"));
+  Alcotest.(check bool) "parse error in solve" true
+    (starts_with "error" (request ic oc "solve R(x | R(1,2)"));
+  Alcotest.(check bool) "stats" true (starts_with "ok " (request ic oc "stats"));
+  Alcotest.(check string) "quit" "ok bye" (request ic oc "quit");
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Server.stop server;
+  Server.wait server;
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists path)
+
+(* A dense random 2-chain instance: the query class is NP-complete
+   (Props 29/30/38) and at this density the branch-and-bound runs for
+   tens of seconds uninterrupted — any [ok] answer before the deadline
+   would mean the deadline was not enforced. *)
+let hard_body =
+  lazy
+    (let db = Db_gen.random_graph ~seed:42 ~nodes:30 ~edges:400 ~rel:"R" in
+     let facts =
+       Database.facts db
+       |> List.map (Format.asprintf "%a" Database.pp_fact)
+       |> String.concat "; "
+     in
+     "R(x,y), R(y,z) | " ^ facts)
+
+let flood () =
+  let path = temp_socket_path () in
+  let config =
+    { (Server.default_config (Server.Unix_socket path)) with workers = 4; queue_capacity = 64 }
+  in
+  let server = Server.start config in
+  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  let hard = Lazy.force hard_body in
+  let hard_timeout_ms = 300 in
+  (* The grace covers more than the cancellation probe interval: systhreads
+     share one runtime lock, so the 4 workers' CPU-bound searches serialize
+     and a request's wall time includes every concurrently-admitted solve's
+     remaining budget.  Uninterrupted, one hard instance alone runs for tens
+     of seconds — staying an order of magnitude under that is what proves
+     the deadline is enforced. *)
+  let grace = 8.0 in
+  let n_clients = 8 in
+  let hard_per_client = 2 in
+  (* per client: ping, classify, 3 easy solves, 2 hard solves, 1 batch,
+     1 malformed — 9 requests *)
+  let requests_per_client = 7 + hard_per_client in
+  let failures = Array.make n_clients [] in
+  let client i () =
+    let note fmt = Printf.ksprintf (fun m -> failures.(i) <- m :: failures.(i)) fmt in
+    try
+      let fd, ic, oc = connect path in
+      Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      if request ic oc "ping" <> "ok pong" then note "bad ping reply";
+      if not (starts_with "ok " (request ic oc "classify R(x,y), R(y,x)")) then
+        note "bad classify reply";
+      for k = 0 to 2 do
+        let r =
+          request ic oc
+            (Printf.sprintf "solve R(x,y), R(y,z) | R(1,2); R(2,3); R(3,%d)" (3 + ((i + k) mod 2)))
+        in
+        if not (starts_with "ok rho=" r) then note "bad easy solve reply: %s" r
+      done;
+      for _ = 1 to hard_per_client do
+        let t0 = Unix.gettimeofday () in
+        let r = request ic oc (Printf.sprintf "solve timeout=%d %s" hard_timeout_ms hard) in
+        let elapsed = Unix.gettimeofday () -. t0 in
+        if not (starts_with "timeout bound=" r) then
+          note "hard request did not time out: %s" (String.sub r 0 (min 60 (String.length r)));
+        if elapsed > (float_of_int hard_timeout_ms /. 1000.) +. grace then
+          note "hard request exceeded deadline + grace: %.2fs" elapsed
+      done;
+      if not (starts_with "ok " (request ic oc "batch A(x) | A(1) ;; A(x) | A(2)")) then
+        note "bad batch reply";
+      if not (starts_with "error" (request ic oc "bogus request")) then
+        note "malformed request not rejected"
+    with e -> note "client crashed: %s" (Printexc.to_string e)
+  in
+  let threads = List.init n_clients (fun i -> Thread.create (client i) ()) in
+  List.iter Thread.join threads;
+  Array.iteri
+    (fun i msgs ->
+      List.iter (fun m -> Alcotest.failf "client %d: %s" i m) (List.rev msgs))
+    failures;
+  (* the server survived the flood: it still answers, and its counters
+     are consistent with what was sent *)
+  let fd, ic, oc = connect path in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let stats = request ic oc "stats" in
+  Alcotest.(check bool) "stats after flood" true (starts_with "ok " stats);
+  let kvs =
+    String.split_on_char ' ' stats
+    |> List.filter_map (fun kv ->
+           match String.index_opt kv '=' with
+           | Some j ->
+             Some (String.sub kv 0 j, String.sub kv (j + 1) (String.length kv - j - 1))
+           | None -> None)
+  in
+  let requests_total =
+    List.fold_left
+      (fun acc (k, v) -> if starts_with "requests." k then acc + int_of_string v else acc)
+      0 kvs
+  in
+  (* every client request plus this stats request was counted exactly once *)
+  Alcotest.(check int) "request counters consistent"
+    ((n_clients * requests_per_client) + 1)
+    requests_total;
+  let timeouts = try int_of_string (List.assoc "requests.solve.timeout" kvs) with Not_found -> 0 in
+  Alcotest.(check int) "every hard request timed out" (n_clients * hard_per_client) timeouts;
+  Alcotest.(check bool) "latency histogram observed every request" true
+    (try int_of_string (List.assoc "latency.request.count" kvs) >= n_clients * requests_per_client
+     with Not_found -> false)
+
+let protocol_shutdown () =
+  let path = temp_socket_path () in
+  let server = Server.start { (Server.default_config (Server.Unix_socket path)) with workers = 2 } in
+  let fd, ic, oc = connect path in
+  Alcotest.(check string) "shutdown acknowledged" "ok shutting down" (request ic oc "shutdown");
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Server.wait server;
+  (* idempotent *)
+  Server.stop server;
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists path)
+
+let suite =
+  [
+    Alcotest.test_case "metrics: counters" `Quick metrics_counters;
+    Alcotest.test_case "metrics: gauges" `Quick metrics_gauges;
+    Alcotest.test_case "metrics: histograms" `Quick metrics_histograms;
+    Alcotest.test_case "metrics: render sorted" `Quick metrics_render_sorted;
+    Alcotest.test_case "metrics: concurrent increments" `Quick metrics_concurrent;
+    Alcotest.test_case "protocol: ping" `Quick (parse_ok "ping" Protocol.Ping);
+    Alcotest.test_case "protocol: stats trimmed" `Quick (parse_ok "  stats  " Protocol.Stats);
+    Alcotest.test_case "protocol: classify" `Quick
+      (parse_ok "classify R(x,y), R(y,z)" (Protocol.Classify "R(x,y), R(y,z)"));
+    Alcotest.test_case "protocol: solve with deadline" `Quick
+      (parse_ok "solve timeout=250 Q | F"
+         (Protocol.Solve { timeout_ms = Some 250; body = "Q | F" }));
+    Alcotest.test_case "protocol: solve without deadline" `Quick
+      (parse_ok "solve Q | F" (Protocol.Solve { timeout_ms = None; body = "Q | F" }));
+    Alcotest.test_case "protocol: batch" `Quick
+      (parse_ok "batch timeout=9 a | b ;; c | d"
+         (Protocol.Batch { timeout_ms = Some 9; bodies = [ "a | b"; "c | d" ] }));
+    Alcotest.test_case "protocol: unknown command" `Quick (parse_err "frobnicate");
+    Alcotest.test_case "protocol: empty line" `Quick (parse_err "");
+    Alcotest.test_case "protocol: bad timeout" `Quick (parse_err "solve timeout=abc Q | F");
+    Alcotest.test_case "protocol: zero timeout" `Quick (parse_err "solve timeout=0 Q | F");
+    Alcotest.test_case "protocol: solve without body" `Quick (parse_err "solve");
+    Alcotest.test_case "protocol: batch with empty instance" `Quick (parse_err "batch a ;; ;; b");
+    Alcotest.test_case "protocol: responses" `Quick protocol_responses;
+    Alcotest.test_case "pool: runs all jobs" `Quick pool_runs_jobs;
+    Alcotest.test_case "pool: backpressure" `Quick pool_backpressure;
+    Alcotest.test_case "pool: job exception survives" `Quick pool_job_exception_survives;
+    Alcotest.test_case "cancel: step budget" `Quick cancel_steps;
+    Alcotest.test_case "cancel: flag and all" `Quick cancel_flag_and_all;
+    QCheck_alcotest.to_alcotest prop_interrupted_bound_sound;
+    QCheck_alcotest.to_alcotest prop_solver_bounded_sound;
+    Alcotest.test_case "gadget: interruption monotone + sound" `Quick gadget_interruption_monotone;
+    Alcotest.test_case "server: basics over a socket" `Quick server_basics;
+    Alcotest.test_case "server: concurrent flood with deadlines" `Slow flood;
+    Alcotest.test_case "server: protocol shutdown" `Quick protocol_shutdown;
+  ]
