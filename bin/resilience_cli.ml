@@ -33,20 +33,108 @@ let db_file_arg =
 let facts_arg =
   Arg.(value & opt (some string) None & info [ "facts" ] ~docv:"FACTS" ~doc:"Inline facts, ';'-separated.")
 
+(* --- JSON rendering ---------------------------------------------------- *)
+
+(* The repo deliberately carries no JSON dependency; responses are flat
+   enough to render by hand (same discipline as bench/main.ml). *)
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_str s = "\"" ^ json_escape s ^ "\""
+
+let json_obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> json_str k ^ ":" ^ v) fields) ^ "}"
+
+let json_list items = "[" ^ String.concat "," items ^ "]"
+
+let fact_str f = Format.asprintf "%a" Database.pp_fact f
+
+let query_str q = Format.asprintf "%a" Res_cq.Query.pp q
+
+(* Shared JSON view of a certified interval (the [rho] field is added
+   only when the interval is optimal and finite). *)
+let interval_fields iv =
+  let module I = Res_bounds.Interval in
+  let status =
+    match (I.status iv, I.ub iv) with
+    | I.Optimal, None -> "unbreakable"
+    | I.Optimal, Some _ -> "optimal"
+    | I.Gap, _ -> "timeout"
+  in
+  (match (I.status iv, I.ub iv) with
+  | I.Optimal, Some v -> [ ("rho", string_of_int v) ]
+  | _ -> [])
+  @ [
+      ("status", json_str status);
+      ("lb", string_of_int (I.lb iv));
+      ("ub", (match I.ub iv with Some u -> string_of_int u | None -> "null"));
+      ("gap", (match I.gap iv with Some g -> string_of_int g | None -> "null"));
+      ("set", json_list (List.map (fun f -> json_str (fact_str f)) (I.witness_set iv)));
+    ]
+
 (* --- classify --------------------------------------------------------- *)
 
 let classify_cmd =
-  let run query_s =
+  let run query_s json =
     let report = Resilience.Classify.classify (parse_query query_s) in
-    Format.printf "%a@." Resilience.Classify.pp_report report
+    if json then
+      print_endline
+        (json_obj
+           [
+             ("query", json_str (query_str report.Resilience.Classify.original));
+             ("minimized", json_str (query_str report.Resilience.Classify.minimized));
+             ("verdict", json_str (Resilience.Classify.verdict_to_string report.Resilience.Classify.verdict));
+             ( "components",
+               json_list
+                 (List.map
+                    (fun (qc, v) ->
+                      json_obj
+                        [
+                          ("query", json_str (query_str qc));
+                          ("verdict", json_str (Resilience.Classify.verdict_to_string v));
+                        ])
+                    report.Resilience.Classify.components) );
+             ("notes", json_list (List.map json_str report.Resilience.Classify.notes));
+           ])
+    else Format.printf "%a@." Resilience.Classify.pp_report report
   in
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as a single JSON object.") in
   Cmd.v (Cmd.info "classify" ~doc:"Decide the complexity of RES(q) (Theorem 37 and extensions)")
-    Term.(const run $ query_arg)
+    Term.(const run $ query_arg $ json_arg)
 
 (* --- solve ------------------------------------------------------------ *)
 
+(* Certified bounds of the whole instance, independent of the solver: ρ
+   is exactly the minimum hitting set of the full query's witnesses, so
+   the LP/packing/flow-dual lower bounds and the polished greedy cover
+   apply to the instance directly. *)
+let print_bounds db q =
+  match Res_bounds.Ilp.of_instance db q with
+  | None ->
+    print_endline "certified bounds: unbreakable (a witness uses only exogenous tuples)"
+  | Some ilp ->
+    let order = Resilience.Linearity.linear_order q in
+    let lower = Res_bounds.Lower.best ?order ilp in
+    let upper = Res_bounds.Upper.best ilp in
+    Printf.printf "certified bounds: lb=%d (%s) ub=%d (cover) gap=%d\n"
+      (Res_bounds.Lower.value lower)
+      (Res_bounds.Lower.name lower)
+      upper.Res_bounds.Upper.value
+      (upper.Res_bounds.Upper.value - Res_bounds.Lower.value lower)
+
 let solve_cmd =
-  let run query_s db_file facts_inline show_trace timeout =
+  let run query_s db_file facts_inline show_trace timeout json bounds =
     let q = parse_query query_s in
     let db = load_db db_file facts_inline in
     let cancel =
@@ -59,36 +147,58 @@ let solve_cmd =
     in
     match Resilience.Solver.solve_bounded ~cancel db q with
     | Resilience.Solver.Done (solution, traces) ->
-      (match solution with
-      | Resilience.Solution.Unbreakable ->
-        print_endline "resilience: unbreakable (a witness uses only exogenous tuples)"
-      | Resilience.Solution.Finite (v, facts) ->
-        Printf.printf "resilience: %d\n" v;
-        print_endline "minimum contingency set:";
-        List.iter (fun f -> Format.printf "  %a@." Database.pp_fact f) facts);
-      if show_trace then
-        List.iter
-          (fun (t : Resilience.Solver.trace) ->
-            Format.printf "component %a -> %s@." Res_cq.Query.pp t.component t.algorithm)
-          traces
-    | Resilience.Solver.Timeout ub ->
-      (match ub with
-      | Some (Resilience.Solution.Finite (v, facts)) ->
-        Printf.printf "timeout: search interrupted; best known upper bound: %d\n" v;
-        print_endline "contingency set achieving the bound (possibly not minimum):";
-        List.iter (fun f -> Format.printf "  %a@." Database.pp_fact f) facts
-      | Some Resilience.Solution.Unbreakable | None ->
-        print_endline "timeout: search interrupted before any bound was established");
+      if json then
+        print_endline (json_obj (interval_fields (Resilience.Solver.interval_of_solution solution)))
+      else begin
+        (match solution with
+        | Resilience.Solution.Unbreakable ->
+          print_endline "resilience: unbreakable (a witness uses only exogenous tuples)"
+        | Resilience.Solution.Finite (v, facts) ->
+          Printf.printf "resilience: %d\n" v;
+          print_endline "minimum contingency set:";
+          List.iter (fun f -> Format.printf "  %a@." Database.pp_fact f) facts);
+        if bounds then print_bounds db q;
+        if show_trace then
+          List.iter
+            (fun (t : Resilience.Solver.trace) ->
+              Format.printf "component %a -> %s@." Res_cq.Query.pp t.component t.algorithm)
+            traces
+      end
+    | Resilience.Solver.Timeout iv ->
+      let module I = Res_bounds.Interval in
+      if json then print_endline (json_obj (interval_fields iv))
+      else begin
+        (match I.ub iv with
+        | Some u ->
+          Printf.printf "timeout: search interrupted; certified interval [%d, %d] (gap %d)\n"
+            (I.lb iv) u (u - I.lb iv);
+          print_endline "contingency set achieving the upper bound (possibly not minimum):";
+          List.iter (fun f -> Format.printf "  %a@." Database.pp_fact f) (I.witness_set iv)
+        | None ->
+          Printf.printf
+            "timeout: search interrupted; certified lower bound %d, no upper bound established\n"
+            (I.lb iv))
+      end;
       exit 124
   in
   let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Show which algorithm solved each component.") in
   let timeout_arg =
     Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECS"
            ~doc:"Deadline for the solve; on expiry exit with code 124 and print the \
-                 best-known upper bound instead of running forever.")
+                 certified interval established so far instead of running forever.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit one JSON object with status, lb/ub/gap and the contingency set.")
+  in
+  let bounds_arg =
+    Arg.(value & flag & info [ "bounds" ]
+           ~doc:"Also print the certified LP/packing lower bound and greedy-cover upper \
+                 bound of the instance, with the certificate that produced each.")
   in
   Cmd.v (Cmd.info "solve" ~doc:"Compute the resilience of a database w.r.t. a query")
-    Term.(const run $ query_arg $ db_file_arg $ facts_arg $ trace_arg $ timeout_arg)
+    Term.(const run $ query_arg $ db_file_arg $ facts_arg $ trace_arg $ timeout_arg $ json_arg
+          $ bounds_arg)
 
 (* --- batch ------------------------------------------------------------ *)
 

@@ -1,0 +1,106 @@
+open Res_db
+
+type t = {
+  constraints : Iset.t array;
+  vars : int array;
+  col_of_var : (int, int) Hashtbl.t;
+  fact_of_var : (int, Database.fact) Hashtbl.t;
+  var_of_fact : (Database.fact, int) Hashtbl.t;
+  db : Database.t option;
+  query : Res_cq.Query.t option;
+}
+
+(* Keep only ⊆-minimal sets (a superset constraint is implied by its
+   subset and only slows the LP down). *)
+let minimal_sets sets =
+  let arr = Array.of_list sets in
+  let n = Array.length arr in
+  let keep = Array.make n true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && keep.(i) && keep.(j) then
+        if Iset.subset arr.(j) arr.(i) && (Iset.cardinal arr.(j) < Iset.cardinal arr.(i) || j < i)
+        then keep.(i) <- false
+    done
+  done;
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    if keep.(i) then out := arr.(i) :: !out
+  done;
+  !out
+
+let index_vars constraints =
+  let dom = Array.fold_left Iset.union Iset.empty constraints in
+  let vars = Array.of_list (Iset.elements dom) in
+  let col_of_var = Hashtbl.create (Array.length vars) in
+  Array.iteri (fun i v -> Hashtbl.replace col_of_var v i) vars;
+  (vars, col_of_var)
+
+let of_sets ?(minimized = false) sets =
+  let sets = List.filter (fun s -> not (Iset.is_empty s)) sets in
+  let sets = if minimized then sets else minimal_sets sets in
+  let constraints = Array.of_list sets in
+  let vars, col_of_var = index_vars constraints in
+  {
+    constraints;
+    vars;
+    col_of_var;
+    fact_of_var = Hashtbl.create 0;
+    var_of_fact = Hashtbl.create 0;
+    db = None;
+    query = None;
+  }
+
+let of_instance db q =
+  let fact_of_var = Hashtbl.create 64 in
+  let var_of_fact = Hashtbl.create 64 in
+  let next = ref 0 in
+  let id_of f =
+    match Hashtbl.find_opt var_of_fact f with
+    | Some i -> i
+    | None ->
+      let i = !next in
+      incr next;
+      Hashtbl.replace var_of_fact f i;
+      Hashtbl.replace fact_of_var i f;
+      i
+  in
+  let witness_sets = Eval.witness_fact_sets db q in
+  (* An all-exogenous witness can never be hit: the instance is
+     unbreakable, and no id assignment should even start. *)
+  let all_exogenous fs =
+    Database.Fact_set.for_all (fun f -> Res_cq.Query.is_exogenous q f.Database.rel) fs
+  in
+  if List.exists all_exogenous witness_sets then None
+  else begin
+    let sets =
+      List.map
+        (fun fs ->
+          Database.Fact_set.fold
+            (fun f acc ->
+              if Res_cq.Query.is_exogenous q f.Database.rel then acc else Iset.add (id_of f) acc)
+            fs Iset.empty)
+        witness_sets
+    in
+    let constraints = Array.of_list (minimal_sets sets) in
+    let vars, col_of_var = index_vars constraints in
+    Some { constraints; vars; col_of_var; fact_of_var; var_of_fact; db = Some db; query = Some q }
+  end
+
+let n_vars t = Array.length t.vars
+let n_constraints t = Array.length t.constraints
+let constraints t = t.constraints
+let vars t = t.vars
+let column t v = Hashtbl.find_opt t.col_of_var v
+let fact_of_var t v = Hashtbl.find_opt t.fact_of_var v
+let var_of_fact t f = Hashtbl.find_opt t.var_of_fact f
+let instance_db t = t.db
+let instance_query t = t.query
+
+let covers t cover =
+  let chosen = Iset.of_list cover in
+  Array.for_all (fun c -> not (Iset.is_empty (Iset.inter c chosen))) t.constraints
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>hitting-set ILP: %d vars, %d covering constraints@]" (n_vars t)
+    (n_constraints t)

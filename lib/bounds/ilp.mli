@@ -1,0 +1,66 @@
+(** The 0/1 hitting-set ILP behind resilience.
+
+    ρ(D, q) is, by Definition 1, the optimum of the integer program
+
+    {v
+      minimize    Σ_f x_f              (f ranges over endogenous facts)
+      subject to  Σ_{f ∈ W} x_f ≥ 1    for every minimal witness W
+                  x_f ∈ {0, 1}
+    v}
+
+    A value of this type is that program made explicit: variables are the
+    endogenous facts of the witnesses (identified by small ints),
+    constraints are the ⊆-minimal witness fact sets.  It can also be
+    built from bare integer sets ({!of_sets}) so the exact solver can ask
+    for bounds on branch-and-bound {e subproblems} without re-touching
+    the database.
+
+    Every module of {!Res_bounds} speaks in terms of this type: {!Lower}
+    relaxes it, {!Upper} rounds it, {!Interval} reports the bracket. *)
+
+open Res_db
+
+type t
+
+val of_instance : Database.t -> Res_cq.Query.t -> t option
+(** Build the program for a (database, query) instance: enumerate
+    witnesses, drop exogenous facts, keep ⊆-minimal sets.  [None] when
+    some witness uses only exogenous facts — the instance is unbreakable
+    and no finite program represents it (detected {e before} any variable
+    numbering is done).  An unsatisfied instance yields a program with 0
+    constraints (optimum 0). *)
+
+val of_sets : ?minimized:bool -> Iset.t list -> t
+(** An anonymous program over the given covering constraints (empty sets
+    are dropped).  Pass [~minimized:true] when the caller already keeps
+    only ⊆-minimal sets — skipping the quadratic re-minimization matters
+    on branch-and-bound subproblems. *)
+
+val n_vars : t -> int
+val n_constraints : t -> int
+
+val constraints : t -> Iset.t array
+(** The covering constraints, over original variable ids. *)
+
+val vars : t -> int array
+(** The distinct variable ids, sorted. *)
+
+val column : t -> int -> int option
+(** Dense column index of a variable id (for LP matrices). *)
+
+val fact_of_var : t -> int -> Database.fact option
+(** The endogenous fact behind a variable — [None] for {!of_sets}
+    programs. *)
+
+val var_of_fact : t -> Database.fact -> int option
+
+val instance_db : t -> Database.t option
+val instance_query : t -> Res_cq.Query.t option
+(** The originating instance, when built by {!of_instance} — the flow
+    lower bound needs them to rebuild the network. *)
+
+val covers : t -> int list -> bool
+(** Does this variable set hit every constraint?  The checkable side of
+    an {!Upper} certificate. *)
+
+val pp : Format.formatter -> t -> unit

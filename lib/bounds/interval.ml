@@ -1,0 +1,80 @@
+open Res_db
+
+type status = Optimal | Gap
+
+type t = {
+  lb : int;
+  ub : int option;
+  witness_set : Database.fact list;
+  status : status;
+}
+
+let optimal ?(witness_set = []) v =
+  let v = max 0 v in
+  { lb = v; ub = Some v; witness_set; status = Optimal }
+
+let unbreakable = { lb = 0; ub = None; witness_set = []; status = Optimal }
+
+let of_bounds ?(witness_set = []) ~lb ~ub () =
+  match ub with
+  | None -> { lb = max 0 lb; ub = None; witness_set; status = Gap }
+  | Some u ->
+    (* the upper bound is backed by a concrete contingency set, so on
+       conflict it wins and the lower bound is clamped *)
+    let lb = max 0 (min lb u) in
+    { lb; ub = Some u; witness_set; status = (if lb = u then Optimal else Gap) }
+
+let lower_only lb = { lb = max 0 lb; ub = None; witness_set = []; status = Gap }
+
+let lb t = t.lb
+let ub t = t.ub
+let witness_set t = t.witness_set
+let status t = t.status
+let is_optimal t = t.status = Optimal
+let is_unbreakable t = t.status = Optimal && t.ub = None
+
+let gap t =
+  match t with
+  | { status = Optimal; _ } -> Some 0
+  | { ub = Some u; lb; _ } -> Some (u - lb)
+  | { ub = None; _ } -> None
+
+let valid t =
+  t.lb >= 0
+  &&
+  match t.ub with
+  | None -> true
+  | Some u -> t.lb <= u && (t.witness_set = [] || List.length t.witness_set = u)
+
+(* ρ of a multi-component query is the minimum over components
+   (Lemma 14), so intervals combine pointwise by min — with a proven
+   unbreakable component (ρ = ∞) as the identity. *)
+let min_components a b =
+  if is_unbreakable a then b
+  else if is_unbreakable b then a
+  else begin
+    let lb = min a.lb b.lb in
+    let ub, witness_set =
+      match (a.ub, b.ub) with
+      | None, None -> (None, [])
+      | Some u, None -> (Some u, a.witness_set)
+      | None, Some v -> (Some v, b.witness_set)
+      | Some u, Some v -> if v < u then (Some v, b.witness_set) else (Some u, a.witness_set)
+    in
+    of_bounds ~witness_set ~lb ~ub ()
+  end
+
+let to_kvs t =
+  [
+    ("lb", string_of_int t.lb);
+    ("ub", (match t.ub with Some u -> string_of_int u | None -> "none"));
+    ("gap", (match gap t with Some g -> string_of_int g | None -> "inf"));
+    ("status", (match t.status with Optimal -> "optimal" | Gap -> "gap"));
+  ]
+
+let pp ppf t =
+  match (t.status, t.ub) with
+  | Optimal, Some v -> Format.fprintf ppf "rho = %d" v
+  | Optimal, None -> Format.fprintf ppf "unbreakable"
+  | Gap, Some u -> Format.fprintf ppf "rho in [%d, %d]" t.lb u
+  | Gap, None -> Format.fprintf ppf "rho >= %d" t.lb

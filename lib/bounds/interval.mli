@@ -1,0 +1,68 @@
+(** Certified resilience intervals — the lingua franca of anytime
+    solving.
+
+    An interval brackets the true resilience: [lb ≤ ρ ≤ ub], where a
+    missing upper bound means "no finite bound known".  The four
+    meaningful shapes:
+
+    - [Optimal] with [ub = Some v]: ρ is exactly [v].
+    - [Optimal] with [ub = None]: proven unbreakable (ρ = ∞).
+    - [Gap] with [ub = Some u]: ρ ∈ [lb, u], search interrupted.
+    - [Gap] with [ub = None]: only [ρ ≥ lb] is known.
+
+    [witness_set], when non-empty, is a concrete contingency set of
+    cardinality [ub] — the upper bound's certificate. *)
+
+open Res_db
+
+type status = Optimal | Gap
+
+type t = private {
+  lb : int;
+  ub : int option;
+  witness_set : Database.fact list;
+  status : status;
+}
+
+val optimal : ?witness_set:Database.fact list -> int -> t
+(** Exactly-solved: [lb = ub = v]. *)
+
+val unbreakable : t
+(** Proven ρ = ∞ ([Optimal], [ub = None]). *)
+
+val of_bounds : ?witness_set:Database.fact list -> lb:int -> ub:int option -> unit -> t
+(** Clamp-and-classify: the lower bound is clamped into [[0, ub]] (the
+    upper bound is backed by a concrete set, so it wins conflicts), and
+    the status becomes [Optimal] exactly when the bounds meet. *)
+
+val lower_only : int -> t
+(** Only a lower bound survived (e.g. a cancelled search with no
+    incumbent): [Gap], [ub = None]. *)
+
+val lb : t -> int
+val ub : t -> int option
+val witness_set : t -> Database.fact list
+val status : t -> status
+val is_optimal : t -> bool
+
+val is_unbreakable : t -> bool
+(** [Optimal] with no finite upper bound. *)
+
+val gap : t -> int option
+(** [ub - lb]; [Some 0] when optimal (including unbreakable), [None]
+    when no finite upper bound brackets the gap. *)
+
+val valid : t -> bool
+(** Internal consistency: [0 ≤ lb ≤ ub] and, when a witness set is
+    carried, its cardinality equals [ub]. *)
+
+val min_components : t -> t -> t
+(** Combine per-component intervals of one query: ρ is the minimum over
+    components (Lemma 14), so both bounds combine by [min], with
+    {!unbreakable} as the identity. *)
+
+val to_kvs : t -> (string * string) list
+(** Flat key/value view ([lb], [ub], [gap], [status]) for the wire
+    protocol and JSON rendering. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+include Set.Make (Int)

@@ -1,0 +1,8 @@
+(** Integer sets shared across the bounds subsystem.
+
+    {!Res_bounds} and the exact solver must agree on one application of
+    [Set.Make (Int)] — two separate applications would have incompatible
+    types even though they are structurally identical.  This is that
+    single shared instance. *)
+
+include Set.S with type elt = int

@@ -1,0 +1,269 @@
+open Res_db
+module Maxflow = Res_graph.Maxflow
+module SS = Set.Make (String)
+
+type certificate =
+  | Disjoint of int list
+  | Fractional of { weights : int array; denom : int }
+
+type bound = { value : int; certificate : certificate; name : string }
+
+let value b = b.value
+let name b = b.name
+
+let pp ppf b =
+  match b.certificate with
+  | Disjoint idxs ->
+    Format.fprintf ppf "%s ≥ %d (disjoint witnesses %a)" b.name b.value
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Format.pp_print_int)
+      idxs
+  | Fractional { weights; denom } ->
+    Format.fprintf ppf "%s ≥ %d (fractional packing Σw/%d, %d weights)" b.name b.value denom
+      (Array.length weights)
+
+(* ---- greedy disjoint packing -------------------------------------- *)
+
+let packing ilp =
+  let cs = Ilp.constraints ilp in
+  let order = Array.init (Array.length cs) (fun i -> i) in
+  Array.sort
+    (fun i j -> compare (Iset.cardinal cs.(i), i) (Iset.cardinal cs.(j), j))
+    order;
+  let used = ref Iset.empty in
+  let chosen = ref [] in
+  Array.iter
+    (fun i ->
+      if Iset.disjoint cs.(i) !used then begin
+        used := Iset.union !used cs.(i);
+        chosen := i :: !chosen
+      end)
+    order;
+  let idxs = List.rev !chosen in
+  { value = List.length idxs; certificate = Disjoint idxs; name = "packing" }
+
+(* ---- LP relaxation, rationalized ---------------------------------- *)
+
+(* Fixed-point scale for turning float dual values into integer weights.
+   The certificate stores w_i = ⌊y_i·2^20⌋ with a denominator that is
+   bumped to the largest exact integer column sum, so feasibility of
+   w/denom holds by construction and is re-checkable without floats.
+   ⌈Σw/denom⌉ recovers ⌈lp⌉ whenever the simplex answer is accurate to
+   better than one unit — and is a sound lower bound regardless. *)
+let scale = 1 lsl 20
+
+let column_sums ilp weights =
+  let cs = Ilp.constraints ilp in
+  Array.map
+    (fun v ->
+      let s = ref 0 in
+      Array.iteri (fun i c -> if Iset.mem v c then s := !s + weights.(i)) cs;
+      !s)
+    (Ilp.vars ilp)
+
+let lp ilp =
+  let n = Ilp.n_constraints ilp in
+  if n = 0 then { value = 0; certificate = Fractional { weights = [||]; denom = 1 }; name = "lp" }
+  else begin
+    let res = Simplex.packing_lp ilp in
+    let weights =
+      Array.map (fun y -> max 0 (int_of_float (floor (y *. float_of_int scale)))) res.solution
+    in
+    let denom = Array.fold_left max scale (column_sums ilp weights) in
+    let total = Array.fold_left ( + ) 0 weights in
+    let value = (total + denom - 1) / denom in
+    { value; certificate = Fractional { weights; denom }; name = "lp" }
+  end
+
+(* ---- flow dual ----------------------------------------------------- *)
+
+(* These two mirror [Flow.match_atom] / [Flow.boundaries] in the core
+   library; the core depends on this library, not the other way round,
+   so the thirty lines are duplicated rather than the dependency
+   inverted. *)
+let match_atom (a : Res_cq.Atom.t) (tuple : Database.tuple) =
+  let rec go subst args vals =
+    match (args, vals) with
+    | [], [] -> Some subst
+    | v :: args', x :: vals' -> begin
+      match List.assoc_opt v subst with
+      | Some y when Value.equal x y -> go subst args' vals'
+      | Some _ -> None
+      | None -> go ((v, x) :: subst) args' vals'
+    end
+    | _ -> None
+  in
+  go [] a.args tuple
+
+let boundaries atoms =
+  let m = Array.length atoms in
+  let vars_of i = SS.of_list (Res_cq.Atom.vars atoms.(i)) in
+  Array.init (m + 1) (fun p ->
+      if p = 0 || p = m then []
+      else begin
+        let before = ref SS.empty and after = ref SS.empty in
+        for i = 0 to p - 1 do
+          before := SS.union !before (vars_of i)
+        done;
+        for i = p to m - 1 do
+          after := SS.union !after (vars_of i)
+        done;
+        SS.elements (SS.inter !before !after)
+      end)
+
+(* Max-flow on the layered witness network is the LP dual specialized to
+   linear queries: decompose the flow into unit source→sink paths, each
+   path is a witness, and witnesses on distinct paths share no cap-1
+   edge.  On self-join queries the same fact can back two edges at
+   different atom positions, so path fact-sets may still overlap — the
+   greedy disjointness filter below keeps the certificate sound in all
+   cases, and loses nothing in the sj-free linear case where min cut
+   equals ρ. *)
+let flow_dual ~order ilp =
+  match (Ilp.instance_db ilp, Ilp.instance_query ilp) with
+  | None, _ | _, None -> None
+  | Some db, Some q ->
+    let atoms = Array.of_list order in
+    let m = Array.length atoms in
+    if m = 0 || Ilp.n_constraints ilp = 0 then None
+    else begin
+      let bounds = boundaries atoms in
+      let net = Maxflow.create 2 in
+      let source = 0 and sink = 1 in
+      let node_ids : (int * Database.tuple, int) Hashtbl.t = Hashtbl.create 64 in
+      let node p key =
+        if p = 0 then source
+        else if p = m then sink
+        else begin
+          match Hashtbl.find_opt node_ids (p, key) with
+          | Some v -> v
+          | None ->
+            let v = Maxflow.add_node net in
+            Hashtbl.replace node_ids (p, key) v;
+            v
+        end
+      in
+      let out : (int, (Maxflow.edge * int) list) Hashtbl.t = Hashtbl.create 64 in
+      let edge_var : (Maxflow.edge, int) Hashtbl.t = Hashtbl.create 64 in
+      for p = 0 to m - 1 do
+        let a = atoms.(p) in
+        let exo_rel = Res_cq.Query.is_exogenous q a.rel in
+        List.iter
+          (fun tuple ->
+            match match_atom a tuple with
+            | None -> ()
+            | Some subst ->
+              let key_of vars = List.map (fun v -> List.assoc v subst) vars in
+              let src = node p (key_of bounds.(p)) in
+              let dst = node (p + 1) (key_of bounds.(p + 1)) in
+              let cap = if exo_rel then Maxflow.infinite else 1 in
+              let e = Maxflow.add_edge net ~src ~dst ~cap in
+              let prev = try Hashtbl.find out src with Not_found -> [] in
+              Hashtbl.replace out src ((e, dst) :: prev);
+              if cap = 1 then begin
+                match Ilp.var_of_fact ilp (Database.fact a.rel tuple) with
+                | Some v -> Hashtbl.replace edge_var e v
+                | None -> ()
+              end)
+          (Database.tuples_of db a.rel)
+      done;
+      let flow = Maxflow.max_flow net ~src:source ~dst:sink in
+      if flow <= 0 || flow >= Maxflow.infinite then None
+      else begin
+        (* Unit-path decomposition over the remaining flow; the network
+           is a layered DAG, so each walk terminates at the sink. *)
+        let remaining : (Maxflow.edge, int) Hashtbl.t = Hashtbl.create 64 in
+        Hashtbl.iter
+          (fun _ lst ->
+            List.iter (fun (e, _) -> Hashtbl.replace remaining e (Maxflow.flow_on net e)) lst)
+          out;
+        let paths = ref [] in
+        (try
+           for _ = 1 to flow do
+             let path_vars = ref Iset.empty in
+             let v = ref source in
+             while !v <> sink do
+               let outs = try Hashtbl.find out !v with Not_found -> [] in
+               match
+                 List.find_opt
+                   (fun (e, _) -> (try Hashtbl.find remaining e with Not_found -> 0) > 0)
+                   outs
+               with
+               | None -> raise Exit
+               | Some (e, dst) ->
+                 Hashtbl.replace remaining e (Hashtbl.find remaining e - 1);
+                 (match Hashtbl.find_opt edge_var e with
+                 | Some var -> path_vars := Iset.add var !path_vars
+                 | None -> ());
+                 v := dst
+             done;
+             paths := !path_vars :: !paths
+           done
+         with Exit -> ());
+        (* Each path's endogenous facts contain some minimal witness:
+           pick one covering constraint per path, greedily disjoint. *)
+        let cs = Ilp.constraints ilp in
+        let used = ref Iset.empty in
+        let chosen = ref [] in
+        List.iter
+          (fun p ->
+            let rec find i =
+              if i >= Array.length cs then None
+              else if Iset.subset cs.(i) p && Iset.disjoint cs.(i) !used then Some i
+              else find (i + 1)
+            in
+            match find 0 with
+            | Some i ->
+              used := Iset.union !used cs.(i);
+              chosen := i :: !chosen
+            | None -> ())
+          !paths;
+        match List.rev !chosen with
+        | [] -> None
+        | idxs -> Some { value = List.length idxs; certificate = Disjoint idxs; name = "flow-dual" }
+      end
+    end
+
+(* ---- exact-integer certificate check ------------------------------- *)
+
+let check ilp b =
+  b.value >= 0
+  &&
+  match b.certificate with
+  | Disjoint idxs ->
+    let cs = Ilp.constraints ilp in
+    let n = Array.length cs in
+    List.for_all (fun i -> i >= 0 && i < n && not (Iset.is_empty cs.(i))) idxs
+    && (let rec pairwise used = function
+          | [] -> true
+          | i :: rest -> Iset.disjoint cs.(i) used && pairwise (Iset.union used cs.(i)) rest
+        in
+        pairwise Iset.empty idxs)
+    && b.value <= List.length idxs
+  | Fractional { weights; denom } ->
+    denom >= 1
+    && Array.length weights = Ilp.n_constraints ilp
+    && Array.for_all (fun w -> w >= 0) weights
+    && Array.for_all (fun s -> s <= denom) (column_sums ilp weights)
+    &&
+    let total = Array.fold_left ( + ) 0 weights in
+    b.value <= (total + denom - 1) / denom
+
+(* ---- front doors --------------------------------------------------- *)
+
+let best ?order ilp =
+  let candidates =
+    [ Some (packing ilp); Some (lp ilp) ]
+    @ [ (match order with Some o -> flow_dual ~order:o ilp | None -> None) ]
+  in
+  let checked = List.filter (check ilp) (List.filter_map (fun b -> b) candidates) in
+  match checked with
+  | [] -> { value = 0; certificate = Disjoint []; name = "trivial" }
+  | b :: rest -> List.fold_left (fun acc b -> if b.value > acc.value then b else acc) b rest
+
+let lp_value sets =
+  match sets with
+  | [] -> 0
+  | _ ->
+    let ilp = Ilp.of_sets ~minimized:true sets in
+    let b = lp ilp in
+    if check ilp b then b.value else (packing ilp).value

@@ -1,0 +1,58 @@
+(** Certified lower bounds on resilience.
+
+    Every bound carries a certificate whose validity implies
+    [ρ ≥ value], checkable in exact integer arithmetic ({!check}) —
+    float error in the LP solver can weaken a bound but never falsify
+    one that checks out:
+
+    - [Disjoint idxs]: pairwise-disjoint covering constraints; any
+      hitting set needs one distinct variable per constraint.
+    - [Fractional {weights; denom}]: an integer-scaled feasible point of
+      the witness-packing LP (the covering LP's dual); by weak duality
+      [ρ ≥ lp ≥ Σweights/denom], and ρ being an integer gives
+      [ρ ≥ ⌈Σweights/denom⌉]. *)
+
+type certificate =
+  | Disjoint of int list  (** indices into {!Ilp.constraints} *)
+  | Fractional of { weights : int array; denom : int }
+      (** one weight per constraint, in units of [1/denom] *)
+
+type bound = { value : int; certificate : certificate; name : string }
+
+val value : bound -> int
+val name : bound -> string
+val pp : Format.formatter -> bound -> unit
+
+val packing : Ilp.t -> bound
+(** Greedy disjoint witness packing (smallest constraints first).  Cheap;
+    this is what the branch-and-bound search historically pruned with. *)
+
+val lp : Ilp.t -> bound
+(** Solve the packing LP with floating-point simplex, then rationalize
+    the dual into a [Fractional] certificate.  Dominates {!packing}
+    whenever the simplex converges (the LP optimum is at least the best
+    disjoint packing). *)
+
+val flow_dual : order:Res_cq.Atom.t list -> Ilp.t -> bound option
+(** For programs built by {!Ilp.of_instance} on a linear query (pass the
+    atom order from [Linearity.linear_order]): route max-flow through
+    the layered witness network, decompose into unit paths, and keep a
+    disjoint covering constraint per path.  [None] when the program has
+    no instance attached or no flow is routable.  On self-join-free
+    linear instances this recovers exactly ρ (min cut). *)
+
+val check : Ilp.t -> bound -> bool
+(** Exact integer verification that the certificate proves
+    [ρ ≥ value].  All-integer: trustworthy regardless of how the bound
+    was produced. *)
+
+val best : ?order:Res_cq.Atom.t list -> Ilp.t -> bound
+(** The largest of {!packing}, {!lp} and (when [order] is given)
+    {!flow_dual} that passes {!check}.  Total: falls back to the trivial
+    bound 0. *)
+
+val lp_value : Iset.t list -> int
+(** Branch-and-bound entry point: the checked LP bound of an anonymous
+    constraint system (the caller's sets are taken as already minimal),
+    falling back to the greedy packing value if the certificate fails to
+    check.  [ρ(sets) ≥ lp_value sets] always. *)

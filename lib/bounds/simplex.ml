@@ -1,0 +1,105 @@
+type result = { objective : float; solution : float array; optimal : bool }
+
+(* Dense primal simplex on the standard-form program
+     maximize c·x  subject to  A x ≤ b,  x ≥ 0
+   with b ≥ 0, so the all-slack basis is feasible from the start.  The
+   tableau has one row per constraint plus the objective row; Bland's
+   rule (smallest eligible index, both for entering and leaving) makes
+   cycling impossible, and an iteration cap bounds the worst case.
+
+   The caller never needs optimality for soundness — every intermediate
+   basic solution is primal-feasible, so even a capped run returns a
+   genuine feasible point whose objective is a valid bound. *)
+let maximize ?(eps = 1e-9) ?max_iter ~a ~b ~c () =
+  let m = Array.length a in
+  let n = Array.length c in
+  if m = 0 then { objective = 0.; solution = Array.make n 0.; optimal = true }
+  else begin
+    Array.iter (fun bi -> if bi < 0. then invalid_arg "Simplex.maximize: b must be nonnegative") b;
+    let cols = n + m + 1 in
+    let tab = Array.make_matrix (m + 1) cols 0. in
+    for i = 0 to m - 1 do
+      Array.blit a.(i) 0 tab.(i) 0 n;
+      tab.(i).(n + i) <- 1.;
+      tab.(i).(cols - 1) <- b.(i)
+    done;
+    for j = 0 to n - 1 do
+      tab.(m).(j) <- -.c.(j)
+    done;
+    let basis = Array.init m (fun i -> n + i) in
+    let max_iter = match max_iter with Some k -> k | None -> (50 * (m + n)) + 1000 in
+    let optimal = ref false in
+    let iter = ref 0 in
+    (try
+       while !iter < max_iter do
+         incr iter;
+         (* entering column: smallest index with a negative reduced cost *)
+         let entering = ref (-1) in
+         (try
+            for j = 0 to n + m - 1 do
+              if tab.(m).(j) < -.eps then begin
+                entering := j;
+                raise Exit
+              end
+            done
+          with Exit -> ());
+         if !entering < 0 then begin
+           optimal := true;
+           raise Exit
+         end;
+         let j = !entering in
+         (* leaving row: minimum ratio, ties broken by smallest basis var *)
+         let leaving = ref (-1) in
+         let best = ref infinity in
+         for i = 0 to m - 1 do
+           if tab.(i).(j) > eps then begin
+             let ratio = tab.(i).(cols - 1) /. tab.(i).(j) in
+             if
+               ratio < !best -. eps
+               || (ratio < !best +. eps && (!leaving < 0 || basis.(i) < basis.(!leaving)))
+             then begin
+               best := ratio;
+               leaving := i
+             end
+           end
+         done;
+         if !leaving < 0 then
+           (* unbounded direction; the current feasible point still stands *)
+           raise Exit;
+         let r = !leaving in
+         let piv = tab.(r).(j) in
+         for k = 0 to cols - 1 do
+           tab.(r).(k) <- tab.(r).(k) /. piv
+         done;
+         for i = 0 to m do
+           if i <> r && abs_float tab.(i).(j) > 0. then begin
+             let f = tab.(i).(j) in
+             for k = 0 to cols - 1 do
+               tab.(i).(k) <- tab.(i).(k) -. (f *. tab.(r).(k))
+             done
+           end
+         done;
+         basis.(r) <- j
+       done
+     with Exit -> ());
+    let solution = Array.make n 0. in
+    for i = 0 to m - 1 do
+      if basis.(i) < n then solution.(basis.(i)) <- max 0. tab.(i).(cols - 1)
+    done;
+    { objective = tab.(m).(cols - 1); solution; optimal = !optimal }
+  end
+
+(* The packing LP  max Σy, Aᵀy ≤ 1, y ≥ 0  is the dual of the covering
+   LP relaxation of a hitting-set program: one y per constraint, one ≤ 1
+   row per variable. *)
+let packing_lp (ilp : Ilp.t) =
+  let n = Ilp.n_constraints ilp in
+  let m = Ilp.n_vars ilp in
+  let a = Array.make_matrix m n 0. in
+  Array.iteri
+    (fun ci set ->
+      Iset.iter
+        (fun v -> match Ilp.column ilp v with Some r -> a.(r).(ci) <- 1. | None -> ())
+        set)
+    (Ilp.constraints ilp);
+  maximize ~a ~b:(Array.make m 1.) ~c:(Array.make n 1.) ()

@@ -1,0 +1,30 @@
+(** A small dense primal simplex, sufficient for packing LPs.
+
+    Solves [maximize c·x subject to A x ≤ b, x ≥ 0] with [b ≥ 0] (so the
+    all-slack basis is feasible and no phase-1 is needed).  Bland's rule
+    prevents cycling; an iteration cap bounds runtime.
+
+    Soundness over optimality: the returned point is always primal
+    feasible, so its objective is a valid bound even when the cap fires
+    before optimality ([optimal = false]).  Downstream certificates are
+    re-checked in exact integer arithmetic ({!Lower.check}), so float
+    error here can cost bound {e quality}, never {e correctness}. *)
+
+type result = { objective : float; solution : float array; optimal : bool }
+
+val maximize :
+  ?eps:float ->
+  ?max_iter:int ->
+  a:float array array ->
+  b:float array ->
+  c:float array ->
+  unit ->
+  result
+(** @raise Invalid_argument when some [b.(i) < 0]. *)
+
+val packing_lp : Ilp.t -> result
+(** The fractional witness-packing LP — the dual of the covering LP
+    relaxation of the hitting-set program.  One variable per covering
+    constraint, one [≤ 1] row per ILP variable; its optimum equals the
+    LP-relaxation optimum by strong duality, and {e any} feasible point
+    is a lower bound on ρ by weak duality. *)

@@ -1,39 +1,66 @@
 open Res_db
 
-module IS = Set.Make (Int)
+(* The one shared [Set.Make (Int)] instance: sets built here flow
+   directly into [Res_bounds.Lower.lp_value] without conversion. *)
+module IS = Res_bounds.Iset
+
+(* Counters over the branch-and-bound search, cumulative until
+   {!reset_stats}.  Written without synchronization — in the threaded
+   server they are a debugging aid, not an invariant; the bench and the
+   regression tests run single-threaded where they are exact. *)
+type search_stats = {
+  mutable nodes : int;
+  mutable lp_calls : int;
+  mutable lp_prunes : int;
+  mutable covers : int;
+}
+
+let stats = { nodes = 0; lp_calls = 0; lp_prunes = 0; covers = 0 }
+
+let reset_stats () =
+  stats.nodes <- 0;
+  stats.lp_calls <- 0;
+  stats.lp_prunes <- 0;
+  stats.covers <- 0
+
+let last_stats () =
+  { nodes = stats.nodes; lp_calls = stats.lp_calls; lp_prunes = stats.lp_prunes; covers = stats.covers }
 
 (* Build the hitting-set instance: witnesses as sets of endogenous fact
-   ids.  Returns [None] if some witness has no endogenous fact. *)
+   ids.  Returns [None] if some witness has no endogenous fact — decided
+   {e before} any fact-id assignment, so a provably unbreakable instance
+   does no numbering, reduction or cover work at all. *)
 let instance db q =
-  let fact_ids = Hashtbl.create 64 in
-  let facts_rev = Hashtbl.create 64 in
-  let next = ref 0 in
-  let id_of f =
-    match Hashtbl.find_opt fact_ids f with
-    | Some i -> i
-    | None ->
-      let i = !next in
-      incr next;
-      Hashtbl.replace fact_ids f i;
-      Hashtbl.replace facts_rev i f;
-      i
-  in
   let witness_sets = Eval.witness_fact_sets db q in
-  let exception Dead of unit in
-  match
-    List.map
-      (fun fs ->
-        let endo =
+  let all_exogenous fs =
+    Database.Fact_set.for_all (fun f -> Res_cq.Query.is_exogenous q f.Database.rel) fs
+  in
+  if List.exists all_exogenous witness_sets then None
+  else begin
+    let fact_ids = Hashtbl.create 64 in
+    let facts_rev = Hashtbl.create 64 in
+    let next = ref 0 in
+    let id_of f =
+      match Hashtbl.find_opt fact_ids f with
+      | Some i -> i
+      | None ->
+        let i = !next in
+        incr next;
+        Hashtbl.replace fact_ids f i;
+        Hashtbl.replace facts_rev i f;
+        i
+    in
+    let sets =
+      List.map
+        (fun fs ->
           Database.Fact_set.fold
             (fun f acc ->
               if Res_cq.Query.is_exogenous q f.Database.rel then acc else IS.add (id_of f) acc)
-            fs IS.empty
-        in
-        if IS.is_empty endo then raise (Dead ()) else endo)
-      witness_sets
-  with
-  | sets -> Some (sets, facts_rev)
-  | exception Dead () -> None
+            fs IS.empty)
+        witness_sets
+    in
+    Some (sets, facts_rev)
+  end
 
 (* Keep only ⊆-minimal sets. *)
 let minimal_sets sets =
@@ -87,11 +114,26 @@ let greedy_packing_bound sets =
   in
   go IS.empty 0 (List.sort (fun a b -> compare (IS.cardinal a) (IS.cardinal b)) sets)
 
+(* How much LP to spend inside the search: the relaxation is consulted
+   at the root and at shallow nodes only, on subproblems small enough
+   for the dense simplex, under a per-search call budget. *)
+let lp_depth_cap = 2
+
+let lp_constraint_cap = 150
+
+let lp_call_budget = 64
+
 (* Branch-and-bound on the hitting-set instance.  [best] always holds a
-   genuine hitting set (seeded by the greedy cover, only ever replaced by
-   completed branches), so when [cancel] fires mid-search the current
-   incumbent is a sound upper bound — that is what [`Interrupted] carries. *)
-let solve_hitting_set ?(cancel = Cancel.never) sets =
+   genuine hitting set (seeded by the polished greedy cover, only ever
+   replaced by completed branches), so when [cancel] fires mid-search the
+   current incumbent is a sound upper bound — that is what
+   [`Interrupted] carries, together with the certified root lower bound.
+
+   Pruning uses the greedy disjoint packing everywhere and additionally
+   the LP relaxation ([Res_bounds.Lower.lp_value], certificate-checked)
+   near the root when [lp] is on; when the root lower bound already
+   meets the incumbent the search is skipped outright. *)
+let solve_hitting_set ?(cancel = Cancel.never) ?(lp = true) sets =
   match sets with
   | [] -> `Complete (0, [])
   | _ ->
@@ -102,69 +144,82 @@ let solve_hitting_set ?(cancel = Cancel.never) sets =
        never empties a set (each set keeps at least one undominated
        fact: the fact whose witness-set is maximal wrt the others). *)
     assert (List.for_all (fun s -> not (IS.is_empty s)) sets);
-    (* Greedy upper bound: repeatedly hit the most witnesses. *)
-    let greedy_cover sets =
-      let rec go sets acc =
+    stats.covers <- stats.covers + 1;
+    (* Upper bound: greedy cover polished by redundancy elimination and
+       2→1 swaps.  The cover's variable ids are this instance's fact
+       ids, so it doubles as the incumbent hitting set. *)
+    let ilp = Res_bounds.Ilp.of_sets ~minimized:true sets in
+    let ub0 = Res_bounds.Upper.best ilp in
+    assert (Res_bounds.Upper.check ilp ub0);
+    let best = ref (ub0.Res_bounds.Upper.value, ub0.Res_bounds.Upper.cover) in
+    let lp_budget = ref (if lp then lp_call_budget else 0) in
+    let lower_of depth sets =
+      let pack = greedy_packing_bound sets in
+      if !lp_budget > 0 && depth <= lp_depth_cap && List.length sets <= lp_constraint_cap
+      then begin
+        decr lp_budget;
+        stats.lp_calls <- stats.lp_calls + 1;
+        let l = Res_bounds.Lower.lp_value sets in
+        if l > pack then `Lp (l, pack) else `Pack pack
+      end
+      else `Pack pack
+    in
+    let root_lb =
+      match lower_of 0 sets with `Lp (l, _) -> l | `Pack p -> p
+    in
+    if root_lb >= fst !best then `Complete !best
+    else begin
+      let rec branch chosen depth sets =
+        Cancel.guard cancel;
+        stats.nodes <- stats.nodes + 1;
         match sets with
-        | [] -> acc
+        | [] -> if depth < fst !best then best := (depth, chosen)
         | _ ->
-          let counts = Hashtbl.create 64 in
-          List.iter
-            (fun s ->
-              IS.iter
-                (fun f -> Hashtbl.replace counts f (1 + try Hashtbl.find counts f with Not_found -> 0))
-                s)
-            sets;
-          let best_f, _ =
-            Hashtbl.fold (fun f c (bf, bc) -> if c > bc then (f, c) else (bf, bc)) counts (-1, 0)
+          let prune =
+            match lower_of depth sets with
+            | `Pack p -> depth + p >= fst !best
+            | `Lp (l, pack) ->
+              let pruned = depth + l >= fst !best in
+              if pruned && depth + pack < fst !best then stats.lp_prunes <- stats.lp_prunes + 1;
+              pruned
           in
-          go (List.filter (fun s -> not (IS.mem best_f s)) sets) (best_f :: acc)
+          if prune then ()
+          else begin
+            let pivot =
+              List.fold_left
+                (fun acc s ->
+                  match acc with
+                  | None -> Some s
+                  | Some t -> if IS.cardinal s < IS.cardinal t then Some s else acc)
+                None sets
+            in
+            let pivot = Option.get pivot in
+            IS.iter
+              (fun f ->
+                let remaining = List.filter (fun s -> not (IS.mem f s)) sets in
+                branch (f :: chosen) (depth + 1) remaining)
+              pivot
+          end
       in
-      go sets []
-    in
-    let ub_set = greedy_cover sets in
-    let best = ref (List.length ub_set, ub_set) in
-    let rec branch chosen depth sets =
-      Cancel.guard cancel;
-      match sets with
-      | [] -> if depth < fst !best then best := (depth, chosen)
-      | _ ->
-        if depth + greedy_packing_bound sets >= fst !best then ()
-        else begin
-          let pivot =
-            List.fold_left
-              (fun acc s ->
-                match acc with
-                | None -> Some s
-                | Some t -> if IS.cardinal s < IS.cardinal t then Some s else acc)
-              None sets
-          in
-          let pivot = Option.get pivot in
-          IS.iter
-            (fun f ->
-              let remaining = List.filter (fun s -> not (IS.mem f s)) sets in
-              branch (f :: chosen) (depth + 1) remaining)
-            pivot
-        end
-    in
-    (match branch [] 0 sets with
-     | () -> `Complete !best
-     | exception Cancel.Cancelled -> `Interrupted !best)
+      match branch [] 0 sets with
+      | () -> `Complete !best
+      | exception Cancel.Cancelled -> `Interrupted (!best, root_lb)
+    end
 
 type outcome =
   | Complete of Solution.t
-  | Interrupted of Solution.t
+  | Interrupted of { incumbent : Solution.t; lb : int }
 
-let resilience_bounded ?cancel db q =
+let resilience_bounded ?cancel ?lp db q =
   match instance db q with
   | None -> Complete Solution.Unbreakable
   | Some (sets, facts_rev) ->
     let finish (value, chosen) =
       Solution.Finite (value, List.map (Hashtbl.find facts_rev) chosen)
     in
-    (match solve_hitting_set ?cancel sets with
+    (match solve_hitting_set ?cancel ?lp sets with
      | `Complete r -> Complete (finish r)
-     | `Interrupted r -> Interrupted (finish r))
+     | `Interrupted (r, lb) -> Interrupted { incumbent = finish r; lb })
 
 let resilience db q =
   match resilience_bounded db q with

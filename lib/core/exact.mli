@@ -11,7 +11,10 @@
     Reductions applied before search: witness-set minimization (only
     ⊆-minimal witnesses matter), forced facts (singleton witnesses), and
     fact dominance (a fact whose witness set is contained in another's can
-    be ignored).  The bound is a greedy disjoint-witness packing. *)
+    be ignored).  Pruning bounds are the greedy disjoint-witness packing
+    everywhere, plus the certificate-checked LP relaxation
+    ({!Res_bounds.Lower}) at the root and shallow nodes; the incumbent is
+    seeded by a locally-polished greedy cover ({!Res_bounds.Upper}). *)
 
 open Res_db
 
@@ -25,16 +28,42 @@ val resilience : Database.t -> Res_cq.Query.t -> Solution.t
 
 type outcome =
   | Complete of Solution.t  (** the search finished; this is ρ exactly *)
-  | Interrupted of Solution.t
-      (** the token fired mid-search; the carried [Finite (ub, set)] is the
-          best incumbent — [set] is a genuine contingency set of size [ub],
-          so ρ ≤ ub (never [Unbreakable]: that case completes instantly) *)
+  | Interrupted of { incumbent : Solution.t; lb : int }
+      (** the token fired mid-search; [incumbent] is the best
+          [Finite (ub, set)] found — [set] is a genuine contingency set of
+          size [ub], so ρ ≤ ub (never [Unbreakable]: that case completes
+          instantly) — and [lb] is the certified root lower bound, so
+          [lb ≤ ρ ≤ ub] *)
 
-val resilience_bounded : ?cancel:Cancel.t -> Database.t -> Res_cq.Query.t -> outcome
+val resilience_bounded :
+  ?cancel:Cancel.t -> ?lp:bool -> Database.t -> Res_cq.Query.t -> outcome
 (** Like {!resilience}, but polls [cancel] at every branch node.  The
     polynomial preprocessing (witness enumeration, reductions, greedy
     cover) always runs to completion; only the exponential search is
-    interruptible. *)
+    interruptible.  [?lp] (default [true]) switches the LP-relaxation
+    pruning — exposed so the pruning bench can measure its effect. *)
+
+(** {2 Search instrumentation}
+
+    Cumulative counters over every hitting-set search since the last
+    {!reset_stats}: branch nodes expanded, LP relaxations solved, prunes
+    that {e only} the LP bound achieved (the packing bound alone would
+    have kept branching), and greedy covers computed.  Unbreakable and
+    unsatisfied instances are decided in preprocessing and touch none of
+    them.  Updated without synchronization — exact in single-threaded
+    use (bench, tests), indicative under the threaded server. *)
+
+type search_stats = {
+  mutable nodes : int;
+  mutable lp_calls : int;
+  mutable lp_prunes : int;
+  mutable covers : int;
+}
+
+val reset_stats : unit -> unit
+
+val last_stats : unit -> search_stats
+(** A snapshot copy (safe to keep across later searches). *)
 
 val value : Database.t -> Res_cq.Query.t -> int option
 (** [Some ρ], or [None] when {!Unbreakable}.  ρ = 0 iff D ⊭ q. *)

@@ -64,14 +64,15 @@ let try_template tmpl db q k =
 
 let rel rel_map name = List.assoc name rel_map
 
-(* An exact search that hit its deadline, carrying the incumbent —
-   unwinds out of the dispatcher to the component combiner. *)
-exception Partial_exact of Solution.t
+(* An exact search that hit its deadline, carrying the incumbent and the
+   certified root lower bound — unwinds out of the dispatcher to the
+   component combiner. *)
+exception Partial_exact of Solution.t * int
 
 let exact_bounded cancel db q =
   match Exact.resilience_bounded ~cancel db q with
   | Exact.Complete s -> s
-  | Exact.Interrupted s -> raise (Partial_exact s)
+  | Exact.Interrupted { incumbent; lb } -> raise (Partial_exact (incumbent, lb))
 
 let dispatch_ptime ~cancel (m : Classify.ptime_method) db q =
   let fallback note =
@@ -163,9 +164,10 @@ let dispatch_ptime ~cancel (m : Classify.ptime_method) db q =
     | None -> fallback "qTS3conf template mismatch"
   end
 
-(* One component: [`Done trace], or [`Partial (Some ub)] when the exact
-   search was interrupted with an incumbent, or [`Partial None] when a
-   polynomial solver was cancelled mid-run (nothing to salvage). *)
+(* One component: [`Done trace], or [`Partial (Some ub, lb)] when the
+   exact search was interrupted with an incumbent and a certified lower
+   bound, or [`Partial (None, 0)] when a polynomial solver was cancelled
+   mid-run (nothing to salvage). *)
 let solve_component ~cancel db qc =
   let q', verdict = Classify.classify_component qc in
   let db = extend_db_for_split db q' in
@@ -179,8 +181,8 @@ let solve_component ~cancel db qc =
     | Classify.Unknown s -> (Printf.sprintf "exact (unknown: %s)" s, exact_bounded cancel db q')
   with
   | algorithm, solution -> `Done { component = q'; algorithm; solution }
-  | exception Partial_exact ub -> `Partial (Some ub)
-  | exception Cancel.Cancelled -> `Partial None
+  | exception Partial_exact (ub, lb) -> `Partial (Some ub, lb)
+  | exception Cancel.Cancelled -> `Partial (None, 0)
 
 (* ρ is the minimum over components (Lemma 14): the smaller of two
    [Finite] answers wins, [Unbreakable] is the identity. *)
@@ -191,28 +193,48 @@ let min_solution a b =
 
 type bounded =
   | Done of Solution.t * trace list
-  | Timeout of Solution.t option
+  | Timeout of Res_bounds.Interval.t
+
+let interval_of_solution = function
+  | Solution.Unbreakable -> Res_bounds.Interval.unbreakable
+  | Solution.Finite (v, facts) -> Res_bounds.Interval.optimal ~witness_set:facts v
 
 let solve_bounded ?(cancel = Cancel.never) db q =
   let minimized = Res_cq.Homomorphism.minimize q in
   let comps = Res_cq.Components.split minimized in
   let results = List.map (solve_component ~cancel db) comps in
   let timed_out = List.exists (function `Partial _ -> true | `Done _ -> false) results in
-  (* Every finished component value and every interrupted incumbent is a
-     sound upper bound on the minimum: deleting one component's
-     contingency set already falsifies the conjunction. *)
-  let best =
-    List.fold_left
-      (fun acc -> function
-        | `Done t -> min_solution acc t.solution
-        | `Partial (Some ub) -> min_solution acc ub
-        | `Partial None -> acc)
-      Solution.Unbreakable results
-  in
-  if not timed_out then
+  if not timed_out then begin
+    let best =
+      List.fold_left
+        (fun acc -> function `Done t -> min_solution acc t.solution | `Partial _ -> acc)
+        Solution.Unbreakable results
+    in
     Done (best, List.filter_map (function `Done t -> Some t | `Partial _ -> None) results)
-  else
-    Timeout (match best with Solution.Finite _ -> Some best | Solution.Unbreakable -> None)
+  end
+  else begin
+    (* Every finished component value and every interrupted incumbent is
+       a sound upper bound on the minimum (deleting one component's
+       contingency set already falsifies the conjunction); every
+       component's certified lower bound lower-bounds its ρ, and ρ is
+       their minimum — so intervals combine by
+       {!Res_bounds.Interval.min_components}. *)
+    let interval =
+      List.fold_left
+        (fun acc r ->
+          let iv =
+            match r with
+            | `Done t -> interval_of_solution t.solution
+            | `Partial (Some (Solution.Finite (v, facts)), lb) ->
+              Res_bounds.Interval.of_bounds ~witness_set:facts ~lb ~ub:(Some v) ()
+            | `Partial (Some Solution.Unbreakable, lb) | `Partial (None, lb) ->
+              Res_bounds.Interval.lower_only lb
+          in
+          Res_bounds.Interval.min_components acc iv)
+        Res_bounds.Interval.unbreakable results
+    in
+    Timeout interval
+  end
 
 let solve_traced db q =
   match solve_bounded db q with

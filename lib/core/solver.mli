@@ -34,19 +34,27 @@ val solve_traced : Database.t -> Res_cq.Query.t -> Solution.t * trace list
     The service layer cannot let an NP-complete component run unboundedly:
     [solve_bounded] threads a {!Cancel} token into every cancellable hot
     loop ({!Exact} branch nodes, {!Flow} network construction).  When the
-    token fires the answer degrades gracefully: any component that already
-    finished, and any interrupted exact search's incumbent, yields a sound
-    upper bound on ρ (deleting one component's contingency set falsifies
-    the whole conjunction), and the smallest such bound is reported. *)
+    token fires the answer degrades gracefully into a {e certified
+    interval}: any component that already finished, and any interrupted
+    exact search's incumbent, yields a sound upper bound on ρ (deleting
+    one component's contingency set falsifies the whole conjunction);
+    interrupted searches also surface their certified root lower bound,
+    and ρ being the minimum over components, the per-component intervals
+    combine by {!Res_bounds.Interval.min_components}. *)
 
 type bounded =
   | Done of Solution.t * trace list  (** finished before the deadline *)
-  | Timeout of Solution.t option
-      (** the token fired; [Some (Finite (ub, set))] is the best sound
-          upper bound established so far ([set] is a genuine contingency
-          set), [None] when no bound was reached in time *)
+  | Timeout of Res_bounds.Interval.t
+      (** the token fired; the interval brackets ρ: [lb ≤ ρ], and when
+          [ub = Some u] a genuine contingency set of size [u] was found
+          ([witness_set]).  [ub = None] with status [Gap] means no bound
+          was reached in time. *)
 
 val solve_bounded : ?cancel:Cancel.t -> Database.t -> Res_cq.Query.t -> bounded
+
+val interval_of_solution : Solution.t -> Res_bounds.Interval.t
+(** [Finite (v, set)] ↦ the optimal interval [⟨v, v⟩]; [Unbreakable] ↦
+    {!Res_bounds.Interval.unbreakable}. *)
 
 val value : Database.t -> Res_cq.Query.t -> int option
 (** [Some ρ] or [None] (unbreakable). *)

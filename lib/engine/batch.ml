@@ -81,7 +81,20 @@ let classify t q =
 
 type solve_outcome =
   | Solved of Solution.t * bool
-  | Timed_out of Solution.t option
+  | Timed_out of Res_bounds.Interval.t
+
+(* The interval's witness set lives in canonical fact space; reuse the
+   solution translation to map it back.  Bounds and status are invariant
+   under the renaming. *)
+let translate_interval_back k q iv =
+  let module I = Res_bounds.Interval in
+  match (I.ub iv, I.witness_set iv) with
+  | Some u, (_ :: _ as ws) -> begin
+    match Canon.translate_solution_back k q (Solution.Finite (u, ws)) with
+    | Solution.Finite (u', ws') -> I.of_bounds ~witness_set:ws' ~lb:(I.lb iv) ~ub:(Some u') ()
+    | Solution.Unbreakable -> iv
+  end
+  | _ -> iv
 
 (* On a miss the *canonical* instance is solved, so the stored solution is
    reusable by — and translatable back to — every instance of the class
@@ -113,11 +126,11 @@ let solve_keyed_bounded t ?(cancel = Resilience.Cancel.never) (k : Canon.keyed) 
           t.stats.solve_time <- t.stats.solve_time +. dt;
           Cache.add t.solve_cache (k.key, dg) sol);
       Solved (Canon.translate_solution_back k q sol, false)
-    | Solver.Timeout ub ->
+    | Solver.Timeout iv ->
       locked t (fun () ->
           t.stats.solve_timeouts <- t.stats.solve_timeouts + 1;
           t.stats.solve_time <- t.stats.solve_time +. dt);
-      Timed_out (Option.map (Canon.translate_solution_back k q) ub))
+      Timed_out (translate_interval_back k q iv))
 
 let solve_keyed t k db q =
   match solve_keyed_bounded t k db q with
@@ -133,11 +146,11 @@ let solve_bounded t ?cancel db q =
           t.stats.solve_misses <- t.stats.solve_misses + 1;
           t.stats.solve_time <- t.stats.solve_time +. dt);
       Solved (sol, false)
-    | Solver.Timeout ub ->
+    | Solver.Timeout iv ->
       locked t (fun () ->
           t.stats.solve_timeouts <- t.stats.solve_timeouts + 1;
           t.stats.solve_time <- t.stats.solve_time +. dt);
-      Timed_out ub
+      Timed_out iv
   end
   else solve_keyed_bounded t ?cancel (timed_canon t (fun () -> Canon.keyed q)) db q
 

@@ -46,9 +46,12 @@ val solve : t -> Database.t -> Query.t -> Solution.t
 
 type solve_outcome =
   | Solved of Solution.t * bool  (** the solution, and whether it was served from cache *)
-  | Timed_out of Solution.t option
-      (** deadline fired mid-search; carries {!Resilience.Solver.solve_bounded}'s
-          best sound upper bound.  Timed-out results are never cached. *)
+  | Timed_out of Res_bounds.Interval.t
+      (** deadline fired mid-search; carries
+          {!Resilience.Solver.solve_bounded}'s certified interval
+          [lb ≤ ρ ≤ ub], with the witness set translated back into the
+          caller's fact space.  Only optimal results are cached —
+          timed-out intervals never are. *)
 
 val solve_bounded :
   t -> ?cancel:Resilience.Cancel.t -> Database.t -> Query.t -> solve_outcome

@@ -98,20 +98,25 @@ let solution ~cached = function
       (Printf.sprintf "rho=%d set={%s}%s" v (pp_facts facts)
          (if cached then " cached" else ""))
 
-let bound_value = function
-  | Some (Resilience.Solution.Finite (v, _)) -> string_of_int v
-  | Some Resilience.Solution.Unbreakable | None -> "none"
+let version = 2
 
-let timeout ub = Printf.sprintf "timeout bound=%s" (bound_value ub)
+(* v2: the v1 "timeout bound=N|none" is kept as a prefix, extended with
+   the certified lower bound and the gap. *)
+let timeout iv =
+  let module I = Res_bounds.Interval in
+  let bound = match I.ub iv with Some u -> string_of_int u | None -> "none" in
+  let gap = match I.gap iv with Some g -> string_of_int g | None -> "inf" in
+  Printf.sprintf "timeout bound=%s lb=%d gap=%s" bound (I.lb iv) gap
 
 let batch_item = function
   | Res_engine.Batch.Solved (Resilience.Solution.Unbreakable, _) -> "unbreakable"
   | Res_engine.Batch.Solved (Resilience.Solution.Finite (v, _), _) -> Printf.sprintf "rho=%d" v
-  | Res_engine.Batch.Timed_out None -> "timeout"
-  | Res_engine.Batch.Timed_out (Some ub) -> begin
-    match bound_value (Some ub) with
-    | "none" -> "timeout"
-    | b -> "timeout:" ^ b
+  | Res_engine.Batch.Timed_out iv -> begin
+    let module I = Res_bounds.Interval in
+    match (I.lb iv, I.ub iv) with
+    | 0, None -> "timeout"
+    | lb, None -> Printf.sprintf "timeout:%d.." lb
+    | lb, Some u -> Printf.sprintf "timeout:%d..%d" lb u
   end
 
 let stats_line kvs = ok (String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs))

@@ -15,19 +15,28 @@
     Responses start with a status word:
     {v
       ok <payload>
-      timeout bound=<N|none>
+      timeout bound=<N|none> lb=<M> gap=<G|inf>
       error <message>
     v}
 
     [solve] answers [ok rho=N set={f1; f2; ...}] or [ok unbreakable];
-    when its deadline fires first it answers [timeout bound=N] with the
-    best sound upper bound the interrupted search had established (ρ ≤ N),
-    or [timeout bound=none] when no bound was reached.  [batch] answers
-    one [ok] line with [;;]-separated per-instance results ([rho=N],
-    [unbreakable], [timeout] or [timeout:N]) sharing a single deadline.
-    [stats] answers the metrics registry as space-separated [key=value]
-    pairs.  [quit] closes the connection; [shutdown] additionally stops
-    the whole server gracefully. *)
+    when its deadline fires first it answers with a {e certified
+    interval}: [bound] is the best sound upper bound the interrupted
+    search had established (ρ ≤ bound; [none] when no contingency set
+    was reached), [lb] its certified lower bound (lb ≤ ρ, from the
+    LP/packing certificate), and [gap = bound - lb] ([inf] when no
+    finite upper bound exists).  [batch] answers one [ok] line with
+    [;;]-separated per-instance results ([rho=N], [unbreakable], or on
+    timeout [timeout], [timeout:LB..] and [timeout:LB..UB] — the
+    certified bracket) sharing a single deadline.  [stats] answers the
+    metrics registry as space-separated [key=value] pairs.  [quit]
+    closes the connection; [shutdown] additionally stops the whole
+    server gracefully.
+
+    {b Versioning.}  This is protocol {!version} 2.  v1 timeout lines
+    were exactly [timeout bound=<N|none>]; v2 appends [lb=]/[gap=]
+    fields and refines batch timeout items from [timeout:N] to
+    [timeout:LB..UB], so v1 clients that parse by prefix keep working. *)
 
 type request =
   | Ping
@@ -45,11 +54,15 @@ val parse : string -> (request, string) result
 val ok : string -> string
 val error : string -> string
 
+val version : int
+(** The protocol generation this build speaks (2). *)
+
 val solution : cached:bool -> Resilience.Solution.t -> string
 (** The [ok] response line for a completed solve. *)
 
-val timeout : Resilience.Solution.t option -> string
-(** The [timeout bound=...] response line. *)
+val timeout : Res_bounds.Interval.t -> string
+(** The [timeout bound=... lb=... gap=...] response line for a certified
+    interval. *)
 
 val batch_item : Res_engine.Batch.solve_outcome -> string
 

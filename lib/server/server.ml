@@ -52,6 +52,9 @@ type t = {
   mutable conns : (Thread.t * Unix.file_descr) list;
   mutable accept_thread : Thread.t option;
   latency : Metrics.histogram;
+  gap : Metrics.histogram;
+      (* certified gap (ub - lb) of timed-out solves; infinite gaps (no
+         finite upper bound) land in the implicit +∞ bucket *)
 }
 
 let metrics t = t.metrics
@@ -76,9 +79,20 @@ let deadline_of t timeout_ms =
 
 let expired deadline = match deadline with Some d -> now () >= d | None -> false
 
+let observe_gap t iv =
+  match Res_bounds.Interval.gap iv with
+  | Some g -> Metrics.observe t.gap (float_of_int g)
+  | None -> Metrics.observe t.gap infinity
+
 let solve_one t ~cancel ~deadline (inst : Res_engine.Batch.instance) =
-  if expired deadline then Res_engine.Batch.Timed_out None
-  else Res_engine.Batch.solve_bounded t.engine ~cancel inst.db inst.query
+  let outcome =
+    if expired deadline then Res_engine.Batch.Timed_out (Res_bounds.Interval.lower_only 0)
+    else Res_engine.Batch.solve_bounded t.engine ~cancel inst.db inst.query
+  in
+  (match outcome with
+  | Res_engine.Batch.Timed_out iv -> observe_gap t iv
+  | Res_engine.Batch.Solved _ -> ());
+  outcome
 
 (* Parse errors are caught on the connection thread (before a queue slot
    is consumed); this runs on a worker. *)
@@ -90,9 +104,9 @@ let run_solve t ~kind ~deadline instances fill =
     | Res_engine.Batch.Solved (sol, cached) ->
       count t "solve" "ok";
       fill (Protocol.solution ~cached sol)
-    | Res_engine.Batch.Timed_out ub ->
+    | Res_engine.Batch.Timed_out iv ->
       count t "solve" "timeout";
-      fill (Protocol.timeout ub)
+      fill (Protocol.timeout iv)
   end
   | _, instances ->
     let outcomes = List.map (fun inst -> solve_one t ~cancel ~deadline inst) instances in
@@ -123,7 +137,8 @@ let submit_solve t ~kind ~timeout_ms body_lines =
     end
 
 let stats_reply t =
-  Protocol.stats_line (Metrics.render t.metrics)
+  Protocol.stats_line
+    (("protocol.version", string_of_int Protocol.version) :: Metrics.render t.metrics)
 
 let execute t line =
   match Protocol.parse line with
@@ -324,6 +339,10 @@ let start ?engine:(eng = Res_engine.Batch.create ()) cfg =
       conns = [];
       accept_thread = None;
       latency = Metrics.histogram metrics "latency.request";
+      gap =
+        Metrics.histogram
+          ~buckets:[ 0.; 1.; 2.; 3.; 5.; 8.; 13.; 21. ]
+          metrics "solve.gap";
     }
   in
   Metrics.gauge metrics "queue.depth" (fun () -> float_of_int (Pool.depth pool));

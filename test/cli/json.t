@@ -1,0 +1,29 @@
+Machine-readable output: solve --json emits the certified interval view
+of the solution (for optimal solves lb = ub = rho and the gap is 0):
+
+  $ resilience solve "R(x,y), R(y,z)" --facts "R(1,2); R(2,3); R(3,3)" --json
+  {"rho":2,"status":"optimal","lb":2,"ub":2,"gap":0,"set":["R(1,2)","R(3,3)"]}
+
+An unbreakable instance has no finite upper bound (ub null) but is still
+optimal knowledge, so its gap is 0:
+
+  $ resilience solve "R^x(x,y)" --facts "R(1,2)" --json
+  {"status":"unbreakable","lb":0,"ub":null,"gap":0,"set":[]}
+
+classify --json mirrors the text report, one object per component:
+
+  $ resilience classify "R(x,y), R(y,z)" --json
+  {"query":"R(x,y), R(y,z)","minimized":"R(x,y), R(y,z)","verdict":"NP-complete: 2-chain (Props 29/30/38)","components":[{"query":"R(x,y), R(y,z)","verdict":"NP-complete: 2-chain (Props 29/30/38)"}],"notes":[]}
+
+  $ resilience classify "A(x), R(x,y), R(y,x)" --json
+  {"query":"A(x), R(x,y), R(y,x)","minimized":"A(x), R(x,y), R(y,x)","verdict":"PTIME: unbound permutation (Props 33/35)","components":[{"query":"A(x), R(x,y), R(y,x)","verdict":"PTIME: unbound permutation (Props 33/35)"}],"notes":[]}
+
+solve --bounds appends the certified bracket (independent lower and upper
+certificates) to the plain-text answer:
+
+  $ resilience solve "R(x,y), R(y,z)" --facts "R(1,2); R(2,3); R(3,3)" --bounds
+  resilience: 2
+  minimum contingency set:
+    R(1,2)
+    R(3,3)
+  certified bounds: lb=2 (packing) ub=2 (cover) gap=0

@@ -9,6 +9,7 @@ let () =
       ("classify", Test_classify.suite);
       ("fragment", Test_fragment.suite);
       ("solvers", Test_solvers.suite);
+      ("bounds", Test_bounds.suite);
       ("reductions", Test_reductions.suite);
       ("ijp", Test_ijp.suite);
       ("dp", Test_dp.suite);

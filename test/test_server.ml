@@ -92,13 +92,21 @@ let protocol_responses () =
     (Protocol.solution ~cached:true (Resilience.Solution.Finite (0, [])));
   Alcotest.(check string) "unbreakable" "ok unbreakable"
     (Protocol.solution ~cached:false Resilience.Solution.Unbreakable);
-  Alcotest.(check string) "timeout with bound" "timeout bound=7"
-    (Protocol.timeout (Some (Resilience.Solution.Finite (7, []))));
-  Alcotest.(check string) "timeout without bound" "timeout bound=none" (Protocol.timeout None);
+  let module I = Res_bounds.Interval in
+  Alcotest.(check string) "timeout with interval" "timeout bound=7 lb=3 gap=4"
+    (Protocol.timeout (I.of_bounds ~lb:3 ~ub:(Some 7) ()));
+  Alcotest.(check string) "timeout with tight interval" "timeout bound=7 lb=7 gap=0"
+    (Protocol.timeout (I.of_bounds ~lb:7 ~ub:(Some 7) ()));
+  Alcotest.(check string) "timeout without bound" "timeout bound=none lb=0 gap=inf"
+    (Protocol.timeout (I.lower_only 0));
   Alcotest.(check string) "error is one line" "error a b"
     (Protocol.error "a\nb");
-  Alcotest.(check string) "batch timeout item" "timeout:5"
-    (Protocol.batch_item (Res_engine.Batch.Timed_out (Some (Resilience.Solution.Finite (5, [])))));
+  Alcotest.(check string) "batch timeout item" "timeout:2..5"
+    (Protocol.batch_item (Res_engine.Batch.Timed_out (I.of_bounds ~lb:2 ~ub:(Some 5) ())));
+  Alcotest.(check string) "batch timeout item, lb only" "timeout:1.."
+    (Protocol.batch_item (Res_engine.Batch.Timed_out (I.lower_only 1)));
+  Alcotest.(check string) "batch timeout item, nothing known" "timeout"
+    (Protocol.batch_item (Res_engine.Batch.Timed_out (I.lower_only 0)));
   Alcotest.(check string) "stats line" "ok a=1 b=2"
     (Protocol.stats_line [ ("a", "1"); ("b", "2") ])
 
@@ -182,12 +190,13 @@ let random_query st =
   let exo = if Random.State.bool st then [] else [ fst rels.(Random.State.int st 5) ] in
   Res_cq.Query.make ~exo atoms
 
-(* The acceptance property: a cancelled exact solve's partial bound is
-   always a sound upper bound — the carried set is a genuine contingency
-   set of that size, so ρ ≤ ub, cross-checked against the uninterrupted
-   run on the same instance. *)
+(* The acceptance property: a cancelled exact solve's partial answer is
+   always a certified interval — the carried set is a genuine contingency
+   set of size ub, and the certified lower bound really lower-bounds ρ:
+   lb ≤ ρ ≤ ub, cross-checked against the uninterrupted run on the same
+   instance. *)
 let prop_interrupted_bound_sound =
-  QCheck.Test.make ~count:120 ~name:"cancelled exact solve yields a sound upper bound"
+  QCheck.Test.make ~count:120 ~name:"cancelled exact solve yields a sound certified interval"
     QCheck.(pair (int_bound 1_000_000) (int_range 1 60))
     (fun (seed, steps) ->
       let st = Random.State.make [| seed; 23 |] in
@@ -197,17 +206,19 @@ let prop_interrupted_bound_sound =
       | Resilience.Exact.Complete s ->
         (* finishing under a step budget must give the exact answer *)
         Resilience.Solution.equal_value s (Resilience.Exact.resilience db q)
-      | Resilience.Exact.Interrupted (Resilience.Solution.Finite (ub, set)) ->
+      | Resilience.Exact.Interrupted { incumbent = Resilience.Solution.Finite (ub, set); lb } ->
         List.length set = ub
+        && lb <= ub
         && Resilience.Exact.is_contingency_set db q set
         && (match Resilience.Exact.value db q with
-           | Some rho -> rho <= ub
+           | Some rho -> lb <= rho && rho <= ub
            | None -> false)
-      | Resilience.Exact.Interrupted Resilience.Solution.Unbreakable -> false)
+      | Resilience.Exact.Interrupted { incumbent = Resilience.Solution.Unbreakable; _ } -> false)
 
-(* Same property through the component-splitting front end. *)
+(* Same property through the component-splitting front end: the timeout
+   interval must bracket the true minimum over components. *)
 let prop_solver_bounded_sound =
-  QCheck.Test.make ~count:120 ~name:"solve_bounded timeout bound is a sound upper bound"
+  QCheck.Test.make ~count:120 ~name:"solve_bounded timeout interval brackets rho"
     QCheck.(pair (int_bound 1_000_000) (int_range 1 40))
     (fun (seed, steps) ->
       let st = Random.State.make [| seed; 31 |] in
@@ -216,13 +227,22 @@ let prop_solver_bounded_sound =
       match Resilience.Solver.solve_bounded ~cancel:(Cancel.of_steps steps) db q with
       | Resilience.Solver.Done (s, _) ->
         Resilience.Solution.equal_value s (Resilience.Solver.solve db q)
-      | Resilience.Solver.Timeout None -> true
-      | Resilience.Solver.Timeout (Some (Resilience.Solution.Finite (ub, set))) ->
-        Resilience.Exact.is_contingency_set db q set
-        && (match Resilience.Solver.value db q with
-           | Some rho -> rho <= ub
-           | None -> false)
-      | Resilience.Solver.Timeout (Some Resilience.Solution.Unbreakable) -> false)
+      | Resilience.Solver.Timeout iv -> begin
+        let module I = Res_bounds.Interval in
+        I.valid iv
+        &&
+        match I.ub iv with
+        | None ->
+          (* only a lower bound: it must not exceed the true answer *)
+          (match Resilience.Solver.value db q with
+          | Some rho -> I.lb iv <= rho
+          | None -> true)
+        | Some ub ->
+          Resilience.Exact.is_contingency_set db q (I.witness_set iv)
+          && (match Resilience.Solver.value db q with
+             | Some rho -> I.lb iv <= rho && rho <= ub
+             | None -> false)
+      end)
 
 (* Deterministic gadget version: interrupt the search on a 3SAT chain
    gadget at growing step budgets — the incumbent must stay sound and
@@ -246,13 +266,14 @@ let gadget_interruption_monotone () =
         last := v
       | Resilience.Exact.Complete Resilience.Solution.Unbreakable ->
         Alcotest.fail "gadget instances are breakable"
-      | Resilience.Exact.Interrupted (Resilience.Solution.Finite (ub, set)) ->
+      | Resilience.Exact.Interrupted { incumbent = Resilience.Solution.Finite (ub, set); lb } ->
         Alcotest.(check bool) "sound" true (exact <= ub);
+        Alcotest.(check bool) "lower bound certified" true (lb <= exact);
         Alcotest.(check bool) "genuine contingency set" true
           (Resilience.Exact.is_contingency_set inst.db inst.query set);
         Alcotest.(check bool) "incumbent never degrades" true (ub <= !last);
         last := ub
-      | Resilience.Exact.Interrupted Resilience.Solution.Unbreakable ->
+      | Resilience.Exact.Interrupted { incumbent = Resilience.Solution.Unbreakable; _ } ->
         Alcotest.fail "interruption never reports unbreakable")
     [ 1; 10; 100; 1_000; 10_000; 1_000_000_000 ]
 
