@@ -33,6 +33,29 @@ let db_file_arg =
 let facts_arg =
   Arg.(value & opt (some string) None & info [ "facts" ] ~docv:"FACTS" ~doc:"Inline facts, ';'-separated.")
 
+(* --- multicore --------------------------------------------------------- *)
+
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Worker domains for multicore solving.  0 picks the machine's recommended \
+               domain count (overridable via \\$(b,RES_JOBS)); 1, the default, solves \
+               sequentially on the calling domain.")
+
+let resolve_jobs = function
+  | 0 -> Res_exec.Executor.default_jobs ()
+  | n when n >= 1 -> n
+  | _ ->
+    prerr_endline "--jobs must be >= 0";
+    exit 2
+
+(* Run [f] with an executor when more than one domain was asked for —
+   and with [None] otherwise, so --jobs 1 stays the sequential program
+   with no domain machinery at all. *)
+let with_pool jobs f =
+  match resolve_jobs jobs with
+  | 1 -> f None
+  | jobs -> Res_exec.Executor.with_executor ~jobs (fun pool -> f (Some pool))
+
 (* --- JSON rendering ---------------------------------------------------- *)
 
 (* The repo deliberately carries no JSON dependency; responses are flat
@@ -134,7 +157,7 @@ let print_bounds db q =
       (upper.Res_bounds.Upper.value - Res_bounds.Lower.value lower)
 
 let solve_cmd =
-  let run query_s db_file facts_inline show_trace timeout json bounds =
+  let run query_s db_file facts_inline show_trace timeout json bounds jobs =
     let q = parse_query query_s in
     let db = load_db db_file facts_inline in
     let cancel =
@@ -145,7 +168,8 @@ let solve_cmd =
         exit 2
       | None -> Resilience.Cancel.never
     in
-    match Resilience.Solver.solve_bounded ~cancel db q with
+    let outcome = with_pool jobs (fun pool -> Resilience.Solver.solve_bounded ~cancel ?pool db q) in
+    match outcome with
     | Resilience.Solver.Done (solution, traces) ->
       if json then
         print_endline (json_obj (interval_fields (Resilience.Solver.interval_of_solution solution)))
@@ -198,12 +222,12 @@ let solve_cmd =
   in
   Cmd.v (Cmd.info "solve" ~doc:"Compute the resilience of a database w.r.t. a query")
     Term.(const run $ query_arg $ db_file_arg $ facts_arg $ trace_arg $ timeout_arg $ json_arg
-          $ bounds_arg)
+          $ bounds_arg $ jobs_arg)
 
 (* --- batch ------------------------------------------------------------ *)
 
 let batch_cmd =
-  let run file no_cache repeat show_stats =
+  let run file no_cache repeat show_stats jobs =
     let instances =
       try Res_engine.Batch.load_file file with
       | Res_engine.Batch.Parse_error msg ->
@@ -215,7 +239,7 @@ let batch_cmd =
     in
     let workload = List.concat (List.init (max 1 repeat) (fun _ -> instances)) in
     let engine = Res_engine.Batch.create ~cached:(not no_cache) () in
-    let outcomes = Res_engine.Batch.run engine workload in
+    let outcomes = with_pool jobs (fun pool -> Res_engine.Batch.run engine ?pool workload) in
     List.iter
       (fun (o : Res_engine.Batch.outcome) ->
         let rho =
@@ -246,7 +270,7 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Solve a file of (query, database) instances through the caching engine")
-    Term.(const run $ file_arg $ no_cache_arg $ repeat_arg $ stats_arg)
+    Term.(const run $ file_arg $ no_cache_arg $ repeat_arg $ stats_arg $ jobs_arg)
 
 (* --- serve / client ----------------------------------------------------- *)
 
@@ -271,7 +295,7 @@ let host_arg =
   Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"TCP bind/connect address.")
 
 let serve_cmd =
-  let run socket port host workers queue timeout_ms no_timeout verbose =
+  let run socket port host workers queue timeout_ms no_timeout verbose jobs =
     Fmt_tty.setup_std_outputs ();
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs_threaded.enable ();
@@ -282,6 +306,7 @@ let serve_cmd =
         workers;
         queue_capacity = queue;
         default_timeout_ms = (if no_timeout then None else Some timeout_ms);
+        jobs = resolve_jobs jobs;
       }
     in
     let srv = Res_server.Server.start cfg in
@@ -313,7 +338,7 @@ let serve_cmd =
              deadlines, cooperative cancellation and a metrics registry (see the protocol \
              in the README)")
     Term.(const run $ socket_arg $ port_arg $ host_arg $ workers_arg $ queue_arg
-          $ timeout_arg $ no_timeout_arg $ verbose_arg)
+          $ timeout_arg $ no_timeout_arg $ verbose_arg $ jobs_arg)
 
 let client_cmd =
   let run socket port host retry requests =

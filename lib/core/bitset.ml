@@ -1,0 +1,83 @@
+type t = Bytes.t
+
+let popcount =
+  let tbl = Bytes.create 256 in
+  for b = 0 to 255 do
+    let rec count x = if x = 0 then 0 else (x land 1) + count (x lsr 1) in
+    Bytes.unsafe_set tbl b (Char.chr (count b))
+  done;
+  fun byte -> Char.code (Bytes.unsafe_get tbl byte)
+
+let create width =
+  if width < 0 then invalid_arg "Bitset.create: negative width";
+  Bytes.make ((width + 7) / 8) '\000'
+
+let width t = 8 * Bytes.length t
+
+let byte t i = Char.code (Bytes.unsafe_get t i)
+
+let add t e = Bytes.unsafe_set t (e lsr 3) (Char.unsafe_chr (byte t (e lsr 3) lor (1 lsl (e land 7))))
+
+let mem t e =
+  let i = e lsr 3 in
+  i < Bytes.length t && byte t i land (1 lsl (e land 7)) <> 0
+
+let cardinal t =
+  let c = ref 0 in
+  for i = 0 to Bytes.length t - 1 do
+    c := !c + popcount (byte t i)
+  done;
+  !c
+
+let equal = Bytes.equal
+
+let subset a b =
+  let n = Bytes.length a in
+  let rec go i = i >= n || (byte a i land lnot (byte b i) land 0xff = 0 && go (i + 1)) in
+  go 0
+
+let inter_empty a b =
+  let n = Bytes.length a in
+  let rec go i = i >= n || (byte a i land byte b i = 0 && go (i + 1)) in
+  go 0
+
+let inter a b =
+  let n = Bytes.length a in
+  let r = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set r i (Char.unsafe_chr (byte a i land byte b i))
+  done;
+  r
+
+let union_into dst src =
+  for i = 0 to Bytes.length dst - 1 do
+    Bytes.unsafe_set dst i (Char.unsafe_chr (byte dst i lor byte src i))
+  done
+
+let copy = Bytes.copy
+
+let is_empty t =
+  let n = Bytes.length t in
+  let rec go i = i >= n || (byte t i = 0 && go (i + 1)) in
+  go 0
+
+let iter f t =
+  for i = 0 to Bytes.length t - 1 do
+    let b = byte t i in
+    if b <> 0 then
+      for j = 0 to 7 do
+        if b land (1 lsl j) <> 0 then f ((i lsl 3) + j)
+      done
+  done
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun e -> acc := f e !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun e acc -> e :: acc) t [])
+
+let of_list w elems =
+  let t = create w in
+  List.iter (add t) elems;
+  t

@@ -1,0 +1,49 @@
+(** Fixed-width integer bitsets over [0 .. width-1], [Bytes]-backed.
+
+    The exact solver's hot loops — the O(n²) fact-dominance pass, the
+    per-branch witness filtering, the greedy packing bound — were all
+    set operations on [Set.Make (Int)] trees.  A witness instance knows
+    its fact universe up front, so dense bitsets turn each of those
+    operations into a short run of byte ops.  Sets are mutable during
+    construction and treated as immutable afterwards, which makes them
+    safe to share read-only across the executor's domains. *)
+
+type t
+
+val create : int -> t
+(** [create width] is the empty set over [0 .. width-1]. *)
+
+val width : t -> int
+(** Capacity in bits (a multiple of 8, >= the requested width). *)
+
+val add : t -> int -> unit
+val mem : t -> int -> bool
+val cardinal : t -> int
+
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+(** [subset a b] iff every element of [a] is in [b] (equal widths). *)
+
+val inter_empty : t -> t -> bool
+(** No common element (equal widths). *)
+
+val inter : t -> t -> t
+(** Fresh intersection (equal widths). *)
+
+val union_into : t -> t -> unit
+(** [union_into dst src]: [dst := dst ∪ src] (equal widths). *)
+
+val copy : t -> t
+val is_empty : t -> bool
+
+val iter : (int -> unit) -> t -> unit
+(** Elements in ascending order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Ascending, like [Set.fold]. *)
+
+val elements : t -> int list
+(** Ascending. *)
+
+val of_list : int -> int list -> t
+(** [of_list width elems]. *)

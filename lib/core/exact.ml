@@ -1,13 +1,14 @@
 open Res_db
+module Executor = Res_exec.Executor
 
 (* The one shared [Set.Make (Int)] instance: sets built here flow
    directly into [Res_bounds.Lower.lp_value] without conversion. *)
 module IS = Res_bounds.Iset
 
 (* Counters over the branch-and-bound search, cumulative until
-   {!reset_stats}.  Written without synchronization — in the threaded
-   server they are a debugging aid, not an invariant; the bench and the
-   regression tests run single-threaded where they are exact. *)
+   {!reset_stats}.  Atomics: the parallel search increments them from
+   every executor domain, and the bench and regression tests still read
+   exact totals afterwards. *)
 type search_stats = {
   mutable nodes : int;
   mutable lp_calls : int;
@@ -15,16 +16,24 @@ type search_stats = {
   mutable covers : int;
 }
 
-let stats = { nodes = 0; lp_calls = 0; lp_prunes = 0; covers = 0 }
+let nodes_c = Atomic.make 0
+let lp_calls_c = Atomic.make 0
+let lp_prunes_c = Atomic.make 0
+let covers_c = Atomic.make 0
 
 let reset_stats () =
-  stats.nodes <- 0;
-  stats.lp_calls <- 0;
-  stats.lp_prunes <- 0;
-  stats.covers <- 0
+  Atomic.set nodes_c 0;
+  Atomic.set lp_calls_c 0;
+  Atomic.set lp_prunes_c 0;
+  Atomic.set covers_c 0
 
 let last_stats () =
-  { nodes = stats.nodes; lp_calls = stats.lp_calls; lp_prunes = stats.lp_prunes; covers = stats.covers }
+  {
+    nodes = Atomic.get nodes_c;
+    lp_calls = Atomic.get lp_calls_c;
+    lp_prunes = Atomic.get lp_prunes_c;
+    covers = Atomic.get covers_c;
+  }
 
 (* Build the hitting-set instance: witnesses as sets of endogenous fact
    ids.  Returns [None] if some witness has no endogenous fact — decided
@@ -62,7 +71,8 @@ let instance db q =
     Some (sets, facts_rev)
   end
 
-(* Keep only ⊆-minimal sets. *)
+(* Keep only ⊆-minimal sets (tree-set version, used by the optimal-set
+   enumeration; the main search works on the bitset mirror below). *)
 let minimal_sets sets =
   let arr = Array.of_list sets in
   let n = Array.length arr in
@@ -80,31 +90,6 @@ let minimal_sets sets =
   done;
   !out
 
-(* Fact dominance: if witnesses(t) ⊆ witnesses(u) for t ≠ u, some optimum
-   avoids t.  Returns the set of facts allowed in the search. *)
-let useful_facts sets =
-  let occ = Hashtbl.create 64 in
-  List.iteri
-    (fun wi s ->
-      IS.iter
-        (fun f ->
-          let cur = try Hashtbl.find occ f with Not_found -> IS.empty in
-          Hashtbl.replace occ f (IS.add wi cur))
-        s)
-    sets;
-  let facts = Hashtbl.fold (fun f _ acc -> f :: acc) occ [] in
-  let dominated t =
-    let wt = Hashtbl.find occ t in
-    List.exists
-      (fun u ->
-        u <> t
-        &&
-        let wu = Hashtbl.find occ u in
-        IS.subset wt wu && (IS.cardinal wt < IS.cardinal wu || u < t))
-      facts
-  in
-  List.filter (fun f -> not (dominated f)) facts |> IS.of_list
-
 let greedy_packing_bound sets =
   let rec go used acc = function
     | [] -> acc
@@ -113,6 +98,105 @@ let greedy_packing_bound sets =
       else go used acc rest
   in
   go IS.empty 0 (List.sort (fun a b -> compare (IS.cardinal a) (IS.cardinal b)) sets)
+
+(* --- the bitset witness representation ---------------------------------- *)
+
+(* The search represents witnesses as [Bytes]-backed bitsets over the
+   dense fact-id universe: the O(n²) minimality and fact-dominance
+   passes and the per-branch witness filtering become runs of byte ops
+   instead of [Set.Make (Int)] tree walks, and the read-only bitsets
+   are shared freely across executor domains.  Each surviving witness
+   is paired with its (invariant) cardinality: branching removes
+   witnesses whole, never shrinks them. *)
+
+let to_bitsets sets =
+  let n_facts = 1 + List.fold_left (fun m s -> IS.fold max s m) (-1) sets in
+  ( n_facts,
+    List.map
+      (fun s ->
+        let b = Bitset.create n_facts in
+        IS.iter (Bitset.add b) s;
+        b)
+      sets )
+
+(* Keep only ⊆-minimal witnesses, preserving input order. *)
+let minimal_bitsets sets =
+  let arr = Array.of_list sets in
+  let n = Array.length arr in
+  let card = Array.map Bitset.cardinal arr in
+  let keep = Array.make n true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && keep.(i) && keep.(j) then
+        if Bitset.subset arr.(j) arr.(i) && (card.(j) < card.(i) || j < i) then keep.(i) <- false
+    done
+  done;
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    if keep.(i) then out := arr.(i) :: !out
+  done;
+  !out
+
+(* Fact dominance: if witnesses(t) ⊆ witnesses(u) for t ≠ u, some optimum
+   avoids t.  Returns the bitset of facts allowed in the search. *)
+let useful_facts_bitset n_facts sets =
+  let n_witnesses = List.length sets in
+  let occ = Array.make n_facts None in
+  List.iteri
+    (fun wi s ->
+      Bitset.iter
+        (fun f ->
+          match occ.(f) with
+          | Some b -> Bitset.add b wi
+          | None ->
+            let b = Bitset.create n_witnesses in
+            Bitset.add b wi;
+            occ.(f) <- Some b)
+        s)
+    sets;
+  let allowed = Bitset.create n_facts in
+  for t = 0 to n_facts - 1 do
+    match occ.(t) with
+    | None -> ()
+    | Some wt ->
+      let wct = Bitset.cardinal wt in
+      let dominated = ref false in
+      for u = 0 to n_facts - 1 do
+        if (not !dominated) && u <> t then
+          match occ.(u) with
+          | Some wu when Bitset.subset wt wu && (wct < Bitset.cardinal wu || u < t) ->
+            dominated := true
+          | _ -> ()
+      done;
+      if not !dominated then Bitset.add allowed t
+  done;
+  allowed
+
+(* Connected components of the witness hypergraph (facts as vertices,
+   witnesses as hyperedges): independent components have independent
+   optima, so they are solved separately — and concurrently when an
+   executor is supplied. *)
+let witness_components n_facts sets =
+  let uf = Res_graph.Union_find.create n_facts in
+  let first_of s =
+    let first = ref (-1) in
+    Bitset.iter (fun f -> if !first < 0 then first := f else Res_graph.Union_find.union uf !first f) s;
+    !first
+  in
+  let firsts = List.map first_of sets in
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter2
+    (fun s f ->
+      let root = Res_graph.Union_find.find uf f in
+      match Hashtbl.find_opt tbl root with
+      | Some l -> l := s :: !l
+      | None ->
+        let l = ref [ s ] in
+        Hashtbl.add tbl root l;
+        order := root :: !order)
+    sets firsts;
+  List.rev_map (fun root -> List.rev !(Hashtbl.find tbl root)) !order
 
 (* How much LP to spend inside the search: the relaxation is consulted
    at the root and at shallow nodes only, on subproblems small enough
@@ -123,106 +207,203 @@ let lp_constraint_cap = 150
 
 let lp_call_budget = 64
 
-(* Branch-and-bound on the hitting-set instance.  [best] always holds a
-   genuine hitting set (seeded by the polished greedy cover, only ever
-   replaced by completed branches), so when [cancel] fires mid-search the
-   current incumbent is a sound upper bound — that is what
-   [`Interrupted] carries, together with the certified root lower bound.
+let is_of_bitset b = IS.of_list (Bitset.elements b)
 
-   Pruning uses the greedy disjoint packing everywhere and additionally
-   the LP relaxation ([Res_bounds.Lower.lp_value], certificate-checked)
-   near the root when [lp] is on; when the root lower bound already
-   meets the incumbent the search is skipped outright. *)
-let solve_hitting_set ?(cancel = Cancel.never) ?(lp = true) sets =
+(* Take one LP slot; the budget is shared by every domain searching the
+   same component. *)
+let rec take_slot budget =
+  let v = Atomic.get budget in
+  v > 0 && (Atomic.compare_and_set budget v (v - 1) || take_slot budget)
+
+let packing_bound_b n_facts sets =
+  let used = Bitset.create n_facts in
+  List.fold_left
+    (fun acc (_, s) ->
+      if Bitset.inter_empty s used then begin
+        Bitset.union_into used s;
+        acc + 1
+      end
+      else acc)
+    0
+    (List.sort (fun (a, _) (b, _) -> compare a b) sets)
+
+let lower_of ~lp_budget ~n_facts depth sets =
+  let pack = packing_bound_b n_facts sets in
+  if depth <= lp_depth_cap && List.length sets <= lp_constraint_cap && take_slot lp_budget
+  then begin
+    Atomic.incr lp_calls_c;
+    let l = Res_bounds.Lower.lp_value (List.map (fun (_, b) -> is_of_bitset b) sets) in
+    if l > pack then `Lp (l, pack) else `Pack pack
+  end
+  else `Pack pack
+
+(* The shared incumbent: always a genuine hitting set (seeded by the
+   polished greedy cover, only ever replaced by completed branches),
+   updated by CAS so concurrent subtree searches publish improvements
+   to each other immediately — that is the whole incumbent-sharing
+   protocol, a prune in one domain is a prune in all. *)
+let rec offer_best best v chosen =
+  let cur = Atomic.get best in
+  if v < fst cur && not (Atomic.compare_and_set best cur (v, chosen)) then offer_best best v chosen
+
+let min_card_pivot sets =
+  match
+    List.fold_left
+      (fun acc ((c, _) as s) ->
+        match acc with
+        | None -> Some s
+        | Some (ct, _) -> if c < ct then Some s else acc)
+      None sets
+  with
+  | Some (_, b) -> b
+  | None -> assert false
+
+let rec branch ~cancel ~best ~lp_budget ~n_facts chosen depth sets =
+  Cancel.guard cancel;
+  Atomic.incr nodes_c;
+  match sets with
+  | [] -> offer_best best depth chosen
+  | _ ->
+    let bv = fst (Atomic.get best) in
+    let prune =
+      match lower_of ~lp_budget ~n_facts depth sets with
+      | `Pack p -> depth + p >= bv
+      | `Lp (l, pack) ->
+        let pruned = depth + l >= bv in
+        if pruned && depth + pack < bv then Atomic.incr lp_prunes_c;
+        pruned
+    in
+    if prune then ()
+    else begin
+      let pivot = min_card_pivot sets in
+      Bitset.iter
+        (fun f ->
+          let remaining = List.filter (fun (_, s) -> not (Bitset.mem s f)) sets in
+          branch ~cancel ~best ~lp_budget ~n_facts (f :: chosen) (depth + 1) remaining)
+        pivot
+    end
+
+(* One connected component: greedy-cover incumbent, certified root lower
+   bound, then branch-and-bound — sequentially, or with the top of the
+   search tree forked into executor tasks that share the incumbent, the
+   LP budget and the cancellation token. *)
+let solve_component ?pool ~cancel ~lp n_facts bsets =
+  Atomic.incr covers_c;
+  let sets = List.map (fun b -> (Bitset.cardinal b, b)) bsets in
+  let ilp = Res_bounds.Ilp.of_sets ~minimized:true (List.map (fun (_, b) -> is_of_bitset b) sets) in
+  let ub0 = Res_bounds.Upper.best ilp in
+  assert (Res_bounds.Upper.check ilp ub0);
+  let best = Atomic.make (ub0.Res_bounds.Upper.value, ub0.Res_bounds.Upper.cover) in
+  let lp_budget = Atomic.make (if lp then lp_call_budget else 0) in
+  let root_lb =
+    match lower_of ~lp_budget ~n_facts 0 sets with `Lp (l, _) -> l | `Pack p -> p
+  in
+  if root_lb >= fst (Atomic.get best) then `Complete (Atomic.get best)
+  else begin
+    let parallel_root pool =
+      (* the root expansion of [branch [] 0], with the pivot's branches
+         forked as executor tasks instead of explored depth-first *)
+      Cancel.guard cancel;
+      Atomic.incr nodes_c;
+      let bv = fst (Atomic.get best) in
+      let prune =
+        match lower_of ~lp_budget ~n_facts 0 sets with
+        | `Pack p -> p >= bv
+        | `Lp (l, pack) ->
+          let pruned = l >= bv in
+          if pruned && pack < bv then Atomic.incr lp_prunes_c;
+          pruned
+      in
+      if prune then true
+      else begin
+        let pivot = min_card_pivot sets in
+        let futures =
+          Bitset.fold
+            (fun f acc ->
+              let remaining = List.filter (fun (_, s) -> not (Bitset.mem s f)) sets in
+              Executor.fork pool (fun () ->
+                  match branch ~cancel ~best ~lp_budget ~n_facts [ f ] 1 remaining with
+                  | () -> true
+                  | exception Cancel.Cancelled -> false)
+              :: acc)
+            pivot []
+        in
+        (* await every subtree, even after one was interrupted: the
+           incumbent stays sound and the pool drains cleanly *)
+        List.fold_left (fun ok fut -> Executor.await fut && ok) true futures
+      end
+    in
+    let finished =
+      match pool with
+      | Some pool when Executor.jobs pool > 1 -> begin
+        match parallel_root pool with
+        | finished -> finished
+        | exception Cancel.Cancelled -> false
+      end
+      | _ -> begin
+        match branch ~cancel ~best ~lp_budget ~n_facts [] 0 sets with
+        | () -> true
+        | exception Cancel.Cancelled -> false
+      end
+    in
+    if finished then `Complete (Atomic.get best) else `Interrupted (Atomic.get best, root_lb)
+  end
+
+(* Branch-and-bound on the hitting-set instance.  Witness minimization,
+   fact dominance, then a split into connected components of the
+   witness hypergraph; each component's search keeps a sound incumbent
+   throughout, so when [cancel] fires mid-search the summed incumbents
+   are a genuine hitting set — that is what [`Interrupted] carries,
+   together with the summed certified lower bounds (a finished
+   component contributes its exact optimum to both sides). *)
+let solve_hitting_set ?(cancel = Cancel.never) ?(lp = true) ?pool sets =
   match sets with
   | [] -> `Complete (0, [])
   | _ ->
-    let sets = minimal_sets sets in
-    let allowed = useful_facts sets in
-    let sets = List.map (fun s -> IS.inter s allowed) sets in
+    let n_facts, bsets = to_bitsets sets in
+    let bsets = minimal_bitsets bsets in
+    let allowed = useful_facts_bitset n_facts bsets in
+    let bsets = List.map (fun s -> Bitset.inter s allowed) bsets in
     (* Minimality of sets may break after restriction; the restriction
        never empties a set (each set keeps at least one undominated
        fact: the fact whose witness-set is maximal wrt the others). *)
-    assert (List.for_all (fun s -> not (IS.is_empty s)) sets);
-    stats.covers <- stats.covers + 1;
-    (* Upper bound: greedy cover polished by redundancy elimination and
-       2→1 swaps.  The cover's variable ids are this instance's fact
-       ids, so it doubles as the incumbent hitting set. *)
-    let ilp = Res_bounds.Ilp.of_sets ~minimized:true sets in
-    let ub0 = Res_bounds.Upper.best ilp in
-    assert (Res_bounds.Upper.check ilp ub0);
-    let best = ref (ub0.Res_bounds.Upper.value, ub0.Res_bounds.Upper.cover) in
-    let lp_budget = ref (if lp then lp_call_budget else 0) in
-    let lower_of depth sets =
-      let pack = greedy_packing_bound sets in
-      if !lp_budget > 0 && depth <= lp_depth_cap && List.length sets <= lp_constraint_cap
-      then begin
-        decr lp_budget;
-        stats.lp_calls <- stats.lp_calls + 1;
-        let l = Res_bounds.Lower.lp_value sets in
-        if l > pack then `Lp (l, pack) else `Pack pack
-      end
-      else `Pack pack
+    assert (List.for_all (fun s -> not (Bitset.is_empty s)) bsets);
+    let comps = witness_components n_facts bsets in
+    let solve_one = solve_component ?pool ~cancel ~lp n_facts in
+    let results =
+      match (pool, comps) with
+      | Some p, _ :: _ :: _ when Executor.jobs p > 1 -> Executor.parallel_map p solve_one comps
+      | _ -> List.map solve_one comps
     in
-    let root_lb =
-      match lower_of 0 sets with `Lp (l, _) -> l | `Pack p -> p
+    let value, chosen, lb, interrupted =
+      List.fold_left
+        (fun (v, c, lb, intr) -> function
+          | `Complete (v', c') -> (v + v', c' @ c, lb + v', intr)
+          | `Interrupted ((v', c'), lb') -> (v + v', c' @ c, lb + lb', true))
+        (0, [], 0, false) results
     in
-    if root_lb >= fst !best then `Complete !best
-    else begin
-      let rec branch chosen depth sets =
-        Cancel.guard cancel;
-        stats.nodes <- stats.nodes + 1;
-        match sets with
-        | [] -> if depth < fst !best then best := (depth, chosen)
-        | _ ->
-          let prune =
-            match lower_of depth sets with
-            | `Pack p -> depth + p >= fst !best
-            | `Lp (l, pack) ->
-              let pruned = depth + l >= fst !best in
-              if pruned && depth + pack < fst !best then stats.lp_prunes <- stats.lp_prunes + 1;
-              pruned
-          in
-          if prune then ()
-          else begin
-            let pivot =
-              List.fold_left
-                (fun acc s ->
-                  match acc with
-                  | None -> Some s
-                  | Some t -> if IS.cardinal s < IS.cardinal t then Some s else acc)
-                None sets
-            in
-            let pivot = Option.get pivot in
-            IS.iter
-              (fun f ->
-                let remaining = List.filter (fun s -> not (IS.mem f s)) sets in
-                branch (f :: chosen) (depth + 1) remaining)
-              pivot
-          end
-      in
-      match branch [] 0 sets with
-      | () -> `Complete !best
-      | exception Cancel.Cancelled -> `Interrupted (!best, root_lb)
-    end
+    if interrupted then `Interrupted ((value, chosen), lb) else `Complete (value, chosen)
 
 type outcome =
   | Complete of Solution.t
   | Interrupted of { incumbent : Solution.t; lb : int }
 
-let resilience_bounded ?cancel ?lp db q =
+let resilience_bounded ?cancel ?lp ?pool db q =
   match instance db q with
   | None -> Complete Solution.Unbreakable
   | Some (sets, facts_rev) ->
     let finish (value, chosen) =
-      Solution.Finite (value, List.map (Hashtbl.find facts_rev) chosen)
+      (* sort by fact id: witness-enumeration order, independent of
+         component order and of the parallel search interleaving *)
+      Solution.Finite
+        (value, List.map (Hashtbl.find facts_rev) (List.sort_uniq compare chosen))
     in
-    (match solve_hitting_set ?cancel ?lp sets with
+    (match solve_hitting_set ?cancel ?lp ?pool sets with
      | `Complete r -> Complete (finish r)
      | `Interrupted (r, lb) -> Interrupted { incumbent = finish r; lb })
 
-let resilience db q =
-  match resilience_bounded db q with
+let resilience ?pool db q =
+  match resilience_bounded ?pool db q with
   | Complete s -> s
   | Interrupted _ -> assert false (* Cancel.never cannot fire *)
 

@@ -11,14 +11,32 @@
     Reductions applied before search: witness-set minimization (only
     ⊆-minimal witnesses matter), forced facts (singleton witnesses), and
     fact dominance (a fact whose witness set is contained in another's can
-    be ignored).  Pruning bounds are the greedy disjoint-witness packing
-    everywhere, plus the certificate-checked LP relaxation
-    ({!Res_bounds.Lower}) at the root and shallow nodes; the incumbent is
-    seeded by a locally-polished greedy cover ({!Res_bounds.Upper}). *)
+    be ignored).  After the reductions the witness hypergraph is split
+    into connected components, each solved independently (ρ is the sum of
+    the component optima).  Pruning bounds are the greedy
+    disjoint-witness packing everywhere, plus the certificate-checked LP
+    relaxation ({!Res_bounds.Lower}) at the root and shallow nodes; the
+    incumbent is seeded by a locally-polished greedy cover
+    ({!Res_bounds.Upper}).
+
+    Witnesses are represented as {!Bitset}s over the dense fact-id
+    universe, so the O(n²) reduction passes and the per-branch witness
+    filtering are byte operations, and the (immutable-after-construction)
+    sets are shared freely across domains.
+
+    When [?pool] is an executor with more than one domain, components are
+    solved concurrently and each component forks the top of its search
+    tree into executor tasks.  The forked subtrees share one atomic
+    incumbent (updated by compare-and-set, so an improvement found in any
+    domain immediately tightens pruning in all), one LP call budget, and
+    the caller's cancellation token.  Parallel search explores subtrees
+    in a different interleaving than sequential search but returns the
+    same resilience value; with [jobs = 1] (or no pool) the search is
+    bit-for-bit the sequential program. *)
 
 open Res_db
 
-val resilience : Database.t -> Res_cq.Query.t -> Solution.t
+val resilience : ?pool:Res_exec.Executor.t -> Database.t -> Res_cq.Query.t -> Solution.t
 
 (** {2 Deadline-aware search}
 
@@ -36,22 +54,30 @@ type outcome =
           [lb ≤ ρ ≤ ub] *)
 
 val resilience_bounded :
-  ?cancel:Cancel.t -> ?lp:bool -> Database.t -> Res_cq.Query.t -> outcome
+  ?cancel:Cancel.t ->
+  ?lp:bool ->
+  ?pool:Res_exec.Executor.t ->
+  Database.t ->
+  Res_cq.Query.t ->
+  outcome
 (** Like {!resilience}, but polls [cancel] at every branch node.  The
     polynomial preprocessing (witness enumeration, reductions, greedy
     cover) always runs to completion; only the exponential search is
-    interruptible.  [?lp] (default [true]) switches the LP-relaxation
-    pruning — exposed so the pruning bench can measure its effect. *)
+    interruptible.  When the token fires mid-parallel-search, every
+    forked subtree stops at its next poll and the summed per-component
+    incumbents/lower bounds still sandwich ρ.  [?lp] (default [true])
+    switches the LP-relaxation pruning — exposed so the pruning bench
+    can measure its effect. *)
 
 (** {2 Search instrumentation}
 
     Cumulative counters over every hitting-set search since the last
     {!reset_stats}: branch nodes expanded, LP relaxations solved, prunes
     that {e only} the LP bound achieved (the packing bound alone would
-    have kept branching), and greedy covers computed.  Unbreakable and
-    unsatisfied instances are decided in preprocessing and touch none of
-    them.  Updated without synchronization — exact in single-threaded
-    use (bench, tests), indicative under the threaded server. *)
+    have kept branching), and greedy covers computed (one per connected
+    component searched).  Unbreakable and unsatisfied instances are
+    decided in preprocessing and touch none of them.  Backed by atomics,
+    so totals are exact even when searches run on several domains. *)
 
 type search_stats = {
   mutable nodes : int;

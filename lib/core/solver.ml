@@ -69,12 +69,13 @@ let rel rel_map name = List.assoc name rel_map
    component combiner. *)
 exception Partial_exact of Solution.t * int
 
-let exact_bounded cancel db q =
-  match Exact.resilience_bounded ~cancel db q with
+let exact_bounded ?pool cancel db q =
+  match Exact.resilience_bounded ~cancel ?pool db q with
   | Exact.Complete s -> s
   | Exact.Interrupted { incumbent; lb } -> raise (Partial_exact (incumbent, lb))
 
-let dispatch_ptime ~cancel (m : Classify.ptime_method) db q =
+let dispatch_ptime ~cancel ?pool (m : Classify.ptime_method) db q =
+  let exact_bounded = exact_bounded ?pool in
   let fallback note =
     (* last polynomial resort before exact search: the instance-level
        bipartite witness cover (twin collapse + König) *)
@@ -168,12 +169,13 @@ let dispatch_ptime ~cancel (m : Classify.ptime_method) db q =
    exact search was interrupted with an incumbent and a certified lower
    bound, or [`Partial (None, 0)] when a polynomial solver was cancelled
    mid-run (nothing to salvage). *)
-let solve_component ~cancel db qc =
+let solve_component ~cancel ?pool db qc =
   let q', verdict = Classify.classify_component qc in
   let db = extend_db_for_split db q' in
+  let exact_bounded = exact_bounded ?pool in
   match
     match verdict with
-    | Classify.Ptime m -> dispatch_ptime ~cancel m db q'
+    | Classify.Ptime m -> dispatch_ptime ~cancel ?pool m db q'
     | Classify.Np_complete r ->
       ( Printf.sprintf "exact (NP-complete: %s)" (Classify.reason_to_string r),
         exact_bounded cancel db q' )
@@ -199,10 +201,10 @@ let interval_of_solution = function
   | Solution.Unbreakable -> Res_bounds.Interval.unbreakable
   | Solution.Finite (v, facts) -> Res_bounds.Interval.optimal ~witness_set:facts v
 
-let solve_bounded ?(cancel = Cancel.never) db q =
+let solve_bounded ?(cancel = Cancel.never) ?pool db q =
   let minimized = Res_cq.Homomorphism.minimize q in
   let comps = Res_cq.Components.split minimized in
-  let results = List.map (solve_component ~cancel db) comps in
+  let results = List.map (solve_component ~cancel ?pool db) comps in
   let timed_out = List.exists (function `Partial _ -> true | `Done _ -> false) results in
   if not timed_out then begin
     let best =

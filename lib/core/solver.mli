@@ -50,7 +50,12 @@ type bounded =
           ([witness_set]).  [ub = None] with status [Gap] means no bound
           was reached in time. *)
 
-val solve_bounded : ?cancel:Cancel.t -> Database.t -> Res_cq.Query.t -> bounded
+val solve_bounded :
+  ?cancel:Cancel.t -> ?pool:Res_exec.Executor.t -> Database.t -> Res_cq.Query.t -> bounded
+(** [?pool] is forwarded to the exact solver: NP-hard components fork the
+    top of their branch-and-bound trees onto the executor's domains (see
+    {!Exact.resilience_bounded}).  Omitted, or with [jobs = 1], solving
+    is exactly the sequential program. *)
 
 val interval_of_solution : Solution.t -> Res_bounds.Interval.t
 (** [Finite (v, set)] ↦ the optimal interval [⟨v, v⟩]; [Unbreakable] ↦

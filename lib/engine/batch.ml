@@ -1,6 +1,7 @@
 open Res_cq
 open Res_db
 open Resilience
+module Executor = Res_exec.Executor
 
 type instance = { label : string; query : Query.t; db : Database.t }
 
@@ -101,7 +102,7 @@ let translate_interval_back k q iv =
    with the same database digest.  A timed-out search is never cached:
    its bound is not the exact answer, and a retry with a longer deadline
    must not be poisoned by it. *)
-let solve_keyed_bounded t ?(cancel = Resilience.Cancel.never) (k : Canon.keyed) db q =
+let solve_keyed_bounded t ?(cancel = Resilience.Cancel.never) ?pool (k : Canon.keyed) db q =
   let dg, dt_dg = with_time (fun () -> Canon.instance_digest k q db) in
   let hit =
     locked t (fun () ->
@@ -117,7 +118,8 @@ let solve_keyed_bounded t ?(cancel = Resilience.Cancel.never) (k : Canon.keyed) 
   | None ->
     let res, dt =
       with_time (fun () ->
-          Solver.solve_bounded ~cancel (Canon.translate_db k q db) (Canon.canonical_query k.key))
+          Solver.solve_bounded ~cancel ?pool (Canon.translate_db k q db)
+            (Canon.canonical_query k.key))
     in
     (match res with
     | Solver.Done (sol, _) ->
@@ -137,9 +139,9 @@ let solve_keyed t k db q =
   | Solved (sol, cached) -> (sol, cached)
   | Timed_out _ -> assert false (* Cancel.never cannot fire *)
 
-let solve_bounded t ?cancel db q =
+let solve_bounded t ?cancel ?pool db q =
   if not t.cached then begin
-    let res, dt = with_time (fun () -> Solver.solve_bounded ?cancel db q) in
+    let res, dt = with_time (fun () -> Solver.solve_bounded ?cancel ?pool db q) in
     match res with
     | Solver.Done (sol, _) ->
       locked t (fun () ->
@@ -152,7 +154,7 @@ let solve_bounded t ?cancel db q =
           t.stats.solve_time <- t.stats.solve_time +. dt);
       Timed_out iv
   end
-  else solve_keyed_bounded t ?cancel (timed_canon t (fun () -> Canon.keyed q)) db q
+  else solve_keyed_bounded t ?cancel ?pool (timed_canon t (fun () -> Canon.keyed q)) db q
 
 let solve t db q =
   match solve_bounded t db q with
@@ -161,7 +163,7 @@ let solve t db q =
 
 let count_instance t = locked t (fun () -> t.stats.instances <- t.stats.instances + 1)
 
-let run t instances =
+let run t ?pool instances =
   let indexed = List.mapi (fun i (inst : instance) -> (i, inst)) instances in
   let with_keys =
     if not t.cached then List.map (fun (i, inst) -> (i, inst, None)) indexed
@@ -181,20 +183,41 @@ let run t instances =
         | _ -> 0)
       with_keys
   in
+  let solve_one (i, (inst : instance), keyed) =
+    count_instance t;
+    match keyed with
+    | None ->
+      let verdict = classify t inst.query in
+      let solution = solve t inst.db inst.query in
+      (i, { label = inst.label; query = inst.query; key = ""; verdict; solution; solve_cached = false })
+    | Some k ->
+      let verdict = classify_keyed t k in
+      let solution, solve_cached = solve_keyed t k inst.db inst.query in
+      (i, { label = inst.label; query = inst.query; key = k.key; verdict; solution; solve_cached })
+  in
+  (* Parallelism is per equivalence class, not per instance: within one
+     class the first solve fills the cache the rest hit, so running a
+     class's instances concurrently would only duplicate the hard solve.
+     Distinct classes share nothing and fan out across the executor. *)
   let outcomes =
-    List.map
-      (fun (i, (inst : instance), keyed) ->
-        count_instance t;
-        match keyed with
-        | None ->
-          let verdict = classify t inst.query in
-          let solution = solve t inst.db inst.query in
-          (i, { label = inst.label; query = inst.query; key = ""; verdict; solution; solve_cached = false })
-        | Some k ->
-          let verdict = classify_keyed t k in
-          let solution, solve_cached = solve_keyed t k inst.db inst.query in
-          (i, { label = inst.label; query = inst.query; key = k.key; verdict; solution; solve_cached }))
-      sorted
+    match pool with
+    | Some pool when Executor.jobs pool > 1 ->
+      let same_class a b =
+        match (a, b) with
+        | (_, _, Some k1), (_, _, Some k2) -> k1.Canon.key = k2.Canon.key
+        | _ -> false
+      in
+      let groups =
+        List.fold_left
+          (fun acc item ->
+            match acc with
+            | (hd :: _ as g) :: rest when same_class hd item -> (item :: g) :: rest
+            | _ -> [ item ] :: acc)
+          [] sorted
+        |> List.rev_map List.rev
+      in
+      List.concat (Executor.parallel_map pool (List.map solve_one) groups)
+    | _ -> List.map solve_one sorted
   in
   List.sort (fun (i, _) (j, _) -> compare i j) outcomes |> List.map snd
 

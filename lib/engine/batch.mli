@@ -54,12 +54,25 @@ type solve_outcome =
           timed-out intervals never are. *)
 
 val solve_bounded :
-  t -> ?cancel:Resilience.Cancel.t -> Database.t -> Query.t -> solve_outcome
+  t ->
+  ?cancel:Resilience.Cancel.t ->
+  ?pool:Res_exec.Executor.t ->
+  Database.t ->
+  Query.t ->
+  solve_outcome
+(** [?pool] is forwarded to {!Resilience.Solver.solve_bounded}: a single
+    hard instance parallelizes its exact search across the executor. *)
 
-val run : t -> instance list -> outcome list
+val run : t -> ?pool:Res_exec.Executor.t -> instance list -> outcome list
 (** Process a batch: instances are sorted by canonical key (stable), so
     each equivalence class is handled consecutively, then results are
-    returned in the original input order. *)
+    returned in the original input order.
+
+    With [?pool] (jobs > 1) the equivalence classes are solved
+    concurrently via {!Res_exec.Executor.parallel_map} — per class, not
+    per instance, so the first solve of a class still fills the cache
+    its siblings hit.  Results are identical to the sequential run and
+    stay in input order. *)
 
 val stats : t -> Stats.t
 

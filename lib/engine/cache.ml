@@ -1,23 +1,30 @@
 type ('k, 'v) entry = { value : 'v; mutable stamp : int }
 
+(* The table and recency bookkeeping live under [lock]; the hit/miss/
+   eviction counters are atomics so they can be read (and [hit_rate]
+   computed) without taking the structural lock.  Every structural
+   operation is internally synchronized — callers on any domain use a
+   cache directly, no external lock required. *)
 type ('k, 'v) t = {
+  lock : Mutex.t;
   tbl : ('k, ('k, 'v) entry) Hashtbl.t;
   cap : int;
   mutable tick : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
 }
 
 let create ?(capacity = 4096) () =
   if capacity <= 0 then invalid_arg "Cache.create: capacity must be positive";
   {
+    lock = Mutex.create ();
     tbl = Hashtbl.create (min capacity 64);
     cap = capacity;
     tick = 0;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    evictions = Atomic.make 0;
   }
 
 let touch c e =
@@ -25,16 +32,17 @@ let touch c e =
   e.stamp <- c.tick
 
 let find c k =
-  match Hashtbl.find_opt c.tbl k with
-  | Some e ->
-    c.hits <- c.hits + 1;
-    touch c e;
-    Some e.value
-  | None ->
-    c.misses <- c.misses + 1;
-    None
+  Mutex.protect c.lock (fun () ->
+      match Hashtbl.find_opt c.tbl k with
+      | Some e ->
+        Atomic.incr c.hits;
+        touch c e;
+        Some e.value
+      | None ->
+        Atomic.incr c.misses;
+        None)
 
-let mem c k = Hashtbl.mem c.tbl k
+let mem c k = Mutex.protect c.lock (fun () -> Hashtbl.mem c.tbl k)
 
 (* Evict in batches of ~10% of capacity: one O(n) scan amortized over the
    next cap/10 insertions, instead of a scan per insertion. *)
@@ -46,25 +54,27 @@ let evict c =
     (fun i (_, k) ->
       if i < batch then begin
         Hashtbl.remove c.tbl k;
-        c.evictions <- c.evictions + 1
+        Atomic.incr c.evictions
       end)
     oldest
 
 let add c k v =
-  (match Hashtbl.find_opt c.tbl k with
-  | Some _ -> Hashtbl.remove c.tbl k
-  | None -> if Hashtbl.length c.tbl >= c.cap then evict c);
-  let e = { value = v; stamp = 0 } in
-  touch c e;
-  Hashtbl.add c.tbl k e
+  Mutex.protect c.lock (fun () ->
+      (match Hashtbl.find_opt c.tbl k with
+      | Some _ -> Hashtbl.remove c.tbl k
+      | None -> if Hashtbl.length c.tbl >= c.cap then evict c);
+      let e = { value = v; stamp = 0 } in
+      touch c e;
+      Hashtbl.add c.tbl k e)
 
-let length c = Hashtbl.length c.tbl
+let length c = Mutex.protect c.lock (fun () -> Hashtbl.length c.tbl)
 let capacity c = c.cap
-let clear c = Hashtbl.reset c.tbl
-let hits c = c.hits
-let misses c = c.misses
-let evictions c = c.evictions
+let clear c = Mutex.protect c.lock (fun () -> Hashtbl.reset c.tbl)
+let hits c = Atomic.get c.hits
+let misses c = Atomic.get c.misses
+let evictions c = Atomic.get c.evictions
 
 let hit_rate c =
-  let total = c.hits + c.misses in
-  if total = 0 then 0. else float_of_int c.hits /. float_of_int total
+  let h = Atomic.get c.hits and m = Atomic.get c.misses in
+  let total = h + m in
+  if total = 0 then 0. else float_of_int h /. float_of_int total

@@ -4,7 +4,12 @@
     and (canonical key, database digest) → solution.  Capacities bound
     memory under adversarial workloads (millions of distinct instances)
     while leaving hot classes resident; hit/miss counters feed
-    {!Stats}. *)
+    {!Stats}.
+
+    Domain-safe: the table and LRU bookkeeping are guarded by an internal
+    mutex, and the hit/miss/eviction counters are atomics readable
+    without it — a single cache may be hammered concurrently from every
+    executor domain and from server worker threads. *)
 
 type ('k, 'v) t
 

@@ -1,0 +1,234 @@
+type task = unit -> unit
+
+(* A work-stealing deque as a growable ring buffer under its own mutex:
+   the owner pushes and pops at the bottom, thieves take from the top.
+   The lock is held for a handful of array operations only — the deque
+   is a scheduling structure, never a bottleneck next to a solve. *)
+module Deque = struct
+  type t = {
+    lock : Mutex.t;
+    mutable buf : task option array;
+    mutable top : int;  (* index of the oldest element *)
+    mutable n : int;
+  }
+
+  let create () = { lock = Mutex.create (); buf = Array.make 16 None; top = 0; n = 0 }
+
+  let grow d =
+    let cap = Array.length d.buf in
+    let buf' = Array.make (2 * cap) None in
+    for i = 0 to d.n - 1 do
+      buf'.(i) <- d.buf.((d.top + i) mod cap)
+    done;
+    d.buf <- buf';
+    d.top <- 0
+
+  let push_bottom d x =
+    Mutex.protect d.lock (fun () ->
+        if d.n = Array.length d.buf then grow d;
+        d.buf.((d.top + d.n) mod Array.length d.buf) <- Some x;
+        d.n <- d.n + 1)
+
+  let pop_bottom d =
+    Mutex.protect d.lock (fun () ->
+        if d.n = 0 then None
+        else begin
+          let i = (d.top + d.n - 1) mod Array.length d.buf in
+          let x = d.buf.(i) in
+          d.buf.(i) <- None;
+          d.n <- d.n - 1;
+          x
+        end)
+
+  let steal_top d =
+    Mutex.protect d.lock (fun () ->
+        if d.n = 0 then None
+        else begin
+          let x = d.buf.(d.top) in
+          d.buf.(d.top) <- None;
+          d.top <- (d.top + 1) mod Array.length d.buf;
+          d.n <- d.n - 1;
+          x
+        end)
+end
+
+type t = {
+  n_jobs : int;
+  deques : Deque.t array;  (* one per worker domain *)
+  injector : task Queue.t;  (* submissions from outside the pool *)
+  lock : Mutex.t;  (* guards injector, epoch, stopping *)
+  wake : Condition.t;
+  mutable epoch : int;
+      (* bumped under [lock] on every wake-worthy event (new task,
+         future resolved, shutdown) — sleepers re-scan when it moves,
+         so a signal between "found no work" and "started waiting"
+         cannot be lost *)
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let jobs t = t.n_jobs
+
+let default_jobs () =
+  match Sys.getenv_opt "RES_JOBS" with
+  | Some s -> begin
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> Domain.recommended_domain_count ()
+  end
+  | None -> Domain.recommended_domain_count ()
+
+(* Which pool's worker is the current domain?  Set once at domain start;
+   [fork] uses it to route tasks to the domain's own deque. *)
+let worker_id : (t * int) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let bump t =
+  Mutex.protect t.lock (fun () ->
+      t.epoch <- t.epoch + 1;
+      Condition.broadcast t.wake)
+
+let push_task t task =
+  (match !(Domain.DLS.get worker_id) with
+  | Some (t', i) when t' == t -> Deque.push_bottom t.deques.(i) task
+  | _ -> Mutex.protect t.lock (fun () -> Queue.push task t.injector));
+  bump t
+
+(* Own deque bottom first (depth-first locality), then the injector,
+   then steal from the other deques round-robin. *)
+let find_task t me =
+  let own = if me >= 0 then Deque.pop_bottom t.deques.(me) else None in
+  match own with
+  | Some _ as r -> r
+  | None -> begin
+    match
+      Mutex.protect t.lock (fun () ->
+          if Queue.is_empty t.injector then None else Some (Queue.pop t.injector))
+    with
+    | Some _ as r -> r
+    | None ->
+      let k = Array.length t.deques in
+      let rec steal i =
+        if i >= k then None
+        else begin
+          let victim = (me + 1 + i) mod k in
+          if victim = me then steal (i + 1)
+          else
+            match Deque.steal_top t.deques.(victim) with
+            | Some _ as r -> r
+            | None -> steal (i + 1)
+        end
+      in
+      if k = 0 then None else steal 0
+  end
+
+(* Wait until the epoch moves past [seen] (or shutdown).  Callers read
+   the epoch *before* scanning for work, so any push they raced with
+   already moved it and the wait returns immediately. *)
+let wait_past t seen =
+  Mutex.protect t.lock (fun () ->
+      while t.epoch = seen && not t.stopping do
+        Condition.wait t.wake t.lock
+      done)
+
+let current_epoch t = Mutex.protect t.lock (fun () -> t.epoch)
+
+let rec worker_loop t me =
+  let seen = current_epoch t in
+  match find_task t me with
+  | Some task ->
+    task ();
+    worker_loop t me
+  | None ->
+    if Mutex.protect t.lock (fun () -> t.stopping) then ()
+    else begin
+      wait_past t seen;
+      worker_loop t me
+    end
+
+let create ?jobs () =
+  let n = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  let t =
+    {
+      n_jobs = n;
+      deques = Array.init (if n > 1 then n else 0) (fun _ -> Deque.create ());
+      injector = Queue.create ();
+      lock = Mutex.create ();
+      wake = Condition.create ();
+      epoch = 0;
+      stopping = false;
+      domains = [];
+    }
+  in
+  if n > 1 then
+    t.domains <-
+      List.init n (fun i ->
+          Domain.spawn (fun () ->
+              Domain.DLS.get worker_id := Some (t, i);
+              worker_loop t i));
+  t
+
+type 'a state = Pending | Done of 'a | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = { st : 'a state Atomic.t; pool : t }
+
+let run_to_state f =
+  match f () with
+  | v -> Done v
+  | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+
+let inline t = t.n_jobs <= 1 || Mutex.protect t.lock (fun () -> t.stopping)
+
+let fork t f =
+  if inline t then { st = Atomic.make (run_to_state f); pool = t }
+  else begin
+    let fut = { st = Atomic.make Pending; pool = t } in
+    push_task t (fun () ->
+        Atomic.set fut.st (run_to_state f);
+        bump t);
+    fut
+  end
+
+let rec await fut =
+  match Atomic.get fut.st with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending ->
+    let t = fut.pool in
+    let me =
+      match !(Domain.DLS.get worker_id) with Some (t', i) when t' == t -> i | _ -> -1
+    in
+    let seen = current_epoch t in
+    (match find_task t me with
+    | Some task -> task ()  (* help: the pending task may be this very future *)
+    | None -> if Atomic.get fut.st = Pending then wait_past t seen);
+    await fut
+
+let submit t f = ignore (fork t (fun () -> try f () with _ -> ()))
+
+let parallel_map t f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ ->
+    if inline t then List.map f xs
+    else List.map await (List.map (fun x -> fork t (fun () -> f x)) xs)
+
+let shutdown t =
+  let to_join =
+    Mutex.protect t.lock (fun () ->
+        if t.stopping then []
+        else begin
+          t.stopping <- true;
+          t.epoch <- t.epoch + 1;
+          Condition.broadcast t.wake;
+          let ds = t.domains in
+          t.domains <- [];
+          ds
+        end)
+  in
+  List.iter Domain.join to_join
+
+let with_executor ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

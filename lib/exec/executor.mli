@@ -1,0 +1,67 @@
+(** A dependency-free domain pool with per-domain work-stealing deques.
+
+    OCaml 5 serializes systhreads onto a single domain, so every
+    CPU-bound concurrent path of this repo (the server's worker pool,
+    batch solving, the exact branch-and-bound) used one core no matter
+    how many threads it spawned.  This executor is the multicore
+    substrate they share: a fixed set of {e domains}, each owning a
+    deque it pushes and pops at the bottom while idle domains steal
+    from the top — recursive fork/join workloads (branch-and-bound
+    subtrees) keep their locality, embarrassingly parallel ones (batch
+    items) balance automatically.
+
+    Semantics worth relying on:
+
+    - [create ~jobs:1] spawns {e no} domains; [fork]/[parallel_map]
+      run their thunks inline, so a [--jobs 1] run is exactly the
+      sequential program.  Callers can thread one optional executor
+      everywhere and never special-case sequential mode.
+    - {!await} called from a worker domain does not block the domain:
+      it {e helps}, running queued tasks (its own deque first, newest
+      first) until the future resolves.  Nested fork/join therefore
+      cannot deadlock the pool.
+    - Exceptions raised by a forked thunk are caught and re-raised at
+      {!await}, with the original backtrace.
+    - {!shutdown} drains already-submitted tasks, then joins every
+      domain.  It is idempotent. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [jobs] is the total worker-domain count (default {!default_jobs}).
+    Values [<= 1] build an inline executor with no domains. *)
+
+val jobs : t -> int
+(** The parallelism width this executor was created with (>= 1). *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], overridable by the [RES_JOBS]
+    environment variable (any integer >= 1) — the knob CI uses to run
+    the same test binary at jobs=1 and jobs=4. *)
+
+type 'a future
+
+val fork : t -> (unit -> 'a) -> 'a future
+(** Schedule a thunk.  From a worker domain the task goes to that
+    domain's own deque (LIFO — depth-first locality for recursive
+    forks); from any other thread or domain it goes to the shared
+    injector queue. *)
+
+val await : 'a future -> 'a
+(** Result of the thunk, helping with queued work while it is pending.
+    Re-raises the thunk's exception if it failed. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Fire-and-forget [fork]: exceptions escaping the task are dropped. *)
+
+val parallel_map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [parallel_map t f xs] forks [f x] for every element and awaits them
+    all; the result list is in input order.  Inline (plain [List.map])
+    when [jobs t = 1]. *)
+
+val shutdown : t -> unit
+(** Drain queued tasks, stop and join every domain.  Idempotent.  After
+    shutdown, [fork] and [parallel_map] run their thunks inline. *)
+
+val with_executor : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run the function, and [shutdown] (also on exception). *)

@@ -1,7 +1,11 @@
-(* All instruments of a registry share one mutex: updates are a few
-   machine instructions, so contention is irrelevant next to a solve. *)
+(* Counters are bare atomics — [inc] is lock-free, so the hottest
+   instruments (request counts bumped by every worker thread and every
+   executor domain) never contend on the registry mutex.  Histograms
+   update several fields together and stay under the shared mutex:
+   updates are a few machine instructions, so contention is irrelevant
+   next to a solve. *)
 
-type counter = { c_lock : Mutex.t; mutable count : int }
+type counter = int Atomic.t
 
 type histogram = {
   h_lock : Mutex.t;
@@ -35,12 +39,11 @@ let get_or_create t table name make =
         Hashtbl.replace table name x;
         x)
 
-let counter t name =
-  get_or_create t t.counters name (fun () -> { c_lock = t.lock; count = 0 })
+let counter t name = get_or_create t t.counters name (fun () -> Atomic.make 0)
 
-let inc ?(by = 1) c = Mutex.protect c.c_lock (fun () -> c.count <- c.count + by)
+let inc ?(by = 1) c = ignore (Atomic.fetch_and_add c by)
 
-let counter_value c = Mutex.protect c.c_lock (fun () -> c.count)
+let counter_value c = Atomic.get c
 
 let gauge t name f = Mutex.protect t.lock (fun () -> Hashtbl.replace t.gauges name f)
 
@@ -75,7 +78,7 @@ let render t =
     Mutex.protect t.lock (fun () ->
         let rows = ref [] in
         Hashtbl.iter
-          (fun name c -> rows := (name, string_of_int c.count) :: !rows)
+          (fun name c -> rows := (name, string_of_int (Atomic.get c)) :: !rows)
           t.counters;
         Hashtbl.iter
           (fun name h ->

@@ -1,6 +1,8 @@
 (** A small metrics registry for the service layer.
 
-    Three instrument kinds, all safe to update from any thread:
+    Three instrument kinds, all safe to update from any thread or
+    domain (counters are lock-free atomics; gauges and histograms are
+    guarded by the registry mutex):
 
     - {e counters} — monotone event counts (requests by kind and outcome);
     - {e gauges} — values sampled at render time from a callback (queue

@@ -9,10 +9,11 @@ type config = {
   workers : int;
   queue_capacity : int;
   default_timeout_ms : int option;
+  jobs : int;
 }
 
 let default_config address =
-  { address; workers = 4; queue_capacity = 64; default_timeout_ms = Some 30_000 }
+  { address; workers = 4; queue_capacity = 64; default_timeout_ms = Some 30_000; jobs = 1 }
 
 (* A one-shot synchronization cell: the connection thread blocks on
    [read] while the worker [fill]s the response, preserving one-request-
@@ -44,6 +45,9 @@ type t = {
   engine : Res_engine.Batch.t;
   metrics : Metrics.t;
   pool : Pool.t;
+  exec : Res_exec.Executor.t option;
+      (* the multicore substrate, shared by every worker thread's solves
+         when [cfg.jobs > 1]; [None] keeps solving single-domain *)
   listen_fd : Unix.file_descr;
   lock : Mutex.t;
   state_changed : Condition.t;
@@ -87,7 +91,7 @@ let observe_gap t iv =
 let solve_one t ~cancel ~deadline (inst : Res_engine.Batch.instance) =
   let outcome =
     if expired deadline then Res_engine.Batch.Timed_out (Res_bounds.Interval.lower_only 0)
-    else Res_engine.Batch.solve_bounded t.engine ~cancel inst.db inst.query
+    else Res_engine.Batch.solve_bounded t.engine ~cancel ?pool:t.exec inst.db inst.query
   in
   (match outcome with
   | Res_engine.Batch.Timed_out iv -> observe_gap t iv
@@ -109,7 +113,16 @@ let run_solve t ~kind ~deadline instances fill =
       fill (Protocol.timeout iv)
   end
   | _, instances ->
-    let outcomes = List.map (fun inst -> solve_one t ~cancel ~deadline inst) instances in
+    (* batch items are independent: with an executor they fan out across
+       its domains (the per-item deadline/cancel semantics are those of
+       the sequential loop — every item still answers) *)
+    let solve_all =
+      match t.exec with
+      | Some exec when Res_exec.Executor.jobs exec > 1 ->
+        Res_exec.Executor.parallel_map exec
+      | _ -> List.map
+    in
+    let outcomes = solve_all (fun inst -> solve_one t ~cancel ~deadline inst) instances in
     let any_timeout =
       List.exists (function Res_engine.Batch.Timed_out _ -> true | _ -> false) outcomes
     in
@@ -221,8 +234,10 @@ let rec stop t =
     List.iter
       (fun (_, fd) -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
       conns;
-    (* drain the queue, join the workers *)
+    (* drain the queue, join the workers, then retire the executor's
+       domains (no solve can be in flight once the pool is down) *)
     Pool.shutdown t.pool;
+    Option.iter Res_exec.Executor.shutdown t.exec;
     List.iter (fun (th, _) -> if Thread.id th <> self then Thread.join th) conns;
     Mutex.protect t.lock (fun () ->
         t.state <- Stopped;
@@ -325,12 +340,16 @@ let start ?engine:(eng = Res_engine.Batch.create ()) cfg =
   Unix.listen listen_fd 64;
   let metrics = Metrics.create () in
   let pool = Pool.create ~workers:cfg.workers ~capacity:cfg.queue_capacity in
+  let exec =
+    if cfg.jobs > 1 then Some (Res_exec.Executor.create ~jobs:cfg.jobs ()) else None
+  in
   let t =
     {
       cfg;
       engine = eng;
       metrics;
       pool;
+      exec;
       listen_fd;
       lock = Mutex.create ();
       state_changed = Condition.create ();
@@ -352,11 +371,12 @@ let start ?engine:(eng = Res_engine.Batch.create ()) cfg =
   register_engine_gauges metrics eng;
   t.accept_thread <- Some (Thread.create accept_loop t);
   Log.info (fun m ->
-      m "listening on %s (%d workers, queue %d, default timeout %s)"
+      m "listening on %s (%d workers, queue %d, jobs %d, default timeout %s)"
         (match cfg.address with
         | Unix_socket p -> p
         | Tcp (h, p) -> Printf.sprintf "%s:%d" h p)
         cfg.workers cfg.queue_capacity
+        (max 1 cfg.jobs)
         (match cfg.default_timeout_ms with Some ms -> Printf.sprintf "%dms" ms | None -> "none"));
   t
 

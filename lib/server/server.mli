@@ -31,10 +31,17 @@ type config = {
   default_timeout_ms : int option;
       (** deadline for requests that do not carry [timeout=MS]; [None]
           means such requests may run forever *)
+  jobs : int;
+      (** domains of the shared {!Res_exec.Executor}.  Worker threads all
+          run on one domain (OCaml systhreads); with [jobs > 1] the
+          server owns an executor onto which batch items fan out and
+          exact searches fork their subtrees, so solves actually use
+          [jobs] cores.  [<= 1] (the default) means no executor —
+          byte-for-byte the old single-domain behaviour *)
 }
 
 val default_config : address -> config
-(** 4 workers, queue capacity 64, default timeout 30s. *)
+(** 4 workers, queue capacity 64, default timeout 30s, jobs 1. *)
 
 type t
 

@@ -1,0 +1,286 @@
+(* The multicore substrate: executor semantics (fork/join, ordering,
+   exceptions, inline mode), domain-safety of the shared engine
+   structures (Cache, Metrics) under real parallelism, and the
+   end-to-end properties the executor must preserve — parallel batch
+   and exact solving agree with the sequential program, and a
+   cancellation landing mid-parallel-search still yields a sound
+   certified interval (the PR 3 sandwich property). *)
+
+open Res_db
+open Resilience
+module Executor = Res_exec.Executor
+module Engine = Res_engine.Batch
+
+(* One pool for the whole suite (spawning domains per qcheck trial would
+   dominate the run); the last test of the suite shuts it down and
+   checks post-shutdown forks still run inline. *)
+let pool = lazy (Executor.create ~jobs:4 ())
+
+(* --- executor semantics -------------------------------------------------- *)
+
+let parallel_map_order () =
+  let xs = List.init 200 (fun i -> i) in
+  let square x = x * x in
+  Alcotest.(check (list int))
+    "results in input order" (List.map square xs)
+    (Executor.parallel_map (Lazy.force pool) square xs);
+  Alcotest.(check (list int)) "empty list" [] (Executor.parallel_map (Lazy.force pool) square []);
+  Alcotest.(check (list int)) "singleton" [ 49 ] (Executor.parallel_map (Lazy.force pool) square [ 7 ])
+
+let nested_fork_join () =
+  let p = Lazy.force pool in
+  (* recursive fork/join: every level forks both subtrees, so workers
+     must help while awaiting or the pool deadlocks *)
+  let rec fib n =
+    if n < 2 then n
+    else begin
+      let a = Executor.fork p (fun () -> fib (n - 1)) in
+      let b = fib (n - 2) in
+      Executor.await a + b
+    end
+  in
+  Alcotest.(check int) "fib 15 via nested forks" 610 (fib 15)
+
+exception Boom
+
+let exception_propagates () =
+  let p = Lazy.force pool in
+  let fut = Executor.fork p (fun () -> raise Boom) in
+  Alcotest.check Alcotest.unit "await re-raises the task's exception" ()
+    (match Executor.await fut with
+    | _ -> Alcotest.fail "await must raise"
+    | exception Boom -> ());
+  (* the pool survives a failed task *)
+  Alcotest.(check int) "pool alive after failure" 5 (Executor.await (Executor.fork p (fun () -> 5)))
+
+let inline_executor () =
+  let p1 = Executor.create ~jobs:1 () in
+  Alcotest.(check int) "jobs clamps to >= 1" 1 (Executor.jobs p1);
+  let side = ref 0 in
+  let fut =
+    Executor.fork p1 (fun () ->
+        incr side;
+        !side)
+  in
+  (* jobs=1 forks compute immediately on the caller: the effect is
+     visible before await *)
+  Alcotest.(check int) "inline fork ran eagerly" 1 !side;
+  Alcotest.(check int) "inline await" 1 (Executor.await fut);
+  Alcotest.(check (list int)) "inline parallel_map"
+    [ 2; 4; 6 ]
+    (Executor.parallel_map p1 (fun x -> 2 * x) [ 1; 2; 3 ]);
+  Executor.shutdown p1
+
+let default_jobs_env () =
+  let saved = Sys.getenv_opt "RES_JOBS" in
+  let restore () =
+    match saved with Some v -> Unix.putenv "RES_JOBS" v | None -> Unix.putenv "RES_JOBS" ""
+  in
+  Fun.protect ~finally:restore (fun () ->
+      Unix.putenv "RES_JOBS" "3";
+      Alcotest.(check int) "RES_JOBS overrides" 3 (Executor.default_jobs ());
+      Unix.putenv "RES_JOBS" "not-a-number";
+      Alcotest.(check bool) "garbage falls back to >= 1" true (Executor.default_jobs () >= 1))
+
+let shutdown_drains () =
+  let p = Executor.create ~jobs:4 () in
+  let count = Atomic.make 0 in
+  for _ = 1 to 200 do
+    Executor.submit p (fun () -> Atomic.incr count)
+  done;
+  Executor.shutdown p;
+  Alcotest.(check int) "every submitted task ran before shutdown returned" 200 (Atomic.get count);
+  (* post-shutdown forks run inline rather than vanishing *)
+  Alcotest.(check int) "post-shutdown fork inline" 9 (Executor.await (Executor.fork p (fun () -> 9)))
+
+(* --- domain-safety stress ------------------------------------------------ *)
+
+let cache_stress () =
+  let p = Lazy.force pool in
+  let cache : (int, int) Res_engine.Cache.t = Res_engine.Cache.create ~capacity:64 () in
+  let per_domain = 2_000 in
+  let worker d =
+    for i = 0 to per_domain - 1 do
+      let k = (d * 31) + i mod 97 in
+      (match Res_engine.Cache.find cache k with
+      | Some v -> if v <> k * 2 then failwith "cache returned a foreign value"
+      | None -> Res_engine.Cache.add cache k (k * 2));
+      ignore (Res_engine.Cache.length cache)
+    done;
+    d
+  in
+  let ds = Executor.parallel_map p worker [ 0; 1; 2; 3 ] in
+  Alcotest.(check (list int)) "all domains finished" [ 0; 1; 2; 3 ] ds;
+  Alcotest.(check int) "lookup accounting is exact"
+    (4 * per_domain)
+    (Res_engine.Cache.hits cache + Res_engine.Cache.misses cache);
+  Alcotest.(check bool) "capacity bound holds under contention" true
+    (Res_engine.Cache.length cache <= Res_engine.Cache.capacity cache)
+
+let metrics_stress () =
+  let p = Lazy.force pool in
+  let m = Res_server.Metrics.create () in
+  let c = Res_server.Metrics.counter m "stress.hits" in
+  let h = Res_server.Metrics.histogram m "stress.latency" in
+  let per_domain = 10_000 in
+  let worker d =
+    for i = 1 to per_domain do
+      Res_server.Metrics.inc c;
+      if i mod 100 = 0 then Res_server.Metrics.observe h (float_of_int (d + i) /. 1000.)
+    done
+  in
+  ignore (Executor.parallel_map p worker [ 0; 1; 2; 3 ]);
+  Alcotest.(check int) "counter sums exactly across domains"
+    (4 * per_domain)
+    (Res_server.Metrics.counter_value c);
+  Alcotest.(check int) "histogram total sums exactly"
+    (4 * (per_domain / 100))
+    (Res_server.Metrics.histogram_count h);
+  (* render under concurrent updates must not tear *)
+  let rows = Res_server.Metrics.render m in
+  Alcotest.(check bool) "rendered" true (List.mem_assoc "stress.hits" rows)
+
+(* --- parallel solving agrees with sequential ----------------------------- *)
+
+let fragment = lazy (Array.of_list (Query_gen.decorated_two_r_atom_queries ()))
+
+let solution_equal s1 s2 =
+  match (s1, s2) with
+  | Solution.Unbreakable, Solution.Unbreakable -> true
+  | Solution.Finite (v1, f1), Solution.Finite (v2, f2) ->
+    v1 = v2 && List.sort compare f1 = List.sort compare f2
+  | _ -> false
+
+(* shared engines so late trials hit warm caches from both sides *)
+let eng_par = lazy (Engine.create ())
+let eng_seq = lazy (Engine.create ())
+
+let prop_parallel_batch_differential =
+  QCheck.Test.make ~count:300
+    ~name:"parallel Batch.solve_bounded = sequential on random engine instances"
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let qs = Lazy.force fragment in
+      let query = qs.(seed mod Array.length qs) in
+      let db = Db_gen.random_for_query ~seed ~domain:3 ~tuples_per_relation:5 query in
+      let par =
+        Engine.solve_bounded (Lazy.force eng_par) ~pool:(Lazy.force pool) db query
+      in
+      let seq = Engine.solve_bounded (Lazy.force eng_seq) db query in
+      match (par, seq) with
+      | Engine.Solved (sp, _), Engine.Solved (ss, _) ->
+        (* same ρ always; identical sets whenever finite *)
+        if not (Solution.value sp = Solution.value ss) then
+          QCheck.Test.fail_report "parallel and sequential disagree on rho";
+        (match sp with
+        | Solution.Finite (v, facts) ->
+          if not (List.length facts = v && Exact.is_contingency_set db query facts) then
+            QCheck.Test.fail_report "parallel solution is not a genuine contingency set"
+        | Solution.Unbreakable -> ());
+        if not (solution_equal sp ss) then
+          QCheck.Test.fail_report "solution sets differ between parallel and sequential";
+        true
+      | _ -> QCheck.Test.fail_report "Cancel.never run timed out")
+
+(* a batch run through the executor must return the same outcomes, in
+   input order, as the sequential run of the same instances *)
+let parallel_run_matches () =
+  let qs = Lazy.force fragment in
+  let instances =
+    List.init 60 (fun i ->
+        let query = qs.(i * 37 mod Array.length qs) in
+        let db = Db_gen.random_for_query ~seed:(i * 7919) ~domain:3 ~tuples_per_relation:4 query in
+        { Engine.label = Printf.sprintf "i%d" i; query; db })
+  in
+  let seq = Engine.run (Engine.create ()) instances in
+  let par = Engine.run (Engine.create ()) ~pool:(Lazy.force pool) instances in
+  Alcotest.(check int) "same cardinality" (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : Engine.outcome) (b : Engine.outcome) ->
+      Alcotest.(check string) "input order preserved" a.label b.label;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: same solution" a.label)
+        true
+        (solution_equal a.solution b.solution))
+    seq par
+
+(* deterministic NP-hard gadget families: the parallel exact search must
+   return exactly the sequential resilience value *)
+let gadget_parallel_exact () =
+  (* 3 clauses: abperm/triangle instances blow up steeply with clause
+     count (the 4-clause versions run for minutes even sequentially) *)
+  let f = Res_sat.Cnf.make ~n_vars:3 [ [ 1; 2; 3 ]; [ -1; -2; 3 ]; [ 2; -3; 1 ] ] in
+  List.iter
+    (fun (name, (inst : Reductions.instance)) ->
+      let seq = Exact.value inst.db inst.query in
+      let par = Solution.value (Exact.resilience ~pool:(Lazy.force pool) inst.db inst.query) in
+      Alcotest.(check (option int)) (name ^ ": parallel = sequential") seq par)
+    [
+      ("chain", Reductions.sat3_to_chain f);
+      ("abperm", Reductions.sat3_to_abperm f);
+      ("triangle", Reductions.sat3_to_triangle f);
+    ]
+
+(* --- cancellation mid-parallel-search ------------------------------------ *)
+
+let random_query st =
+  let vars = [| "x"; "y"; "z"; "w"; "u" |] in
+  let rels = [| ("R", 2); ("S", 2); ("A", 1); ("B", 1); ("W", 3) |] in
+  let n_atoms = 1 + Random.State.int st 4 in
+  let atoms =
+    List.init n_atoms (fun _ ->
+        let rel, ar = rels.(Random.State.int st 5) in
+        Res_cq.Atom.make rel (List.init ar (fun _ -> vars.(Random.State.int st 5))))
+  in
+  let exo = if Random.State.bool st then [] else [ fst rels.(Random.State.int st 5) ] in
+  Res_cq.Query.make ~exo atoms
+
+(* The PR 3 sandwich property survives parallel search: a token firing
+   while subtrees run on several domains still yields lb ≤ ρ ≤ ub with a
+   genuine contingency set as witness — every forked subtree polls the
+   same token, and the shared incumbent only ever holds real covers. *)
+let prop_parallel_cancellation_sound =
+  QCheck.Test.make ~count:150
+    ~name:"cancellation mid-parallel-search yields a sound certified interval"
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 60))
+    (fun (seed, steps) ->
+      let st = Random.State.make [| seed; 23 |] in
+      let q = random_query st in
+      let db = Db_gen.random_for_query ~seed ~domain:3 ~tuples_per_relation:6 q in
+      match
+        Exact.resilience_bounded ~cancel:(Cancel.of_steps steps) ~pool:(Lazy.force pool) db q
+      with
+      | Exact.Complete s -> Solution.equal_value s (Exact.resilience db q)
+      | Exact.Interrupted { incumbent = Solution.Finite (ub, set); lb } ->
+        List.length set = ub
+        && lb <= ub
+        && Exact.is_contingency_set db q set
+        && (match Exact.value db q with
+           | Some rho -> lb <= rho && rho <= ub
+           | None -> false)
+      | Exact.Interrupted { incumbent = Solution.Unbreakable; _ } -> false)
+
+(* keep last: retires the suite's shared pool *)
+let shared_pool_shutdown () =
+  let p = Lazy.force pool in
+  Executor.shutdown p;
+  Executor.shutdown p (* idempotent *);
+  Alcotest.(check int) "forks run inline after shutdown" 4
+    (Executor.await (Executor.fork p (fun () -> 4)))
+
+let suite =
+  [
+    Alcotest.test_case "executor: parallel_map order" `Quick parallel_map_order;
+    Alcotest.test_case "executor: nested fork/join" `Quick nested_fork_join;
+    Alcotest.test_case "executor: exception propagates" `Quick exception_propagates;
+    Alcotest.test_case "executor: jobs=1 is inline" `Quick inline_executor;
+    Alcotest.test_case "executor: RES_JOBS override" `Quick default_jobs_env;
+    Alcotest.test_case "executor: shutdown drains" `Quick shutdown_drains;
+    Alcotest.test_case "cache: 4-domain stress" `Quick cache_stress;
+    Alcotest.test_case "metrics: 4-domain stress" `Quick metrics_stress;
+    QCheck_alcotest.to_alcotest prop_parallel_batch_differential;
+    Alcotest.test_case "batch: parallel run = sequential run" `Quick parallel_run_matches;
+    Alcotest.test_case "exact: parallel = sequential on gadgets" `Quick gadget_parallel_exact;
+    QCheck_alcotest.to_alcotest prop_parallel_cancellation_sound;
+    Alcotest.test_case "executor: shared pool shutdown" `Quick shared_pool_shutdown;
+  ]

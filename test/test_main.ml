@@ -17,5 +17,6 @@ let () =
       ("robustness", Test_robustness.suite);
       ("differential", Test_differential.suite);
       ("edge-cases", Test_edge_cases.suite);
+      ("exec", Test_exec.suite);
       ("server", Test_server.suite);
     ]
