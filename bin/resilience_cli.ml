@@ -56,6 +56,33 @@ let with_pool jobs f =
   | 1 -> f None
   | jobs -> Res_exec.Executor.with_executor ~jobs (fun pool -> f (Some pool))
 
+(* --- tracing ----------------------------------------------------------- *)
+
+(* [--trace FILE]: switch the observability layer on for the run and
+   write the Chrome trace_event JSON when the process exits.  The write
+   hangs off [at_exit] rather than an unwind handler because the
+   timeout paths leave through [exit 124] — which runs [at_exit] but
+   unwinds no OCaml frames. *)
+let with_trace trace_file f =
+  match trace_file with
+  | None -> f ()
+  | Some path ->
+    Res_obs.Obs.set_enabled true;
+    at_exit (fun () ->
+        let dumps = Res_obs.Obs.drain () in
+        (try Res_obs.Trace.write_file path dumps
+         with Sys_error msg -> Printf.eprintf "cannot write trace: %s\n" msg);
+        prerr_string (Res_obs.Trace.summary dumps);
+        Printf.eprintf "trace written to %s\n" path);
+    f ()
+
+let trace_file_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Record a solve trace (B&B nodes, LP calls, cache probes, executor \
+               activity) and write it as Chrome trace_event JSON to \\$(docv) on exit \
+               — load it in about://tracing or ui.perfetto.dev.  A top-spans-by-self-time \
+               summary goes to stderr.")
+
 (* --- JSON rendering ---------------------------------------------------- *)
 
 (* The repo deliberately carries no JSON dependency; responses are flat
@@ -157,7 +184,8 @@ let print_bounds db q =
       (upper.Res_bounds.Upper.value - Res_bounds.Lower.value lower)
 
 let solve_cmd =
-  let run query_s db_file facts_inline show_trace timeout json bounds jobs =
+  let run query_s db_file facts_inline explain timeout json bounds jobs trace_file =
+    with_trace trace_file @@ fun () ->
     let q = parse_query query_s in
     let db = load_db db_file facts_inline in
     let cancel =
@@ -182,7 +210,7 @@ let solve_cmd =
           print_endline "minimum contingency set:";
           List.iter (fun f -> Format.printf "  %a@." Database.pp_fact f) facts);
         if bounds then print_bounds db q;
-        if show_trace then
+        if explain then
           List.iter
             (fun (t : Resilience.Solver.trace) ->
               Format.printf "component %a -> %s@." Res_cq.Query.pp t.component t.algorithm)
@@ -205,7 +233,9 @@ let solve_cmd =
       end;
       exit 124
   in
-  let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Show which algorithm solved each component.") in
+  let explain_arg =
+    Arg.(value & flag & info [ "explain" ] ~doc:"Show which algorithm solved each component.")
+  in
   let timeout_arg =
     Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECS"
            ~doc:"Deadline for the solve; on expiry exit with code 124 and print the \
@@ -221,13 +251,14 @@ let solve_cmd =
                  bound of the instance, with the certificate that produced each.")
   in
   Cmd.v (Cmd.info "solve" ~doc:"Compute the resilience of a database w.r.t. a query")
-    Term.(const run $ query_arg $ db_file_arg $ facts_arg $ trace_arg $ timeout_arg $ json_arg
-          $ bounds_arg $ jobs_arg)
+    Term.(const run $ query_arg $ db_file_arg $ facts_arg $ explain_arg $ timeout_arg $ json_arg
+          $ bounds_arg $ jobs_arg $ trace_file_arg)
 
 (* --- batch ------------------------------------------------------------ *)
 
 let batch_cmd =
-  let run file no_cache repeat show_stats jobs =
+  let run file no_cache repeat show_stats jobs trace_file =
+    with_trace trace_file @@ fun () ->
     let instances =
       try Res_engine.Batch.load_file file with
       | Res_engine.Batch.Parse_error msg ->
@@ -270,7 +301,8 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Solve a file of (query, database) instances through the caching engine")
-    Term.(const run $ file_arg $ no_cache_arg $ repeat_arg $ stats_arg $ jobs_arg)
+    Term.(const run $ file_arg $ no_cache_arg $ repeat_arg $ stats_arg $ jobs_arg
+          $ trace_file_arg)
 
 (* --- serve / client ----------------------------------------------------- *)
 
@@ -294,12 +326,44 @@ let port_arg =
 let host_arg =
   Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"TCP bind/connect address.")
 
+(* "PORT", "HOST:PORT" or a filesystem path (contains '/' or no digits)
+   for a Unix-domain metrics socket. *)
+let parse_metrics_addr s =
+  match int_of_string_opt s with
+  | Some p -> Res_server.Server.Tcp ("127.0.0.1", p)
+  | None -> begin
+    match String.rindex_opt s ':' with
+    | Some i -> begin
+      let host = String.sub s 0 i in
+      let port_s = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port_s with
+      | Some p when host <> "" -> Res_server.Server.Tcp (host, p)
+      | _ ->
+        Printf.eprintf "invalid --metrics-addr %S: expected PORT, HOST:PORT or a socket path\n" s;
+        exit 2
+    end
+    | None -> Res_server.Server.Unix_socket s
+  end
+
 let serve_cmd =
-  let run socket port host workers queue timeout_ms no_timeout verbose jobs =
+  let run socket port host workers queue timeout_ms no_timeout verbose jobs metrics_addr
+      trace_dir =
     Fmt_tty.setup_std_outputs ();
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs_threaded.enable ();
     Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning));
+    (match trace_dir with
+     | None -> ()
+     | Some dir ->
+       Res_obs.Obs.set_enabled true;
+       at_exit (fun () ->
+           (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ());
+           let path = Filename.concat dir (Printf.sprintf "trace-%d.json" (Unix.getpid ())) in
+           let dumps = Res_obs.Obs.drain () in
+           (try
+              Res_obs.Trace.write_file path dumps;
+              Printf.eprintf "trace written to %s\n" path
+            with Sys_error msg -> Printf.eprintf "cannot write trace: %s\n" msg)));
     let cfg =
       {
         Res_server.Server.address = address_of socket port host;
@@ -307,6 +371,7 @@ let serve_cmd =
         queue_capacity = queue;
         default_timeout_ms = (if no_timeout then None else Some timeout_ms);
         jobs = resolve_jobs jobs;
+        metrics_addr = Option.map parse_metrics_addr metrics_addr;
       }
     in
     let srv = Res_server.Server.start cfg in
@@ -332,13 +397,23 @@ let serve_cmd =
   let verbose_arg =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log every request (debug level).")
   in
+  let metrics_addr_arg =
+    Arg.(value & opt (some string) None & info [ "metrics-addr" ] ~docv:"ADDR"
+           ~doc:"Serve the metrics registry as a Prometheus scrape endpoint on ADDR \
+                 (PORT, HOST:PORT, or a Unix-socket path).")
+  in
+  let trace_dir_arg =
+    Arg.(value & opt (some string) None & info [ "trace-dir" ] ~docv:"DIR"
+           ~doc:"Enable tracing; on shutdown write DIR/trace-<pid>.json (Chrome trace format).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the resilience service: a concurrent socket server with per-request \
              deadlines, cooperative cancellation and a metrics registry (see the protocol \
              in the README)")
     Term.(const run $ socket_arg $ port_arg $ host_arg $ workers_arg $ queue_arg
-          $ timeout_arg $ no_timeout_arg $ verbose_arg $ jobs_arg)
+          $ timeout_arg $ no_timeout_arg $ verbose_arg $ jobs_arg $ metrics_addr_arg
+          $ trace_dir_arg)
 
 let client_cmd =
   let run socket port host retry requests =
@@ -369,11 +444,21 @@ let client_cmd =
       output_string oc line;
       output_char oc '\n';
       flush oc;
-      match input_line ic with
-      | reply -> print_endline reply
-      | exception End_of_file ->
-        prerr_endline "server closed the connection";
-        exit 3
+      let multi_line =
+        (* stats/prom is the protocol's one multi-line reply: read until
+           the "# EOF" terminator. *)
+        String.lowercase_ascii (String.trim line) = "stats/prom"
+      in
+      let rec recv () =
+        match input_line ic with
+        | reply ->
+          print_endline reply;
+          if multi_line && reply <> Res_server.Protocol.prom_terminator then recv ()
+        | exception End_of_file ->
+          prerr_endline "server closed the connection";
+          exit 3
+      in
+      recv ()
     in
     if requests = [] then begin
       try
@@ -611,7 +696,98 @@ let propagate_cmd =
        ~doc:"Deletion propagation with source side-effects for a non-Boolean query")
     Term.(const run $ query_arg $ db_file_arg $ facts_arg $ head_arg)
 
+(* --- trace-check / scrape ------------------------------------------------ *)
+
+let trace_check_cmd =
+  let run file prom =
+    if prom then begin
+      let text =
+        try Res_obs.Trace_check.read_file file
+        with Sys_error msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 1
+      in
+      match Res_obs.Trace_check.check_prometheus text with
+      | Ok samples -> Printf.printf "valid Prometheus exposition: %d samples\n" samples
+      | Error msg ->
+        Printf.eprintf "invalid Prometheus exposition: %s\n" msg;
+        exit 1
+    end
+    else begin
+      match Res_obs.Trace_check.check_trace_file file with
+      | Ok r ->
+        Printf.printf
+          "valid Chrome trace: %d events on %d track(s), max depth %d, %d orphan end(s), %d open span(s)\n"
+          r.Res_obs.Trace_check.events r.tracks r.max_depth r.orphan_ends r.open_spans
+      | Error msg ->
+        Printf.eprintf "invalid trace: %s\n" msg;
+        exit 1
+    end
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"File to validate.")
+  in
+  let prom_arg =
+    Arg.(value & flag & info [ "prom" ]
+           ~doc:"Validate as Prometheus text exposition instead of a Chrome trace.")
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:"Validate a Chrome trace_event JSON file (or, with --prom, Prometheus text)")
+    Term.(const run $ file_arg $ prom_arg)
+
+let scrape_cmd =
+  let run socket port host =
+    let sockaddr, domain =
+      match address_of socket port host with
+      | Res_server.Server.Unix_socket path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
+      | Res_server.Server.Tcp (h, p) ->
+        let addr =
+          try Unix.inet_addr_of_string h
+          with Failure _ -> (Unix.gethostbyname h).Unix.h_addr_list.(0)
+        in
+        (Unix.ADDR_INET (addr, p), Unix.PF_INET)
+    in
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd sockaddr
+     with Unix.Unix_error (e, _, _) ->
+       Printf.eprintf "cannot connect: %s\n" (Unix.error_message e);
+       exit 3);
+    let oc = Unix.out_channel_of_descr fd in
+    output_string oc "GET /metrics HTTP/1.0\r\nHost: resilience\r\n\r\n";
+    flush oc;
+    let buf = Buffer.create 4096 in
+    let chunk = Bytes.create 4096 in
+    let rec slurp () =
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> ()
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        slurp ()
+    in
+    slurp ();
+    Unix.close fd;
+    let reply = Buffer.contents buf in
+    (* print only the body: drop the HTTP header block *)
+    let sep = "\r\n\r\n" in
+    let rec find i =
+      if i + String.length sep > String.length reply then None
+      else if String.sub reply i (String.length sep) = sep then Some i
+      else find (i + 1)
+    in
+    let body =
+      match find 0 with
+      | Some i -> String.sub reply (i + 4) (String.length reply - i - 4)
+      | None -> reply
+    in
+    print_string body
+  in
+  Cmd.v
+    (Cmd.info "scrape"
+       ~doc:"Fetch one Prometheus scrape from a server started with --metrics-addr")
+    Term.(const run $ socket_arg $ port_arg $ host_arg)
+
 let () =
   let doc = "resilience of conjunctive queries with self-joins (PODS 2020 reproduction)" in
   let info = Cmd.info "resilience" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ classify_cmd; solve_cmd; batch_cmd; serve_cmd; client_cmd; witnesses_cmd; zoo_cmd; ijp_cmd; gadget_cmd; repairs_cmd; blame_cmd; propagate_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ classify_cmd; solve_cmd; batch_cmd; serve_cmd; client_cmd; witnesses_cmd; zoo_cmd; ijp_cmd; gadget_cmd; repairs_cmd; blame_cmd; propagate_cmd; trace_check_cmd; scrape_cmd ]))

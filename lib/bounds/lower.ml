@@ -64,7 +64,13 @@ let lp ilp =
   let n = Ilp.n_constraints ilp in
   if n = 0 then { value = 0; certificate = Fractional { weights = [||]; denom = 1 }; name = "lp" }
   else begin
-    let res = Simplex.packing_lp ilp in
+    let res =
+      if Res_obs.Obs.enabled () then
+        Res_obs.Obs.span ~cat:"lp" "simplex"
+          ~args:[ ("constraints", string_of_int n) ]
+          (fun () -> Simplex.packing_lp ilp)
+      else Simplex.packing_lp ilp
+    in
     let weights =
       Array.map (fun y -> max 0 (int_of_float (floor (y *. float_of_int scale)))) res.solution
     in
@@ -264,6 +270,7 @@ let lp_value sets =
   match sets with
   | [] -> 0
   | _ ->
+    Res_obs.Obs.span ~cat:"lp" "value" @@ fun () ->
     let ilp = Ilp.of_sets ~minimized:true sets in
     let b = lp ilp in
     if check ilp b then b.value else (packing ilp).value

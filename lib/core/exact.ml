@@ -1,5 +1,6 @@
 open Res_db
 module Executor = Res_exec.Executor
+module Obs = Res_obs.Obs
 
 (* The one shared [Set.Make (Int)] instance: sets built here flow
    directly into [Res_bounds.Lower.lp_value] without conversion. *)
@@ -244,7 +245,13 @@ let lower_of ~lp_budget ~n_facts depth sets =
    protocol, a prune in one domain is a prune in all. *)
 let rec offer_best best v chosen =
   let cur = Atomic.get best in
-  if v < fst cur && not (Atomic.compare_and_set best cur (v, chosen)) then offer_best best v chosen
+  if v < fst cur then begin
+    if Atomic.compare_and_set best cur (v, chosen) then begin
+      if Obs.enabled () then
+        Obs.instant ~cat:"bnb" "incumbent" ~args:[ ("value", string_of_int v) ]
+    end
+    else offer_best best v chosen
+  end
 
 let min_card_pivot sets =
   match
@@ -258,36 +265,59 @@ let min_card_pivot sets =
   | Some (_, b) -> b
   | None -> assert false
 
+(* Depth below which B&B nodes get their own trace span; deeper nodes
+   are summarized by their ancestors (full-depth spans would swamp the
+   ring with microsecond leaves). *)
+let node_span_depth = 2
+
+(* [None] to keep searching, [Some reason] to prune — "lp" exactly when
+   the LP relaxation was decisive where greedy packing was not, which
+   is also when [lp_prunes_c] ticks. *)
+let prune_reason ~lp_budget ~n_facts ~bv depth sets =
+  match lower_of ~lp_budget ~n_facts depth sets with
+  | `Pack p -> if depth + p >= bv then Some "pack" else None
+  | `Lp (l, pack) ->
+    if depth + l >= bv then
+      if depth + pack < bv then begin
+        Atomic.incr lp_prunes_c;
+        Some "lp"
+      end
+      else Some "pack"
+    else None
+
 let rec branch ~cancel ~best ~lp_budget ~n_facts chosen depth sets =
   Cancel.guard cancel;
   Atomic.incr nodes_c;
-  match sets with
-  | [] -> offer_best best depth chosen
-  | _ ->
-    let bv = fst (Atomic.get best) in
-    let prune =
-      match lower_of ~lp_budget ~n_facts depth sets with
-      | `Pack p -> depth + p >= bv
-      | `Lp (l, pack) ->
-        let pruned = depth + l >= bv in
-        if pruned && depth + pack < bv then Atomic.incr lp_prunes_c;
-        pruned
-    in
-    if prune then ()
-    else begin
-      let pivot = min_card_pivot sets in
-      Bitset.iter
-        (fun f ->
-          let remaining = List.filter (fun (_, s) -> not (Bitset.mem s f)) sets in
-          branch ~cancel ~best ~lp_budget ~n_facts (f :: chosen) (depth + 1) remaining)
-        pivot
-    end
+  let body () =
+    match sets with
+    | [] -> offer_best best depth chosen
+    | _ ->
+      let bv = fst (Atomic.get best) in
+      (match prune_reason ~lp_budget ~n_facts ~bv depth sets with
+      | Some reason ->
+        if Obs.enabled () then
+          Obs.instant ~cat:"bnb" "prune"
+            ~args:[ ("reason", reason); ("depth", string_of_int depth) ]
+      | None ->
+        let pivot = min_card_pivot sets in
+        Bitset.iter
+          (fun f ->
+            let remaining = List.filter (fun (_, s) -> not (Bitset.mem s f)) sets in
+            branch ~cancel ~best ~lp_budget ~n_facts (f :: chosen) (depth + 1) remaining)
+          pivot)
+  in
+  if Obs.enabled () && depth <= node_span_depth then
+    Obs.span ~cat:"bnb" "node"
+      ~args:
+        [ ("depth", string_of_int depth); ("witnesses", string_of_int (List.length sets)) ]
+      body
+  else body ()
 
 (* One connected component: greedy-cover incumbent, certified root lower
    bound, then branch-and-bound — sequentially, or with the top of the
    search tree forked into executor tasks that share the incumbent, the
    LP budget and the cancellation token. *)
-let solve_component ?pool ~cancel ~lp n_facts bsets =
+let solve_component_body ?pool ~cancel ~lp n_facts bsets =
   Atomic.incr covers_c;
   let sets = List.map (fun b -> (Bitset.cardinal b, b)) bsets in
   let ilp = Res_bounds.Ilp.of_sets ~minimized:true (List.map (fun (_, b) -> is_of_bitset b) sets) in
@@ -307,12 +337,12 @@ let solve_component ?pool ~cancel ~lp n_facts bsets =
       Atomic.incr nodes_c;
       let bv = fst (Atomic.get best) in
       let prune =
-        match lower_of ~lp_budget ~n_facts 0 sets with
-        | `Pack p -> p >= bv
-        | `Lp (l, pack) ->
-          let pruned = l >= bv in
-          if pruned && pack < bv then Atomic.incr lp_prunes_c;
-          pruned
+        match prune_reason ~lp_budget ~n_facts ~bv 0 sets with
+        | Some reason ->
+          if Obs.enabled () then
+            Obs.instant ~cat:"bnb" "prune" ~args:[ ("reason", reason); ("depth", "0") ];
+          true
+        | None -> false
       in
       if prune then true
       else begin
@@ -348,6 +378,13 @@ let solve_component ?pool ~cancel ~lp n_facts bsets =
     in
     if finished then `Complete (Atomic.get best) else `Interrupted (Atomic.get best, root_lb)
   end
+
+let solve_component ?pool ~cancel ~lp n_facts bsets =
+  if Obs.enabled () then
+    Obs.span ~cat:"bnb" "component"
+      ~args:[ ("witnesses", string_of_int (List.length bsets)) ]
+      (fun () -> solve_component_body ?pool ~cancel ~lp n_facts bsets)
+  else solve_component_body ?pool ~cancel ~lp n_facts bsets
 
 (* Branch-and-bound on the hitting-set instance.  Witness minimization,
    fact dominance, then a split into connected components of the

@@ -41,6 +41,7 @@ let solve ?(cancel = Cancel.never) ?(fact_exogenous = fun _ -> false) db (q : Re
   match Linearity.linear_order q with
   | None -> None
   | Some order ->
+    Res_obs.Obs.span ~cat:"flow" "solve" @@ fun () ->
     let atoms = Array.of_list order in
     let m = Array.length atoms in
     let bounds = boundaries atoms in

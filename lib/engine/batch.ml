@@ -2,6 +2,7 @@ open Res_cq
 open Res_db
 open Resilience
 module Executor = Res_exec.Executor
+module Obs = Res_obs.Obs
 
 type instance = { label : string; query : Query.t; db : Database.t }
 
@@ -45,7 +46,7 @@ let with_time f =
 
 (* Canonicalization is pure; only the time accounting needs the lock. *)
 let timed_canon t f =
-  let r, dt = with_time f in
+  let r, dt = with_time (fun () -> Obs.span ~cat:"engine" "canon" f) in
   locked t (fun () -> t.stats.canon_time <- t.stats.canon_time +. dt);
   r
 
@@ -61,7 +62,11 @@ let classify_keyed t (k : Canon.keyed) =
   match hit with
   | Some v -> v
   | None ->
-    let v, dt = with_time (fun () -> Classify.verdict_of (Canon.canonical_query k.key)) in
+    let v, dt =
+      with_time (fun () ->
+          Obs.span ~cat:"engine" "classify" (fun () ->
+              Classify.verdict_of (Canon.canonical_query k.key)))
+    in
     locked t (fun () ->
         t.stats.classify_misses <- t.stats.classify_misses + 1;
         t.stats.classify_time <- t.stats.classify_time +. dt;
@@ -118,8 +123,9 @@ let solve_keyed_bounded t ?(cancel = Resilience.Cancel.never) ?pool (k : Canon.k
   | None ->
     let res, dt =
       with_time (fun () ->
-          Solver.solve_bounded ~cancel ?pool (Canon.translate_db k q db)
-            (Canon.canonical_query k.key))
+          Obs.span ~cat:"engine" "solve" (fun () ->
+              Solver.solve_bounded ~cancel ?pool (Canon.translate_db k q db)
+                (Canon.canonical_query k.key)))
     in
     (match res with
     | Solver.Done (sol, _) ->
@@ -163,6 +169,17 @@ let solve t db q =
 
 let count_instance t = locked t (fun () -> t.stats.instances <- t.stats.instances + 1)
 
+let solve_item t (i, (inst : instance), keyed) =
+  match keyed with
+  | None ->
+    let verdict = classify t inst.query in
+    let solution = solve t inst.db inst.query in
+    (i, { label = inst.label; query = inst.query; key = ""; verdict; solution; solve_cached = false })
+  | Some k ->
+    let verdict = classify_keyed t k in
+    let solution, solve_cached = solve_keyed t k inst.db inst.query in
+    (i, { label = inst.label; query = inst.query; key = k.Canon.key; verdict; solution; solve_cached })
+
 let run t ?pool instances =
   let indexed = List.mapi (fun i (inst : instance) -> (i, inst)) instances in
   let with_keys =
@@ -185,15 +202,10 @@ let run t ?pool instances =
   in
   let solve_one (i, (inst : instance), keyed) =
     count_instance t;
-    match keyed with
-    | None ->
-      let verdict = classify t inst.query in
-      let solution = solve t inst.db inst.query in
-      (i, { label = inst.label; query = inst.query; key = ""; verdict; solution; solve_cached = false })
-    | Some k ->
-      let verdict = classify_keyed t k in
-      let solution, solve_cached = solve_keyed t k inst.db inst.query in
-      (i, { label = inst.label; query = inst.query; key = k.key; verdict; solution; solve_cached })
+    if Obs.enabled () then
+      Obs.span ~cat:"engine" "item" ~args:[ ("label", inst.label) ] (fun () ->
+          solve_item t (i, inst, keyed))
+    else solve_item t (i, inst, keyed)
   in
   (* Parallelism is per equivalence class, not per instance: within one
      class the first solve fills the cache the rest hit, so running a

@@ -32,15 +32,20 @@ let touch c e =
   e.stamp <- c.tick
 
 let find c k =
-  Mutex.protect c.lock (fun () ->
-      match Hashtbl.find_opt c.tbl k with
-      | Some e ->
-        Atomic.incr c.hits;
-        touch c e;
-        Some e.value
-      | None ->
-        Atomic.incr c.misses;
-        None)
+  let r =
+    Mutex.protect c.lock (fun () ->
+        match Hashtbl.find_opt c.tbl k with
+        | Some e ->
+          Atomic.incr c.hits;
+          touch c e;
+          Some e.value
+        | None ->
+          Atomic.incr c.misses;
+          None)
+  in
+  if Res_obs.Obs.enabled () then
+    Res_obs.Obs.instant ~cat:"cache" (match r with Some _ -> "hit" | None -> "miss");
+  r
 
 let mem c k = Mutex.protect c.lock (fun () -> Hashtbl.mem c.tbl k)
 
@@ -48,6 +53,8 @@ let mem c k = Mutex.protect c.lock (fun () -> Hashtbl.mem c.tbl k)
    next cap/10 insertions, instead of a scan per insertion. *)
 let evict c =
   let batch = max 1 (c.cap / 10) in
+  if Res_obs.Obs.enabled () then
+    Res_obs.Obs.instant ~cat:"cache" "evict" ~args:[ ("batch", string_of_int batch) ];
   let entries = Hashtbl.fold (fun k e acc -> (e.stamp, k) :: acc) c.tbl [] in
   let oldest = List.sort compare entries in
   List.iteri

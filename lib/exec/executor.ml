@@ -1,4 +1,17 @@
+module Obs = Res_obs.Obs
+
 type task = unit -> unit
+
+(* Process-wide scheduling counters, exposed as gauges by the server
+   and sampled as deltas by the bench.  Monotonic; never reset. *)
+type stats = { tasks_run : int; steals : int; parks : int }
+
+let tasks_run_c = Atomic.make 0
+let steals_c = Atomic.make 0
+let parks_c = Atomic.make 0
+
+let stats () =
+  { tasks_run = Atomic.get tasks_run_c; steals = Atomic.get steals_c; parks = Atomic.get parks_c }
 
 (* A work-stealing deque as a growable ring buffer under its own mutex:
    the owner pushes and pops at the bottom, thieves take from the top.
@@ -115,7 +128,11 @@ let find_task t me =
           if victim = me then steal (i + 1)
           else
             match Deque.steal_top t.deques.(victim) with
-            | Some _ as r -> r
+            | Some _ as r ->
+              Atomic.incr steals_c;
+              if Obs.enabled () then
+                Obs.instant ~cat:"exec" "steal" ~args:[ ("victim", string_of_int victim) ];
+              r
             | None -> steal (i + 1)
         end
       in
@@ -127,17 +144,27 @@ let find_task t me =
    already moved it and the wait returns immediately. *)
 let wait_past t seen =
   Mutex.protect t.lock (fun () ->
-      while t.epoch = seen && not t.stopping do
-        Condition.wait t.wake t.lock
-      done)
+      if t.epoch = seen && not t.stopping then begin
+        Atomic.incr parks_c;
+        (* The ring push inside [span] is lock-free, so emitting while
+           holding the pool lock cannot deadlock. *)
+        Obs.span ~cat:"exec" "park" (fun () ->
+            while t.epoch = seen && not t.stopping do
+              Condition.wait t.wake t.lock
+            done)
+      end)
 
 let current_epoch t = Mutex.protect t.lock (fun () -> t.epoch)
+
+let run_task task =
+  Atomic.incr tasks_run_c;
+  Obs.span ~cat:"exec" "task" task
 
 let rec worker_loop t me =
   let seen = current_epoch t in
   match find_task t me with
   | Some task ->
-    task ();
+    run_task task;
     worker_loop t me
   | None ->
     if Mutex.protect t.lock (fun () -> t.stopping) then ()
@@ -200,7 +227,7 @@ let rec await fut =
     in
     let seen = current_epoch t in
     (match find_task t me with
-    | Some task -> task ()  (* help: the pending task may be this very future *)
+    | Some task -> run_task task  (* help: the pending task may be this very future *)
     | None -> if Atomic.get fut.st = Pending then wait_past t seen);
     await fut
 

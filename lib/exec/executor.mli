@@ -65,3 +65,11 @@ val shutdown : t -> unit
 
 val with_executor : ?jobs:int -> (t -> 'a) -> 'a
 (** [create], run the function, and [shutdown] (also on exception). *)
+
+type stats = { tasks_run : int; steals : int; parks : int }
+(** Process-wide scheduling counters: tasks executed (worker loop and
+    helping [await] alike), successful steals from another domain's
+    deque, and times a worker blocked on the wake condition.  Monotonic
+    over the process lifetime — consumers sample deltas. *)
+
+val stats : unit -> stats

@@ -1,0 +1,23 @@
+(* A single trace event.  [Begin]/[End] pairs delimit spans on one
+   domain's track; [Instant] marks a point occurrence.  Timestamps are
+   microseconds since [Obs] initialisation, matching the Chrome
+   trace_event convention of µs-resolution [ts] fields. *)
+
+type phase =
+  | Begin
+  | End
+  | Instant
+
+type t = {
+  phase : phase;
+  name : string;
+  cat : string;
+  ts_us : float;
+  args : (string * string) list;
+}
+
+let phase_letter = function Begin -> "B" | End -> "E" | Instant -> "i"
+
+let pp ppf e =
+  Format.fprintf ppf "%s %s/%s @%.1fus" (phase_letter e.phase) e.cat e.name e.ts_us;
+  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%s" k v) e.args

@@ -1,0 +1,71 @@
+(* Global tracing switchboard.  Every domain that emits gets its own
+   [Ring.t] through domain-local storage, registered in a global table
+   so a drainer can collect all tracks without stopping producers.
+
+   The [enabled] flag is the only thing the untraced hot path touches:
+   one atomic load, no allocation.  Call sites that compute span
+   arguments guard on [enabled ()] themselves so argument construction
+   is also skipped when tracing is off. *)
+
+let enabled_flag =
+  Atomic.make
+    (match Sys.getenv_opt "RES_TRACE" with
+    | Some ("1" | "true" | "yes" | "on") -> true
+    | _ -> false)
+
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+(* Per-domain ring capacity; applies to rings created after the call. *)
+let default_capacity = Atomic.make 16384
+let set_capacity n = Atomic.set default_capacity n
+
+(* Timestamps are µs since process start, shared across domains. *)
+let epoch = Unix.gettimeofday ()
+let now_us () = (Unix.gettimeofday () -. epoch) *. 1e6
+
+let registry_lock = Mutex.create ()
+let registry : (int * Event.t Ring.t) list ref = ref []
+
+let key : Event.t Ring.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let my_ring () =
+  let cell = Domain.DLS.get key in
+  match !cell with
+  | Some r -> r
+  | None ->
+    let r = Ring.create (Atomic.get default_capacity) in
+    let id = (Domain.self () :> int) in
+    Mutex.protect registry_lock (fun () -> registry := (id, r) :: !registry);
+    cell := Some r;
+    r
+
+let emit ?(args = []) phase ~cat name =
+  if enabled () then
+    Ring.push (my_ring ()) { Event.phase; name; cat; ts_us = now_us (); args }
+
+let instant ?args ~cat name = emit ?args Event.Instant ~cat name
+
+(* [span ~cat name f] brackets [f ()] with Begin/End events.  The End
+   is emitted even when [f] raises, so exceptional exits (timeouts,
+   cancellation) still close their spans. *)
+let span ?args ~cat name f =
+  if not (enabled ()) then f ()
+  else begin
+    emit ?args Event.Begin ~cat name;
+    Fun.protect ~finally:(fun () -> emit Event.End ~cat name) f
+  end
+
+(* One drained track: the domain id doubles as the Chrome [tid]. *)
+type dump = { domain : int; events : Event.t list; dropped : int }
+
+let drain () =
+  let rings = Mutex.protect registry_lock (fun () -> !registry) in
+  rings
+  |> List.map (fun (id, r) ->
+         { domain = id; events = Ring.drain r; dropped = Ring.dropped r })
+  |> List.sort (fun a b -> compare a.domain b.domain)
+
+(* Discard all buffered events (test isolation between cases). *)
+let clear () = ignore (drain ())

@@ -1,0 +1,105 @@
+(* Bounded lock-free event ring, overwrite-oldest on overflow.
+
+   Producers are "per domain" in the common case (each executor domain
+   owns one ring through DLS), but the server runs many systhreads on a
+   single domain, and systhread preemption can interleave two pushes at
+   any point — so the ring is built multi-producer/multi-consumer: a
+   Vyukov-style bounded queue where every slot carries a sequence
+   number that hands the slot back and forth between the enqueue and
+   dequeue cursors.
+
+   Slot [i] cycles through seq values [i, i+1, i+cap, i+cap+1, ...]:
+   [seq = round] means free for the producer claiming index [round],
+   [seq = round + 1] means published, and the consumer that takes it
+   bumps [seq] to [round + cap] to free it for the next lap.  A
+   producer that finds its slot still published from the previous lap
+   (ring full) first dequeues-and-drops the oldest event, so [push]
+   never blocks and never fails.
+
+   Every successful advance of [tail] is exactly one of a consumer pop
+   or a producer drop, so at quiescence
+     pushed = popped + dropped + length
+   holds with equality; the stress tests assert this. *)
+
+type 'a slot = { seq : int Atomic.t; mutable data : 'a option }
+
+type 'a t = {
+  cap : int;
+  slots : 'a slot array;
+  head : int Atomic.t;  (* enqueue cursor: next index to claim *)
+  tail : int Atomic.t;  (* dequeue cursor: oldest published index *)
+  dropped : int Atomic.t;
+  pushed : int Atomic.t;
+}
+
+let create cap =
+  if cap <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  {
+    cap;
+    slots = Array.init cap (fun i -> { seq = Atomic.make i; data = None });
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    dropped = Atomic.make 0;
+    pushed = Atomic.make 0;
+  }
+
+let capacity t = t.cap
+let length t = max 0 (Atomic.get t.head - Atomic.get t.tail)
+let dropped t = Atomic.get t.dropped
+let pushed t = Atomic.get t.pushed
+
+(* Take the oldest published event.  [None] when the ring is empty or
+   the slot at [tail] is still being written (an in-flight push is not
+   yet observable — drain callers tolerate missing it). *)
+let rec pop_with t ~dropping =
+  let tl = Atomic.get t.tail in
+  let s = t.slots.(tl mod t.cap) in
+  let seq = Atomic.get s.seq in
+  if seq = tl + 1 then
+    if Atomic.compare_and_set t.tail tl (tl + 1) then begin
+      (* the slot is ours until we release it by advancing seq *)
+      let v = s.data in
+      s.data <- None;
+      Atomic.set s.seq (tl + t.cap);
+      if dropping then Atomic.incr t.dropped;
+      v
+    end
+    else pop_with t ~dropping (* lost the race to another consumer *)
+  else if seq <= tl then None (* empty (or publication in flight) *)
+  else pop_with t ~dropping (* lapped: tail already moved on *)
+
+let pop t = pop_with t ~dropping:false
+
+let rec push t x =
+  let h = Atomic.get t.head in
+  let s = t.slots.(h mod t.cap) in
+  let seq = Atomic.get s.seq in
+  if seq = h then begin
+    if Atomic.compare_and_set t.head h (h + 1) then begin
+      s.data <- Some x;
+      Atomic.set s.seq (h + 1);
+      Atomic.incr t.pushed
+    end
+    else push t x (* another producer claimed h first *)
+  end
+  else if seq < h then begin
+    (* full: the slot still holds last lap's event — retire the oldest
+       (any oldest: a concurrent consumer may pop it first, which frees
+       space just as well) and retry *)
+    ignore (pop_with t ~dropping:true);
+    push t x
+  end
+  else push t x (* we raced behind other producers; re-read head *)
+
+(* Drain everything currently published, in publication order.  Safe to
+   run concurrently with producers and other drainers; events pushed
+   after the drain began may or may not be included. *)
+let drain t =
+  let acc = ref [] in
+  let continue = ref true in
+  while !continue do
+    match pop t with
+    | Some x -> acc := x :: !acc
+    | None -> continue := false
+  done;
+  List.rev !acc

@@ -1,0 +1,160 @@
+(* Export drained tracks as Chrome trace_event JSON (load the file in
+   about://tracing or https://ui.perfetto.dev), plus a compact text
+   summary of where time went.  JSON is rendered by hand — the repo has
+   no JSON dependency, and the format needed here is tiny. *)
+
+let escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let add_str b s =
+  Buffer.add_char b '"';
+  escape b s;
+  Buffer.add_char b '"'
+
+let add_event b ~tid (e : Event.t) =
+  Buffer.add_string b "{\"name\":";
+  add_str b e.name;
+  Buffer.add_string b ",\"cat\":";
+  add_str b e.cat;
+  Buffer.add_string b ",\"ph\":\"";
+  Buffer.add_string b (Event.phase_letter e.phase);
+  Buffer.add_string b "\"";
+  (match e.phase with
+  | Event.Instant -> Buffer.add_string b ",\"s\":\"t\""
+  | _ -> ());
+  Buffer.add_string b (Printf.sprintf ",\"ts\":%.3f,\"pid\":0,\"tid\":%d" e.ts_us tid);
+  if e.args <> [] then begin
+    Buffer.add_string b ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        add_str b k;
+        Buffer.add_char b ':';
+        add_str b v)
+      e.args;
+    Buffer.add_char b '}'
+  end;
+  Buffer.add_char b '}'
+
+let add_meta b ~tid ~name ~value =
+  Buffer.add_string b (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"M\",\"ts\":0,\"pid\":0,\"tid\":%d,\"args\":{\"name\":" name tid);
+  add_str b value;
+  Buffer.add_string b "}}"
+
+let chrome_json (dumps : Obs.dump list) =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  add_meta b ~tid:0 ~name:"process_name" ~value:"resilience";
+  List.iter
+    (fun (d : Obs.dump) ->
+      Buffer.add_char b ',';
+      add_meta b ~tid:d.domain ~name:"thread_name"
+        ~value:(Printf.sprintf "domain-%d%s" d.domain
+                  (if d.dropped > 0 then Printf.sprintf " (%d dropped)" d.dropped else "")))
+    dumps;
+  List.iter
+    (fun (d : Obs.dump) ->
+      List.iter
+        (fun e ->
+          Buffer.add_char b ',';
+          add_event b ~tid:d.domain e)
+        d.events)
+    dumps;
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"";
+  let total_dropped = List.fold_left (fun acc (d : Obs.dump) -> acc + d.dropped) 0 dumps in
+  Buffer.add_string b (Printf.sprintf ",\"otherData\":{\"dropped_events\":\"%d\"}}" total_dropped);
+  Buffer.contents b
+
+let write_file path dumps =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (chrome_json dumps))
+
+(* ---- top spans by self-time ---------------------------------------- *)
+
+type agg = {
+  mutable count : int;
+  mutable total_us : float;
+  mutable self_us : float;
+}
+
+(* Pair Begin/End per track with a stack; self-time of a span is its
+   duration minus the durations of its direct children.  Overwritten
+   Begins leave orphan Ends (ignored) and still-open spans at drain
+   time are charged nothing — the summary is about relative weight, not
+   exact accounting. *)
+let aggregate dumps =
+  let tbl : (string * string, agg) Hashtbl.t = Hashtbl.create 64 in
+  let get key =
+    match Hashtbl.find_opt tbl key with
+    | Some a -> a
+    | None ->
+      let a = { count = 0; total_us = 0.; self_us = 0. } in
+      Hashtbl.replace tbl key a;
+      a
+  in
+  List.iter
+    (fun (d : Obs.dump) ->
+      (* stack frames: (cat, name, start_ts, child_time) *)
+      let stack = ref [] in
+      List.iter
+        (fun (e : Event.t) ->
+          match e.phase with
+          | Event.Begin -> stack := (e.cat, e.name, e.ts_us, ref 0.) :: !stack
+          | Event.End -> begin
+            match !stack with
+            | (cat, name, t0, children) :: rest ->
+              stack := rest;
+              let dur = max 0. (e.ts_us -. t0) in
+              let a = get (cat, name) in
+              a.count <- a.count + 1;
+              a.total_us <- a.total_us +. dur;
+              a.self_us <- a.self_us +. max 0. (dur -. !children);
+              (match rest with
+              | (_, _, _, parent_children) :: _ -> parent_children := !parent_children +. dur
+              | [] -> ())
+            | [] -> () (* orphan End: its Begin was overwritten *)
+          end
+          | Event.Instant -> ())
+        d.events)
+    dumps;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+
+let summary ?(top = 12) dumps =
+  let rows = aggregate dumps in
+  let rows =
+    List.sort
+      (fun (_, a) (_, b) -> compare (b.self_us, b.total_us) (a.self_us, a.total_us))
+      rows
+  in
+  let b = Buffer.create 1024 in
+  let n_events = List.fold_left (fun acc (d : Obs.dump) -> acc + List.length d.events) 0 dumps in
+  let n_dropped = List.fold_left (fun acc (d : Obs.dump) -> acc + d.dropped) 0 dumps in
+  Buffer.add_string b
+    (Printf.sprintf "trace: %d events on %d track(s), %d dropped\n" n_events (List.length dumps)
+       n_dropped);
+  Buffer.add_string b
+    (Printf.sprintf "%-28s %8s %12s %12s\n" "span (top by self-time)" "count" "self ms" "total ms");
+  let rec take k = function
+    | [] -> ()
+    | ((cat, name), a) :: rest ->
+      if k > 0 then begin
+        Buffer.add_string b
+          (Printf.sprintf "%-28s %8d %12.3f %12.3f\n"
+             (cat ^ "/" ^ name) a.count (a.self_us /. 1000.) (a.total_us /. 1000.));
+        take (k - 1) rest
+      end
+  in
+  take top rows;
+  Buffer.contents b

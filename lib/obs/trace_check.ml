@@ -1,0 +1,336 @@
+(* Standalone validators for the two text formats the tracer emits:
+   Chrome trace_event JSON and Prometheus exposition text.  Used by the
+   cram tests and the CI smoke step via [resilience trace-check], so
+   they deliberately depend on nothing but the stdlib.
+
+   The JSON parser is a minimal recursive-descent affair — enough to
+   validate our own output and any hand-edited variant of it, not a
+   general-purpose library. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse (s : string) : (json, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" lit)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+        incr pos;
+        if !pos >= n then fail "truncated escape";
+        (match s.[!pos] with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | 'r' -> Buffer.add_char b '\r'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'u' ->
+          if !pos + 4 >= n then fail "truncated \\u escape";
+          let hex = String.sub s (!pos + 1) 4 in
+          let code = try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape" in
+          (* Keep it simple: only BMP code points below 0x80 round-trip
+             as a char; others become '?' (we never emit them). *)
+          Buffer.add_char b (if code < 0x80 then Char.chr code else '?');
+          pos := !pos + 4
+        | c -> fail (Printf.sprintf "bad escape \\%c" c));
+        incr pos;
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        incr pos;
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while !pos < n && num_char s.[!pos] do
+      incr pos
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value depth =
+    if depth > 64 then fail "nesting too deep";
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value (depth + 1) in
+          fields := (k, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            members ()
+          | Some '}' -> incr pos
+          | _ -> fail "expected ',' or '}'"
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        Arr []
+      end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value (depth + 1) in
+          items := v :: !items;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            elements ()
+          | Some ']' -> incr pos
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements ();
+        Arr (List.rev !items)
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+  in
+  try
+    let v = parse_value 0 in
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "trailing garbage at byte %d" !pos) else Ok v
+  with Bad msg -> Error msg
+
+(* ---- Chrome trace structural checks -------------------------------- *)
+
+type report = {
+  events : int;  (* B/E/i events, metadata excluded *)
+  tracks : int;
+  max_depth : int;  (* deepest span nesting seen on any track *)
+  orphan_ends : int;  (* Ends whose Begin was overwritten (prefix loss) *)
+  open_spans : int;  (* Begins still open at drain time *)
+}
+
+let field name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let check_trace (j : json) : (report, string) result =
+  match field "traceEvents" j with
+  | None -> Error "missing traceEvents array"
+  | Some (Arr events) -> begin
+    (* Per-(pid,tid) span stacks.  The drained stream is a contiguous
+       suffix of what was produced (the ring overwrites oldest-first),
+       so an End on an empty stack is legal prefix loss; an End that
+       mismatches a non-empty stack top is a real nesting violation. *)
+    let stacks : (float * float, string list ref) Hashtbl.t = Hashtbl.create 8 in
+    let stack_of key =
+      match Hashtbl.find_opt stacks key with
+      | Some r -> r
+      | None ->
+        let r = ref [] in
+        Hashtbl.replace stacks key r;
+        r
+    in
+    let n_events = ref 0 in
+    let max_depth = ref 0 in
+    let orphans = ref 0 in
+    let err = ref None in
+    List.iteri
+      (fun i ev ->
+        if !err = None then begin
+          let get k = field k ev in
+          let name =
+            match get "name" with
+            | Some (Str s) -> Some s
+            | _ -> None
+          in
+          let ph =
+            match get "ph" with
+            | Some (Str s) -> Some s
+            | _ -> None
+          in
+          let num k = match get k with Some (Num f) -> Some f | _ -> None in
+          match (name, ph, num "pid", num "tid") with
+          | None, _, _, _ -> err := Some (Printf.sprintf "event %d: missing name" i)
+          | _, None, _, _ -> err := Some (Printf.sprintf "event %d: missing ph" i)
+          | _, _, None, _ -> err := Some (Printf.sprintf "event %d: missing pid" i)
+          | _, _, _, None -> err := Some (Printf.sprintf "event %d: missing tid" i)
+          | Some name, Some ph, Some pid, Some tid -> begin
+            match ph with
+            | "M" -> ()
+            | "B" | "E" | "i" | "X" -> begin
+              incr n_events;
+              if num "ts" = None then
+                err := Some (Printf.sprintf "event %d: missing ts" i)
+              else begin
+                let st = stack_of (pid, tid) in
+                match ph with
+                | "B" ->
+                  st := name :: !st;
+                  if List.length !st > !max_depth then max_depth := List.length !st
+                | "E" -> begin
+                  match !st with
+                  | top :: rest ->
+                    if top <> name then
+                      err :=
+                        Some
+                          (Printf.sprintf "event %d: End %S does not match open span %S" i name
+                             top)
+                    else st := rest
+                  | [] -> incr orphans
+                end
+                | _ -> ()
+              end
+            end
+            | other -> err := Some (Printf.sprintf "event %d: unknown ph %S" i other)
+          end
+        end)
+      events;
+    match !err with
+    | Some e -> Error e
+    | None ->
+      let open_spans = Hashtbl.fold (fun _ st acc -> acc + List.length !st) stacks 0 in
+      Ok
+        {
+          events = !n_events;
+          tracks = Hashtbl.length stacks;
+          max_depth = !max_depth;
+          orphan_ends = !orphans;
+          open_spans;
+        }
+  end
+  | Some _ -> Error "traceEvents is not an array"
+
+let check_trace_string s =
+  match parse s with
+  | Error e -> Error ("invalid JSON: " ^ e)
+  | Ok j -> check_trace j
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_trace_file path = check_trace_string (read_file path)
+
+(* ---- Prometheus exposition text ------------------------------------ *)
+
+let is_name_char c =
+  match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false
+
+let is_name s =
+  String.length s > 0
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all is_name_char s
+
+(* Validate Prometheus text format: every non-comment line is
+   [name value] or [name{label="v",...} value]; returns the number of
+   samples.  [# EOF] terminators and [# TYPE]/[# HELP] comments are
+   accepted; unknown comment lines are not. *)
+let check_prometheus (s : string) : (int, string) result =
+  let lines = String.split_on_char '\n' s in
+  let samples = ref 0 in
+  let err = ref None in
+  List.iteri
+    (fun i line ->
+      if !err = None && line <> "" then begin
+        let fail msg = err := Some (Printf.sprintf "line %d: %s" (i + 1) msg) in
+        if String.length line >= 1 && line.[0] = '#' then begin
+          match String.split_on_char ' ' line with
+          | "#" :: ("TYPE" | "HELP") :: name :: _ when is_name name -> ()
+          | [ "#"; "EOF" ] -> ()
+          | _ -> fail "malformed comment (expected # TYPE/# HELP/# EOF)"
+        end
+        else begin
+          (* name[{labels}] SP value *)
+          let brace = String.index_opt line '{' in
+          let name_end, rest_start =
+            match brace with
+            | Some b -> begin
+              match String.index_from_opt line b '}' with
+              | Some e when e + 1 < String.length line -> (b, e + 1)
+              | _ -> (-1, -1)
+            end
+            | None -> begin
+              match String.index_opt line ' ' with
+              | Some sp -> (sp, sp)
+              | None -> (-1, -1)
+            end
+          in
+          if name_end < 0 then fail "malformed sample line"
+          else begin
+            let name = String.sub line 0 name_end in
+            let rest = String.sub line rest_start (String.length line - rest_start) in
+            if not (is_name name) then fail (Printf.sprintf "bad metric name %S" name)
+            else begin
+              let value = String.trim rest in
+              match float_of_string_opt value with
+              | Some _ -> incr samples
+              | None -> (
+                match value with
+                | "NaN" | "+Inf" | "-Inf" -> incr samples
+                | _ -> fail (Printf.sprintf "bad sample value %S" value))
+            end
+          end
+        end
+      end)
+    lines;
+  match !err with Some e -> Error e | None -> Ok !samples

@@ -73,6 +73,63 @@ let observe h v =
 
 let histogram_count h = Mutex.protect h.h_lock (fun () -> h.total)
 
+(* Prometheus exposition: metric names allow [a-zA-Z0-9_:] only, so the
+   registry's dotted names are mapped through an underscore and a
+   [resilience_] namespace prefix. *)
+let prom_name name =
+  let b = Buffer.create (String.length name + 12) in
+  Buffer.add_string b "resilience_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let render_prometheus t =
+  let counters, gauges, histograms =
+    Mutex.protect t.lock (fun () ->
+        ( Hashtbl.fold (fun name c acc -> (name, Atomic.get c) :: acc) t.counters [],
+          Hashtbl.fold (fun name f acc -> (name, f) :: acc) t.gauges [],
+          Hashtbl.fold
+            (fun name h acc ->
+              (* h_lock is the registry lock, so this snapshot is
+                 consistent with concurrent [observe]s *)
+              (name, (Array.copy h.bounds, Array.copy h.counts, h.total, h.sum)) :: acc)
+            t.histograms [] ))
+  in
+  let by_name (a, _) (b, _) = compare a b in
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n v))
+    (List.sort by_name counters);
+  (* gauge callbacks run outside the registry lock, like [render] *)
+  List.iter
+    (fun (name, f) ->
+      let n = prom_name name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n%s %.6g\n" n n (f ())))
+    (List.sort by_name gauges);
+  List.iter
+    (fun (name, (bounds, counts, total, sum)) ->
+      let n = prom_name name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+      let cum = ref 0 in
+      Array.iteri
+        (fun i c ->
+          cum := !cum + c;
+          if i < Array.length bounds then
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket{le=\"%g\"} %d\n" n bounds.(i) !cum))
+        counts;
+      Buffer.add_string b (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n total);
+      Buffer.add_string b (Printf.sprintf "%s_sum %.6f\n" n sum);
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" n total))
+    (List.sort by_name histograms);
+  Buffer.contents b
+
 let render t =
   let rows =
     Mutex.protect t.lock (fun () ->

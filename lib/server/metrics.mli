@@ -45,3 +45,10 @@ val render : t -> (string * string) list
 (** Sorted snapshot: counters as [name=count], gauges as [name=value]
     ([%g]), histograms expanded into [name.le_UB], [name.count] and
     [name.sum_ms] entries. *)
+
+val render_prometheus : t -> string
+(** The whole registry in Prometheus text exposition format: dotted
+    registry names become [resilience_]-prefixed underscore names,
+    histograms render as cumulative [_bucket{le="..."}] series plus
+    [_sum] (seconds) and [_count].  Served by the [stats/prom] protocol
+    verb and the [--metrics-addr] HTTP listener. *)

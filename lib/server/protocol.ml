@@ -6,6 +6,7 @@ type request =
   | Solve of { timeout_ms : int option; body : string }
   | Batch of { timeout_ms : int option; bodies : string list }
   | Stats
+  | Stats_prom
   | Quit
   | Shutdown
 
@@ -57,6 +58,7 @@ let parse line =
   | "" -> Error "empty request"
   | "ping" -> Ok Ping
   | "stats" -> Ok Stats
+  | "stats/prom" -> Ok Stats_prom
   | "quit" -> Ok Quit
   | "shutdown" -> Ok Shutdown
   | "classify" ->
@@ -98,7 +100,20 @@ let solution ~cached = function
       (Printf.sprintf "rho=%d set={%s}%s" v (pp_facts facts)
          (if cached then " cached" else ""))
 
-let version = 2
+let version = 3
+
+(* The one multi-line response in the protocol: Prometheus exposition
+   text cannot be flattened to a single line, so the reply body is sent
+   verbatim and terminated by a line that is exactly "# EOF" — itself
+   a valid Prometheus comment, so the payload also parses with the
+   terminator left in. *)
+let prom_terminator = "# EOF"
+
+let prom_reply body =
+  let body =
+    if body = "" || body.[String.length body - 1] = '\n' then body else body ^ "\n"
+  in
+  body ^ prom_terminator
 
 (* v2: the v1 "timeout bound=N|none" is kept as a prefix, extended with
    the certified lower bound and the gap. *)

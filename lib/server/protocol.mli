@@ -8,6 +8,7 @@
       solve [timeout=MS] QUERY | FACTS
       batch [timeout=MS] QUERY | FACTS ;; QUERY | FACTS ;; ...
       stats
+      stats/prom
       quit
       shutdown
     v}
@@ -33,10 +34,17 @@
     closes the connection; [shutdown] additionally stops the whole
     server gracefully.
 
-    {b Versioning.}  This is protocol {!version} 2.  v1 timeout lines
-    were exactly [timeout bound=<N|none>]; v2 appends [lb=]/[gap=]
-    fields and refines batch timeout items from [timeout:N] to
-    [timeout:LB..UB], so v1 clients that parse by prefix keep working. *)
+    {b The one multi-line response.}  [stats/prom] answers the metrics
+    registry in Prometheus text exposition format: several lines,
+    terminated by a line that is exactly [# EOF] ({!prom_terminator}).
+    Clients issuing [stats/prom] must read until that line; every other
+    response remains a single line.
+
+    {b Versioning.}  This is protocol {!version} 3.  v1 timeout lines
+    were exactly [timeout bound=<N|none>]; v2 appended [lb=]/[gap=]
+    fields and refined batch timeout items from [timeout:N] to
+    [timeout:LB..UB]; v3 adds the [stats/prom] verb (new verb only — a
+    v2 client never sees a multi-line reply it did not ask for). *)
 
 type request =
   | Ping
@@ -44,6 +52,7 @@ type request =
   | Solve of { timeout_ms : int option; body : string }  (** ["QUERY | FACTS"] *)
   | Batch of { timeout_ms : int option; bodies : string list }
   | Stats
+  | Stats_prom
   | Quit
   | Shutdown
 
@@ -55,7 +64,14 @@ val ok : string -> string
 val error : string -> string
 
 val version : int
-(** The protocol generation this build speaks (2). *)
+(** The protocol generation this build speaks (3). *)
+
+val prom_terminator : string
+(** The line ("# EOF") ending a [stats/prom] reply. *)
+
+val prom_reply : string -> string
+(** Frame a Prometheus text payload as a [stats/prom] response:
+    newline-terminate it if needed and append {!prom_terminator}. *)
 
 val solution : cached:bool -> Resilience.Solution.t -> string
 (** The [ok] response line for a completed solve. *)

@@ -2,6 +2,8 @@ let src = Logs.Src.create "resilience.server" ~doc:"Resilience service layer"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+module Obs = Res_obs.Obs
+
 type address = Unix_socket of string | Tcp of string * int
 
 type config = {
@@ -10,10 +12,18 @@ type config = {
   queue_capacity : int;
   default_timeout_ms : int option;
   jobs : int;
+  metrics_addr : address option;
 }
 
 let default_config address =
-  { address; workers = 4; queue_capacity = 64; default_timeout_ms = Some 30_000; jobs = 1 }
+  {
+    address;
+    workers = 4;
+    queue_capacity = 64;
+    default_timeout_ms = Some 30_000;
+    jobs = 1;
+    metrics_addr = None;
+  }
 
 (* A one-shot synchronization cell: the connection thread blocks on
    [read] while the worker [fill]s the response, preserving one-request-
@@ -55,7 +65,12 @@ type t = {
   stop_flag : bool ref;
   mutable conns : (Thread.t * Unix.file_descr) list;
   mutable accept_thread : Thread.t option;
+  mutable metrics_listener : Unix.file_descr option;
+  mutable metrics_thread : Thread.t option;
   latency : Metrics.histogram;
+  solve_latency : Metrics.histogram;
+      (* solve/batch time on the worker, excluding queueing and I/O —
+         the series dashboards alert on *)
   gap : Metrics.histogram;
       (* certified gap (ub - lb) of timed-out solves; infinite gaps (no
          finite upper bound) land in the implicit +∞ bucket *)
@@ -101,6 +116,12 @@ let solve_one t ~cancel ~deadline (inst : Res_engine.Batch.instance) =
 (* Parse errors are caught on the connection thread (before a queue slot
    is consumed); this runs on a worker. *)
 let run_solve t ~kind ~deadline instances fill =
+  Obs.span ~cat:"server" "solve" @@ fun () ->
+  let t0 = now () in
+  let fill reply =
+    Metrics.observe t.solve_latency (now () -. t0);
+    fill reply
+  in
   let cancel = cancel_for t deadline in
   match (kind, instances) with
   | "solve", inst :: _ -> begin
@@ -154,7 +175,7 @@ let stats_reply t =
     (("protocol.version", string_of_int Protocol.version) :: Metrics.render t.metrics)
 
 let execute t line =
-  match Protocol.parse line with
+  match Obs.span ~cat:"server" "parse" (fun () -> Protocol.parse line) with
   | Error msg ->
     count t "invalid" "error";
     `Reply (Protocol.error msg)
@@ -164,6 +185,9 @@ let execute t line =
   | Ok Protocol.Stats ->
     count t "stats" "ok";
     `Reply (stats_reply t)
+  | Ok Protocol.Stats_prom ->
+    count t "stats_prom" "ok";
+    `Reply (Protocol.prom_reply (Metrics.render_prometheus t.metrics))
   | Ok (Protocol.Classify q_s) -> begin
     match Res_cq.Parser.query_opt q_s with
     | Error msg ->
@@ -226,6 +250,18 @@ let rec stop t =
     (match t.cfg.address with
     | Unix_socket path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
     | Tcp _ -> ());
+    (* retire the scrape endpoint the same way as the main listener *)
+    (match t.metrics_listener with
+    | None -> ()
+    | Some fd ->
+      (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      (match t.metrics_thread with
+      | Some th when Thread.id th <> self -> Thread.join th
+      | _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (match t.cfg.metrics_addr with
+      | Some (Unix_socket path) -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+      | _ -> ()));
     (* half-close the read side of every connection: readers see EOF and
        exit once their current request is answered; the write side stays
        open so pending replies are still delivered.  (shutdown, not
@@ -248,6 +284,7 @@ and conn_loop t fd =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   let send line =
+    Obs.span ~cat:"server" "reply" @@ fun () ->
     output_string oc line;
     output_char oc '\n';
     flush oc
@@ -260,7 +297,7 @@ and conn_loop t fd =
     | line ->
       Log.debug (fun m -> m "request: %s" line);
       let t0 = now () in
-      let action = execute t line in
+      let action = Obs.span ~cat:"server" "request" (fun () -> execute t line) in
       (* observed before the reply is written: once a client holds a
          response, the corresponding histogram entry is visible *)
       Metrics.observe t.latency (now () -. t0);
@@ -287,6 +324,7 @@ let accept_loop t =
       (* the listener was closed: shutdown *)
       ()
     | fd, _ ->
+      if Obs.enabled () then Obs.instant ~cat:"server" "accept";
       let accepted =
         Mutex.protect t.lock (fun () ->
             if t.state <> Running then false
@@ -322,6 +360,47 @@ let bind_listener = function
     Unix.bind fd (Unix.ADDR_INET (addr, port));
     fd
 
+(* A deliberately minimal HTTP/1.0 responder for Prometheus scrapes:
+   whatever the request head says, the answer is one 200 with the
+   current exposition text and the connection closes.  Scrapes are rare
+   (seconds apart) so one thread handling them serially is plenty. *)
+let metrics_loop t listen_fd =
+  let respond fd =
+    let body = Metrics.render_prometheus t.metrics in
+    let resp =
+      Printf.sprintf
+        "HTTP/1.0 200 OK\r\n\
+         Content-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: %d\r\n\
+         Connection: close\r\n\
+         \r\n\
+         %s"
+        (String.length body) body
+    in
+    let n = String.length resp in
+    let written = ref 0 in
+    while !written < n do
+      written := !written + Unix.write_substring fd resp !written (n - !written)
+    done
+  in
+  let rec loop () =
+    match Unix.accept listen_fd with
+    | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR), _, _) -> loop ()
+    | exception Unix.Unix_error _ -> () (* listener closed: shutdown *)
+    | fd, _ ->
+      if Obs.enabled () then Obs.instant ~cat:"server" "scrape";
+      (try
+         (* read (a chunk of) the request head and ignore it *)
+         let buf = Bytes.create 2048 in
+         ignore (Unix.read fd buf 0 (Bytes.length buf));
+         respond fd
+       with Unix.Unix_error _ | Sys_error _ -> ());
+      (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      loop ()
+  in
+  loop ()
+
 let register_engine_gauges metrics (engine : Res_engine.Batch.t) =
   let s = Res_engine.Batch.stats engine in
   let g name f = Metrics.gauge metrics name f in
@@ -332,6 +411,15 @@ let register_engine_gauges metrics (engine : Res_engine.Batch.t) =
   g "engine.solve_timeouts" (fun () -> float_of_int s.Res_engine.Stats.solve_timeouts);
   g "engine.solve_hit_rate" (fun () -> Res_engine.Stats.solve_hit_rate s);
   g "engine.classify_hit_rate" (fun () -> Res_engine.Stats.classify_hit_rate s)
+
+let register_executor_gauges metrics =
+  let g name pick =
+    Metrics.gauge metrics name (fun () ->
+        float_of_int (pick (Res_exec.Executor.stats ())))
+  in
+  g "executor.tasks_run" (fun s -> s.Res_exec.Executor.tasks_run);
+  g "executor.steals" (fun s -> s.Res_exec.Executor.steals);
+  g "executor.parks" (fun s -> s.Res_exec.Executor.parks)
 
 let start ?engine:(eng = Res_engine.Batch.create ()) cfg =
   (* a client hanging up mid-reply must not kill the process *)
@@ -357,7 +445,10 @@ let start ?engine:(eng = Res_engine.Batch.create ()) cfg =
       stop_flag = ref false;
       conns = [];
       accept_thread = None;
+      metrics_listener = None;
+      metrics_thread = None;
       latency = Metrics.histogram metrics "latency.request";
+      solve_latency = Metrics.histogram metrics "latency.solve";
       gap =
         Metrics.histogram
           ~buckets:[ 0.; 1.; 2.; 3.; 5.; 8.; 13.; 21. ]
@@ -369,6 +460,19 @@ let start ?engine:(eng = Res_engine.Batch.create ()) cfg =
   Metrics.gauge metrics "connections.active" (fun () ->
       float_of_int (Mutex.protect t.lock (fun () -> List.length t.conns)));
   register_engine_gauges metrics eng;
+  register_executor_gauges metrics;
+  (match cfg.metrics_addr with
+  | None -> ()
+  | Some addr ->
+    let fd = bind_listener addr in
+    Unix.listen fd 16;
+    t.metrics_listener <- Some fd;
+    t.metrics_thread <- Some (Thread.create (fun () -> metrics_loop t fd) ());
+    Log.info (fun m ->
+        m "metrics scrape endpoint on %s"
+          (match addr with
+          | Unix_socket p -> p
+          | Tcp (h, p) -> Printf.sprintf "http://%s:%d/metrics" h p)));
   t.accept_thread <- Some (Thread.create accept_loop t);
   Log.info (fun m ->
       m "listening on %s (%d workers, queue %d, jobs %d, default timeout %s)"

@@ -38,10 +38,17 @@ type config = {
           exact searches fork their subtrees, so solves actually use
           [jobs] cores.  [<= 1] (the default) means no executor —
           byte-for-byte the old single-domain behaviour *)
+  metrics_addr : address option;
+      (** when set, a second listener serving the metrics registry as
+          Prometheus text over minimal HTTP — any request answers one
+          [200 text/plain] scrape and closes.  [None] (the default)
+          binds nothing; the [stats]/[stats/prom] protocol verbs remain
+          available either way *)
 }
 
 val default_config : address -> config
-(** 4 workers, queue capacity 64, default timeout 30s, jobs 1. *)
+(** 4 workers, queue capacity 64, default timeout 30s, jobs 1, no
+    metrics listener. *)
 
 type t
 

@@ -1,0 +1,63 @@
+Observability: a traced solve writes a Chrome trace_event file that the
+bundled checker accepts (timing-dependent summary lines go to stderr).
+
+  $ resilience solve "R(x,y), R(y,z)" --facts "R(1,2); R(2,3); R(3,3)" --trace ./solve.json 2>/dev/null
+  resilience: 2
+  minimum contingency set:
+    R(1,2)
+    R(3,3)
+
+  $ resilience trace-check ./solve.json | grep -o "valid Chrome trace"
+  valid Chrome trace
+
+Batch runs trace too:
+
+  $ cat > work.batch <<'EOF'
+  > @chain R(x,y), R(y,z) | R(1,2); R(2,3); R(3,3)
+  > @perm A(x), R(x,y), R(y,x) | A(1); R(1,2); R(2,1)
+  > EOF
+  $ resilience batch work.batch --trace ./batch.json 2>/dev/null
+  chain      rho=2            NP-complete: 2-chain (Props 29/30/38)
+  perm       rho=1            PTIME: unbound permutation (Props 33/35)
+
+  $ resilience trace-check ./batch.json | grep -o "valid Chrome trace"
+  valid Chrome trace
+
+The checker is not a rubber stamp:
+
+  $ echo '{"traceEvents": "nope"}' > bad.json
+  $ resilience trace-check bad.json
+  invalid trace: traceEvents is not an array
+  [1]
+
+A server started with --metrics-addr serves Prometheus scrapes next to
+the line protocol; stats/prom exposes the same registry in-band,
+terminated by "# EOF":
+
+  $ resilience serve --socket ./serve.sock --metrics-addr ./metrics.sock --workers 2 2>/dev/null &
+  $ resilience client --socket ./serve.sock --retry 100 "ping"
+  ok pong
+  $ resilience client --socket ./serve.sock "solve R(x,y), R(y,z) | R(1,2); R(2,3); R(3,3)"
+  ok rho=2 set={R(1,2); R(3,3)}
+
+  $ resilience client --socket ./serve.sock "stats/prom" | grep -E "^resilience_requests_solve_ok|^# EOF"
+  resilience_requests_solve_ok 1
+  # EOF
+
+  $ resilience scrape --socket ./metrics.sock > scrape.txt
+  $ resilience trace-check --prom scrape.txt | grep -o "valid Prometheus exposition"
+  valid Prometheus exposition
+
+The scrape carries the acceptance series: cache, executor and solve
+latency.
+
+  $ grep -c "^# TYPE resilience_engine_solve" scrape.txt
+  4
+  $ grep "^# TYPE resilience_executor_tasks_run" scrape.txt
+  # TYPE resilience_executor_tasks_run gauge
+  $ grep "^# TYPE resilience_latency_solve" scrape.txt
+  # TYPE resilience_latency_solve histogram
+
+  $ resilience client --socket ./serve.sock "shutdown"
+  ok shutting down
+  $ wait

@@ -1,0 +1,34 @@
+(* Shared random-instance generators and comparators for the test suite.
+   Three suites (differential, exec, robustness, obs) fuzz the pipeline
+   with the same distributions; keeping them here ensures a fix to the
+   generator reaches every consumer. *)
+
+open Resilience
+
+(* Arbitrary small queries beyond the Theorem 37 fragment: any arity,
+   multiple self-joins, a ternary relation, random exogenous marks. *)
+let random_query st =
+  let vars = [| "x"; "y"; "z"; "w"; "u" |] in
+  let rels = [| ("R", 2); ("S", 2); ("A", 1); ("B", 1); ("W", 3) |] in
+  let n_atoms = 1 + Random.State.int st 4 in
+  let atoms =
+    List.init n_atoms (fun _ ->
+        let rel, ar = rels.(Random.State.int st 5) in
+        Res_cq.Atom.make rel (List.init ar (fun _ -> vars.(Random.State.int st 5))))
+  in
+  let exo = if Random.State.bool st then [] else [ fst rels.(Random.State.int st 5) ] in
+  Res_cq.Query.make ~exo atoms
+
+(* The decorated two-R-atom fragment of Theorem 37, as an indexable pool. *)
+let fragment = lazy (Array.of_list (Query_gen.decorated_two_r_atom_queries ()))
+
+let fragment_query seed =
+  let qs = Lazy.force fragment in
+  qs.(seed mod Array.length qs)
+
+let solution_equal s1 s2 =
+  match (s1, s2) with
+  | Solution.Unbreakable, Solution.Unbreakable -> true
+  | Solution.Finite (v1, f1), Solution.Finite (v2, f2) ->
+    v1 = v2 && List.sort compare f1 = List.sort compare f2
+  | _ -> false

@@ -18,22 +18,15 @@ let qp = Res_cq.Parser.query
    isomorphic fragment members) *)
 let engine = lazy (Engine.create ())
 
-let fragment = lazy (Array.of_list (Query_gen.decorated_two_r_atom_queries ()))
-
-let solution_equal s1 s2 =
-  match (s1, s2) with
-  | Solution.Unbreakable, Solution.Unbreakable -> true
-  | Solution.Finite (v1, f1), Solution.Finite (v2, f2) ->
-    v1 = v2 && List.sort compare f1 = List.sort compare f2
-  | _ -> false
+(* shared with test_exec/test_obs — see test/generators.ml *)
+let solution_equal = Generators.solution_equal
 
 let prop_engine_differential =
   QCheck.Test.make ~count:600
     ~name:"differential: engine = exact on PTIME instances; cached rerun identical"
     QCheck.(int_bound 10_000_000)
     (fun seed ->
-      let qs = Lazy.force fragment in
-      let query = qs.(seed mod Array.length qs) in
+      let query = Generators.fragment_query seed in
       let db = Db_gen.random_for_query ~seed ~domain:3 ~tuples_per_relation:5 query in
       let eng = Lazy.force engine in
       let first = Engine.solve eng db query in
@@ -60,19 +53,8 @@ let prop_engine_differential =
 (* --- canonical-key laws ------------------------------------------------- *)
 
 (* arbitrary small queries, beyond the fragment (multiple self-joins,
-   a ternary relation, random exogenous marks) — same shape as
-   test_robustness.random_query *)
-let random_query st =
-  let vars = [| "x"; "y"; "z"; "w"; "u" |] in
-  let rels = [| ("R", 2); ("S", 2); ("A", 1); ("B", 1); ("W", 3) |] in
-  let n_atoms = 1 + Random.State.int st 4 in
-  let atoms =
-    List.init n_atoms (fun _ ->
-        let rel, ar = rels.(Random.State.int st 5) in
-        Res_cq.Atom.make rel (List.init ar (fun _ -> vars.(Random.State.int st 5))))
-  in
-  let exo = if Random.State.bool st then [] else [ fst rels.(Random.State.int st 5) ] in
-  Res_cq.Query.make ~exo atoms
+   a ternary relation, random exogenous marks) — Generators.random_query *)
+let random_query = Generators.random_query
 
 (* a random bijective renaming of the query's relations (arities are per
    relation, so any injective renaming is an isomorphism) *)

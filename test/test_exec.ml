@@ -142,14 +142,9 @@ let metrics_stress () =
 
 (* --- parallel solving agrees with sequential ----------------------------- *)
 
-let fragment = lazy (Array.of_list (Query_gen.decorated_two_r_atom_queries ()))
-
-let solution_equal s1 s2 =
-  match (s1, s2) with
-  | Solution.Unbreakable, Solution.Unbreakable -> true
-  | Solution.Finite (v1, f1), Solution.Finite (v2, f2) ->
-    v1 = v2 && List.sort compare f1 = List.sort compare f2
-  | _ -> false
+(* shared with test_differential/test_obs — see test/generators.ml *)
+let fragment = Generators.fragment
+let solution_equal = Generators.solution_equal
 
 (* shared engines so late trials hit warm caches from both sides *)
 let eng_par = lazy (Engine.create ())
@@ -223,17 +218,7 @@ let gadget_parallel_exact () =
 
 (* --- cancellation mid-parallel-search ------------------------------------ *)
 
-let random_query st =
-  let vars = [| "x"; "y"; "z"; "w"; "u" |] in
-  let rels = [| ("R", 2); ("S", 2); ("A", 1); ("B", 1); ("W", 3) |] in
-  let n_atoms = 1 + Random.State.int st 4 in
-  let atoms =
-    List.init n_atoms (fun _ ->
-        let rel, ar = rels.(Random.State.int st 5) in
-        Res_cq.Atom.make rel (List.init ar (fun _ -> vars.(Random.State.int st 5))))
-  in
-  let exo = if Random.State.bool st then [] else [ fst rels.(Random.State.int st 5) ] in
-  Res_cq.Query.make ~exo atoms
+let random_query = Generators.random_query
 
 (* The PR 3 sandwich property survives parallel search: a token firing
    while subtrees run on several domains still yields lb ≤ ρ ≤ ub with a

@@ -18,5 +18,6 @@ let () =
       ("differential", Test_differential.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("exec", Test_exec.suite);
+      ("obs", Test_obs.suite);
       ("server", Test_server.suite);
     ]

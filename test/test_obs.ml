@@ -1,0 +1,253 @@
+(* The observability layer: ring-buffer semantics (bounded,
+   overwrite-oldest, exact accounting under multi-domain contention),
+   span well-nestedness through the Chrome-trace checker, Prometheus
+   exposition round-trips, and the property the whole layer lives or
+   dies by — tracing must never change what the solver computes, at
+   RES_JOBS 1 and 4 alike. *)
+
+open Res_db
+open Resilience
+module Obs = Res_obs.Obs
+module Ring = Res_obs.Ring
+module Event = Res_obs.Event
+module Trace = Res_obs.Trace
+module Trace_check = Res_obs.Trace_check
+module Executor = Res_exec.Executor
+
+(* Tests toggle the global tracing flag; always restore it (the CI runs
+   the whole suite once with RES_TRACE=1, so the initial value is not
+   necessarily false). *)
+let with_tracing b f =
+  let saved = Obs.enabled () in
+  Obs.set_enabled b;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled saved; Obs.clear ()) f
+
+(* --- ring buffer: unit --------------------------------------------------- *)
+
+let ring_bounded_overwrites_oldest () =
+  let r = Ring.create 4 in
+  Alcotest.(check int) "capacity" 4 (Ring.capacity r);
+  List.iter (Ring.push r) [ 1; 2; 3; 4 ];
+  Alcotest.(check int) "full" 4 (Ring.length r);
+  Ring.push r 5;
+  Ring.push r 6;
+  Alcotest.(check int) "still bounded" 4 (Ring.length r);
+  Alcotest.(check int) "two oldest dropped" 2 (Ring.dropped r);
+  Alcotest.(check (list int)) "contiguous newest suffix" [ 3; 4; 5; 6 ] (Ring.drain r);
+  Alcotest.(check int) "drained empty" 0 (Ring.length r);
+  (* accounting at quiescence: pushed = popped + dropped + length *)
+  Alcotest.(check int) "pushed" 6 (Ring.pushed r);
+  Alcotest.(check int) "pushed = popped + dropped" 6 (4 + Ring.dropped r)
+
+let ring_pop_fifo () =
+  let r = Ring.create 3 in
+  Alcotest.(check (option int)) "empty pop" None (Ring.pop r);
+  Ring.push r 10;
+  Ring.push r 11;
+  Alcotest.(check (option int)) "fifo 1" (Some 10) (Ring.pop r);
+  Ring.push r 12;
+  Ring.push r 13;
+  Alcotest.(check (list int)) "fifo rest" [ 11; 12; 13 ] (Ring.drain r);
+  (* a second lap reuses the slots correctly *)
+  List.iter (Ring.push r) [ 20; 21; 22; 23; 24 ];
+  Alcotest.(check (list int)) "second lap" [ 22; 23; 24 ] (Ring.drain r)
+
+let ring_rejects_bad_capacity () =
+  Alcotest.check_raises "zero capacity" (Invalid_argument "Ring.create: capacity must be positive")
+    (fun () -> ignore (Ring.create 0))
+
+(* --- ring buffer: drain-while-producing stress --------------------------- *)
+
+let ring_multi_domain_stress () =
+  let r = Ring.create 64 in
+  let per_domain = 20_000 in
+  let producers = 4 in
+  let producing = Atomic.make producers in
+  let producer d =
+    for i = 0 to per_domain - 1 do
+      Ring.push r ((d * per_domain) + i)
+    done;
+    Atomic.decr producing
+  in
+  let domains = List.init producers (fun d -> Domain.spawn (fun () -> producer d)) in
+  (* drain concurrently with the producers the whole time *)
+  let popped = ref 0 in
+  while Atomic.get producing > 0 do
+    match Ring.pop r with Some _ -> incr popped | None -> Domain.cpu_relax ()
+  done;
+  List.iter Domain.join domains;
+  (* quiescent now: drain the tail and check the books balance exactly *)
+  popped := !popped + List.length (Ring.drain r);
+  Alcotest.(check int) "every push accounted" (producers * per_domain) (Ring.pushed r);
+  Alcotest.(check int) "pushed = popped + dropped + length (length 0)"
+    (producers * per_domain)
+    (!popped + Ring.dropped r);
+  Alcotest.(check int) "empty at quiescence" 0 (Ring.length r);
+  Alcotest.(check bool) "some events survived the firehose" true (!popped > 0)
+
+(* --- spans: well-nested through the Chrome checker ----------------------- *)
+
+let spans_well_nested () =
+  with_tracing true @@ fun () ->
+  Obs.clear ();
+  Obs.span ~cat:"t" "outer" (fun () ->
+      Obs.instant ~cat:"t" "tick";
+      Obs.span ~cat:"t" "mid" (fun () ->
+          Obs.span ~args:[ ("k", "v") ] ~cat:"t" "inner" (fun () -> ()));
+      Obs.span ~cat:"t" "sibling" (fun () -> ()));
+  (* exceptional exit still closes its span *)
+  (try Obs.span ~cat:"t" "raises" (fun () -> failwith "boom") with Failure _ -> ());
+  let dumps = Obs.drain () in
+  let json = Trace.chrome_json dumps in
+  match Trace_check.check_trace_string json with
+  | Error msg -> Alcotest.fail ("checker rejected our own trace: " ^ msg)
+  | Ok report ->
+    Alcotest.(check int) "no orphan ends" 0 report.Trace_check.orphan_ends;
+    Alcotest.(check int) "no open spans" 0 report.Trace_check.open_spans;
+    Alcotest.(check int) "nesting depth observed" 3 report.Trace_check.max_depth;
+    (* B+E per span (5 spans), one instant, plus metadata events *)
+    Alcotest.(check bool) "all events present" true (report.Trace_check.events >= 11)
+
+let spans_disabled_emit_nothing () =
+  with_tracing false @@ fun () ->
+  Obs.clear ();
+  Obs.span ~cat:"t" "invisible" (fun () -> Obs.instant ~cat:"t" "nope");
+  let dumps = Obs.drain () in
+  Alcotest.(check int) "no events when disabled" 0
+    (List.fold_left (fun n (d : Obs.dump) -> n + List.length d.events) 0 dumps)
+
+let summary_mentions_spans () =
+  with_tracing true @@ fun () ->
+  Obs.clear ();
+  Obs.span ~cat:"t" "work" (fun () -> ());
+  let dumps = Obs.drain () in
+  let s = Trace.summary dumps in
+  Alcotest.(check bool) "header present" true
+    (String.length s >= 6 && String.sub s 0 6 = "trace:");
+  Alcotest.(check bool) "span row present" true
+    (let sub = "t/work" in
+     let rec find i =
+       i + String.length sub <= String.length s
+       && (String.sub s i (String.length sub) = sub || find (i + 1))
+     in
+     find 0)
+
+(* --- the checkers themselves --------------------------------------------- *)
+
+let checker_rejects_malformed () =
+  (match Trace_check.check_trace_string "not json" with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error _ -> ());
+  (match Trace_check.check_trace_string "{\"traceEvents\":3}" with
+  | Ok _ -> Alcotest.fail "non-array traceEvents accepted"
+  | Error _ -> ());
+  (* a mismatched End: B a ... E b *)
+  let bad =
+    "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"B\",\"pid\":0,\"tid\":0,\"ts\":1.0},\
+     {\"name\":\"b\",\"ph\":\"E\",\"pid\":0,\"tid\":0,\"ts\":2.0}]}"
+  in
+  match Trace_check.check_trace_string bad with
+  | Ok _ -> Alcotest.fail "mismatched end accepted"
+  | Error _ -> ()
+
+let checker_tolerates_orphan_ends () =
+  (* a drained ring is a contiguous suffix of production: a span's Begin
+     may have been overwritten while its End survived.  Orphan Ends on an
+     empty stack are legal and counted. *)
+  let trace =
+    "{\"traceEvents\":[{\"name\":\"lost\",\"ph\":\"E\",\"pid\":0,\"tid\":0,\"ts\":1.0},\
+     {\"name\":\"a\",\"ph\":\"B\",\"pid\":0,\"tid\":0,\"ts\":2.0},\
+     {\"name\":\"a\",\"ph\":\"E\",\"pid\":0,\"tid\":0,\"ts\":3.0}]}"
+  in
+  match Trace_check.check_trace_string trace with
+  | Error msg -> Alcotest.fail msg
+  | Ok r ->
+    Alcotest.(check int) "one orphan end" 1 r.Trace_check.orphan_ends;
+    Alcotest.(check int) "no open spans" 0 r.Trace_check.open_spans
+
+let prometheus_roundtrip () =
+  let m = Res_server.Metrics.create () in
+  let c = Res_server.Metrics.counter m "obs.test.hits" in
+  Res_server.Metrics.inc c;
+  Res_server.Metrics.inc c;
+  let h = Res_server.Metrics.histogram m "obs.test.latency" in
+  Res_server.Metrics.observe h 0.003;
+  Res_server.Metrics.observe h 2.5;
+  let text = Res_server.Metrics.render_prometheus m in
+  (match Trace_check.check_prometheus text with
+  | Error msg -> Alcotest.fail ("our own exposition rejected: " ^ msg)
+  | Ok samples -> Alcotest.(check bool) "counter + buckets + sum + count" true (samples >= 12));
+  (* the framed protocol reply still parses (terminator is a comment) *)
+  (match Trace_check.check_prometheus (Res_server.Protocol.prom_reply text) with
+  | Error msg -> Alcotest.fail ("framed reply rejected: " ^ msg)
+  | Ok _ -> ());
+  match Trace_check.check_prometheus "what is this\n" with
+  | Ok _ -> Alcotest.fail "garbage exposition accepted"
+  | Error _ -> ()
+
+(* --- tracing never changes results --------------------------------------- *)
+
+(* One pool for the traced-vs-untraced differential; retired by the last
+   test of the suite. *)
+let pool = lazy (Executor.create ~jobs:4 ())
+
+let prop_tracing_invisible_to_solver =
+  QCheck.Test.make ~count:300
+    ~name:"traced solve = untraced solve (sequential and RES_JOBS=4)"
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let query = Generators.fragment_query seed in
+      let db = Db_gen.random_for_query ~seed ~domain:3 ~tuples_per_relation:5 query in
+      let seq_off = with_tracing false (fun () -> Solver.solve db query) in
+      let seq_on = with_tracing true (fun () -> Solver.solve db query) in
+      if not (Generators.solution_equal seq_off seq_on) then
+        QCheck.Test.fail_report "tracing changed the sequential solution";
+      let p = Lazy.force pool in
+      let par_off = with_tracing false (fun () -> Exact.resilience ~pool:p db query) in
+      let par_on = with_tracing true (fun () -> Exact.resilience ~pool:p db query) in
+      if not (Generators.solution_equal par_off par_on) then
+        QCheck.Test.fail_report "tracing changed the parallel solution";
+      true)
+
+(* Tracing must not consume cancellation polls either: under an exact
+   step budget, the traced and untraced searches stop at the same point
+   and report the same certified outcome. *)
+let prop_tracing_preserves_step_budget =
+  QCheck.Test.make ~count:100
+    ~name:"traced bounded search = untraced under the same step budget"
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 60))
+    (fun (seed, steps) ->
+      let st = Random.State.make [| seed; 23 |] in
+      let q = Generators.random_query st in
+      let db = Db_gen.random_for_query ~seed ~domain:3 ~tuples_per_relation:6 q in
+      let run () = Exact.resilience_bounded ~cancel:(Cancel.of_steps steps) db q in
+      let off = with_tracing false run in
+      let on = with_tracing true run in
+      match (off, on) with
+      | Exact.Complete a, Exact.Complete b -> Generators.solution_equal a b
+      | Exact.Interrupted { incumbent = ia; lb = la }, Exact.Interrupted { incumbent = ib; lb = lb' }
+        ->
+        la = lb' && Generators.solution_equal ia ib
+      | _ -> QCheck.Test.fail_report "traced and untraced searches stopped differently")
+
+(* keep last: retires the suite's pool *)
+let obs_pool_shutdown () =
+  Executor.shutdown (Lazy.force pool);
+  Alcotest.(check bool) "pool down" true true
+
+let suite =
+  [
+    Alcotest.test_case "ring: bounded, overwrites oldest" `Quick ring_bounded_overwrites_oldest;
+    Alcotest.test_case "ring: FIFO pop across laps" `Quick ring_pop_fifo;
+    Alcotest.test_case "ring: rejects bad capacity" `Quick ring_rejects_bad_capacity;
+    Alcotest.test_case "ring: 4-domain drain-while-producing" `Quick ring_multi_domain_stress;
+    Alcotest.test_case "spans: well-nested Chrome trace" `Quick spans_well_nested;
+    Alcotest.test_case "spans: disabled emits nothing" `Quick spans_disabled_emit_nothing;
+    Alcotest.test_case "spans: summary lists spans" `Quick summary_mentions_spans;
+    Alcotest.test_case "checker: rejects malformed traces" `Quick checker_rejects_malformed;
+    Alcotest.test_case "checker: tolerates orphan ends" `Quick checker_tolerates_orphan_ends;
+    Alcotest.test_case "prometheus: render round-trips" `Quick prometheus_roundtrip;
+    QCheck_alcotest.to_alcotest prop_tracing_invisible_to_solver;
+    QCheck_alcotest.to_alcotest prop_tracing_preserves_step_budget;
+    Alcotest.test_case "obs pool shutdown" `Quick obs_pool_shutdown;
+  ]

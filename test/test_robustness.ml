@@ -7,17 +7,7 @@ open Resilience
 
 let qp = Res_cq.Parser.query
 
-let random_query st =
-  let vars = [| "x"; "y"; "z"; "w"; "u" |] in
-  let rels = [| ("R", 2); ("S", 2); ("A", 1); ("B", 1); ("W", 3) |] in
-  let n_atoms = 1 + Random.State.int st 4 in
-  let atoms =
-    List.init n_atoms (fun _ ->
-        let rel, ar = rels.(Random.State.int st 5) in
-        Res_cq.Atom.make rel (List.init ar (fun _ -> vars.(Random.State.int st 5))))
-  in
-  let exo = if Random.State.bool st then [] else [ fst rels.(Random.State.int st 5) ] in
-  Res_cq.Query.make ~exo atoms
+let random_query = Generators.random_query
 
 let prop_pipeline_never_crashes =
   QCheck.Test.make ~count:150 ~name:"classify+solve never raise on arbitrary queries"

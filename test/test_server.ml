@@ -125,20 +125,28 @@ let pool_runs_jobs () =
 let pool_backpressure () =
   let pool = Pool.create ~workers:1 ~capacity:2 in
   let release = Mutex.create () in
-  let started = Atomic.make false in
+  let sync = Mutex.create () in
+  let started_cond = Condition.create () in
+  let started = ref false in
   Mutex.lock release;
   (* park the only worker so the queue can fill *)
   let parked =
     Pool.submit pool (fun () ->
-        Atomic.set started true;
+        Mutex.lock sync;
+        started := true;
+        Condition.signal started_cond;
+        Mutex.unlock sync;
         Mutex.lock release;
         Mutex.unlock release)
   in
   Alcotest.(check bool) "worker parked" true parked;
-  (* wait until the worker has actually picked the job up *)
-  while not (Atomic.get started) do
-    Thread.yield ()
+  (* block until the worker has actually picked the job up — condition
+     wait, not a Thread.yield spin (no burnt cycles, no scheduler luck) *)
+  Mutex.lock sync;
+  while not !started do
+    Condition.wait started_cond sync
   done;
+  Mutex.unlock sync;
   Alcotest.(check bool) "queue slot 1" true (Pool.submit pool ignore);
   Alcotest.(check bool) "queue slot 2" true (Pool.submit pool ignore);
   Alcotest.(check bool) "full: refused" false (Pool.submit pool ignore);
