@@ -33,6 +33,12 @@ let db_file_arg =
 let facts_arg =
   Arg.(value & opt (some string) None & info [ "facts" ] ~docv:"FACTS" ~doc:"Inline facts, ';'-separated.")
 
+let legacy_eval_arg =
+  Arg.(value & flag & info [ "legacy-eval" ]
+         ~doc:"Evaluate with the legacy structural join instead of the columnar plane \
+               (equivalent to \\$(b,RES_LEGACY_EVAL)=1; results are identical, this is \
+               the differential-debugging escape hatch).")
+
 (* --- multicore --------------------------------------------------------- *)
 
 let jobs_arg =
@@ -184,8 +190,9 @@ let print_bounds db q =
       (upper.Res_bounds.Upper.value - Res_bounds.Lower.value lower)
 
 let solve_cmd =
-  let run query_s db_file facts_inline explain timeout json bounds jobs trace_file =
+  let run query_s db_file facts_inline explain timeout json bounds jobs trace_file legacy =
     with_trace trace_file @@ fun () ->
+    if legacy then Eval.set_legacy true;
     let q = parse_query query_s in
     let db = load_db db_file facts_inline in
     let cancel =
@@ -252,7 +259,7 @@ let solve_cmd =
   in
   Cmd.v (Cmd.info "solve" ~doc:"Compute the resilience of a database w.r.t. a query")
     Term.(const run $ query_arg $ db_file_arg $ facts_arg $ explain_arg $ timeout_arg $ json_arg
-          $ bounds_arg $ jobs_arg $ trace_file_arg)
+          $ bounds_arg $ jobs_arg $ trace_file_arg $ legacy_eval_arg)
 
 (* --- batch ------------------------------------------------------------ *)
 
@@ -486,7 +493,8 @@ let client_cmd =
 (* --- witnesses ---------------------------------------------------------- *)
 
 let witnesses_cmd =
-  let run query_s db_file facts_inline =
+  let run query_s db_file facts_inline legacy =
+    if legacy then Eval.set_legacy true;
     let q = parse_query query_s in
     let db = load_db db_file facts_inline in
     let ws = Eval.witnesses db q in
@@ -503,7 +511,64 @@ let witnesses_cmd =
       ws
   in
   Cmd.v (Cmd.info "witnesses" ~doc:"Enumerate the witnesses of D |= q")
-    Term.(const run $ query_arg $ db_file_arg $ facts_arg)
+    Term.(const run $ query_arg $ db_file_arg $ facts_arg $ legacy_eval_arg)
+
+(* --- gen ----------------------------------------------------------------- *)
+
+let gen_cmd =
+  let run family seed nodes edges rows cols count rel out =
+    let db =
+      try
+        match family with
+        | "power-law" -> Db_gen.power_law ~seed ~nodes ~edges ~rel
+        | "bipartite" -> Db_gen.bipartite ~seed ~left:nodes ~right:nodes ~edges ~rel
+        | "random" -> Db_gen.random_graph ~seed ~nodes ~edges ~rel
+        | "grid" -> Db_gen.grid_graph ~rows ~cols ~rel
+        | "chain" -> Db_gen.chain_db ~length:count ~rel
+        | "cycle" -> Db_gen.cycle_db ~length:count ~rel
+        | "unary" -> Db_gen.unary ~count ~rel
+        | other ->
+          Printf.eprintf "unknown family %S (power-law|bipartite|random|grid|chain|cycle|unary)\n" other;
+          exit 2
+      with Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+    in
+    (* order-stable FNV-style fold over the canonical fact listing: equal
+       databases always print equal checksums — the cram test pins them. *)
+    let checksum =
+      List.fold_left
+        (fun h f ->
+          let s = Format.asprintf "%a" Database.pp_fact f in
+          String.fold_left (fun h c -> ((h * 31) + Char.code c) land 0x3FFFFFFF) h s)
+        5381 (Database.facts db)
+    in
+    (match out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      List.iter (fun f -> output_string oc (Format.asprintf "%a\n" Database.pp_fact f)) (Database.facts db);
+      close_out oc);
+    Printf.printf "family=%s tuples=%d checksum=%08x\n" family (Database.size db) checksum
+  in
+  let family_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FAMILY"
+           ~doc:"power-law|bipartite|random|grid|chain|cycle|unary")
+  in
+  let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed (deterministic).") in
+  let nodes_arg = Arg.(value & opt int 1000 & info [ "nodes" ] ~docv:"N" ~doc:"Node count (per side for bipartite).") in
+  let edges_arg = Arg.(value & opt int 5000 & info [ "edges" ] ~docv:"N" ~doc:"Edge count (exact for power-law/bipartite).") in
+  let rows_arg = Arg.(value & opt int 100 & info [ "rows" ] ~docv:"N" ~doc:"Grid rows.") in
+  let cols_arg = Arg.(value & opt int 100 & info [ "cols" ] ~docv:"N" ~doc:"Grid columns.") in
+  let count_arg = Arg.(value & opt int 1000 & info [ "count" ] ~docv:"N" ~doc:"Length for chain/cycle, size for unary.") in
+  let rel_arg = Arg.(value & opt string "R" & info [ "rel" ] ~docv:"NAME" ~doc:"Relation name.") in
+  let out_arg = Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc:"Write the facts (one per line, solve-compatible) to \\$(docv).") in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:"Generate a deterministic benchmark database (graph families up to millions \
+             of tuples) and print its size and checksum")
+    Term.(const run $ family_arg $ seed_arg $ nodes_arg $ edges_arg $ rows_arg $ cols_arg
+          $ count_arg $ rel_arg $ out_arg)
 
 (* --- zoo ---------------------------------------------------------------- *)
 
@@ -790,4 +855,4 @@ let scrape_cmd =
 let () =
   let doc = "resilience of conjunctive queries with self-joins (PODS 2020 reproduction)" in
   let info = Cmd.info "resilience" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ classify_cmd; solve_cmd; batch_cmd; serve_cmd; client_cmd; witnesses_cmd; zoo_cmd; ijp_cmd; gadget_cmd; repairs_cmd; blame_cmd; propagate_cmd; trace_check_cmd; scrape_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ classify_cmd; solve_cmd; batch_cmd; serve_cmd; client_cmd; witnesses_cmd; gen_cmd; zoo_cmd; ijp_cmd; gadget_cmd; repairs_cmd; blame_cmd; propagate_cmd; trace_check_cmd; scrape_cmd ]))

@@ -1,0 +1,113 @@
+type t = {
+  n : int;
+  m : int;
+  fwd_ptr : int array;
+  fwd_dst : int array;
+  fwd_tid : int array;
+  rev_ptr : int array;
+  rev_src : int array;
+  rev_tid : int array;
+  srcs : int array;
+  dsts : int array;
+}
+
+(* Row entries are packed [(value lsl 31) lor tid] so each row sorts as
+   plain ints — primary key the neighbour value, and since (src, dst)
+   pairs are unique the tid tiebreak never fires. *)
+let shift = 31
+let mask = (1 lsl shift) - 1
+
+(* One direction: counting sort into rows by [key], then an in-place
+   per-row sort of the packed (value, tid) entries. *)
+let index ~n ~m edges key value =
+  let ptr = Array.make (n + 1) 0 in
+  Array.iter (fun e -> ptr.(key e + 1) <- ptr.(key e + 1) + 1) edges;
+  for i = 0 to n - 1 do
+    ptr.(i + 1) <- ptr.(i + 1) + ptr.(i)
+  done;
+  let pos = Array.copy ptr in
+  let packed = Array.make m 0 in
+  Array.iter
+    (fun e ->
+      let k = key e in
+      let _, _, tid = e in
+      packed.(pos.(k)) <- (value e lsl shift) lor tid;
+      pos.(k) <- pos.(k) + 1)
+    edges;
+  for r = 0 to n - 1 do
+    let lo = ptr.(r) and len = ptr.(r + 1) - ptr.(r) in
+    if len > 1 then begin
+      let seg = Array.sub packed lo len in
+      Array.sort Int.compare seg;
+      Array.blit seg 0 packed lo len
+    end
+  done;
+  let vals = Array.map (fun p -> p lsr shift) packed in
+  let tids = Array.map (fun p -> p land mask) packed in
+  (ptr, vals, tids)
+
+let nonempty_rows ptr n =
+  let count = ref 0 in
+  for r = 0 to n - 1 do
+    if ptr.(r + 1) > ptr.(r) then incr count
+  done;
+  let out = Array.make !count 0 in
+  let k = ref 0 in
+  for r = 0 to n - 1 do
+    if ptr.(r + 1) > ptr.(r) then begin
+      out.(!k) <- r;
+      incr k
+    end
+  done;
+  out
+
+let build ~n edges =
+  if n >= 1 lsl shift then invalid_arg "Csr.build: node id space exceeds 31 bits";
+  Array.iter
+    (fun (s, d, tid) ->
+      if s < 0 || s >= n || d < 0 || d >= n then invalid_arg "Csr.build: id out of range";
+      if tid < 0 || tid > mask then invalid_arg "Csr.build: tuple id exceeds 31 bits")
+    edges;
+  let m = Array.length edges in
+  let fwd_ptr, fwd_dst, fwd_tid = index ~n ~m edges (fun (s, _, _) -> s) (fun (_, d, _) -> d) in
+  let rev_ptr, rev_src, rev_tid = index ~n ~m edges (fun (_, d, _) -> d) (fun (s, _, _) -> s) in
+  {
+    n;
+    m;
+    fwd_ptr;
+    fwd_dst;
+    fwd_tid;
+    rev_ptr;
+    rev_src;
+    rev_tid;
+    srcs = nonempty_rows fwd_ptr n;
+    dsts = nonempty_rows rev_ptr n;
+  }
+
+let n_nodes t = t.n
+let n_edges t = t.m
+
+let row ptr arr n x =
+  if x < 0 || x >= n then { Sorted.arr; off = 0; len = 0 }
+  else { Sorted.arr; off = ptr.(x); len = ptr.(x + 1) - ptr.(x) }
+
+let succ t x = row t.fwd_ptr t.fwd_dst t.n x
+let pred t y = row t.rev_ptr t.rev_src t.n y
+let succ_tid t x i = t.fwd_tid.(t.fwd_ptr.(x) + i)
+let pred_tid t y i = t.rev_tid.(t.rev_ptr.(y) + i)
+let srcs t = t.srcs
+let dsts t = t.dsts
+
+let edge_index t x y =
+  if x < 0 || x >= t.n then -1
+  else begin
+    let hi = t.fwd_ptr.(x + 1) in
+    let i = Sorted.lower_bound t.fwd_dst t.fwd_ptr.(x) hi y in
+    if i < hi && t.fwd_dst.(i) = y then i else -1
+  end
+
+let mem t x y = edge_index t x y >= 0
+
+let tid_of t x y =
+  let i = edge_index t x y in
+  if i < 0 then None else Some t.fwd_tid.(i)

@@ -1,0 +1,30 @@
+module Make (H : Hashtbl.HashedType) = struct
+  module T = Hashtbl.Make (H)
+
+  type t = { table : int T.t; mutable values : H.t array; mutable len : int }
+
+  let create ?(hint = 64) () = { table = T.create hint; values = [||]; len = 0 }
+  let size d = d.len
+
+  let intern d v =
+    match T.find_opt d.table v with
+    | Some i -> i
+    | None ->
+      let i = d.len in
+      if i = Array.length d.values then begin
+        (* the dummy fill is [v] itself, so no [Obj.magic] placeholder *)
+        let grown = Array.make (max 16 (2 * Array.length d.values)) v in
+        Array.blit d.values 0 grown 0 d.len;
+        d.values <- grown
+      end;
+      d.values.(i) <- v;
+      d.len <- i + 1;
+      T.replace d.table v i;
+      i
+
+  let find_opt d v = T.find_opt d.table v
+
+  let value d i =
+    if i < 0 || i >= d.len then invalid_arg "Dict.value: unassigned id";
+    d.values.(i)
+end

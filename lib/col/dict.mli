@@ -1,0 +1,27 @@
+(** Value interning: dense integer IDs for arbitrary hashable constants.
+
+    The columnar plane works entirely over [int] node ids; a [Dict] is the
+    boundary where structural values enter.  IDs are assigned densely in
+    first-intern order, so the same insertion sequence always yields the
+    same numbering — which makes every downstream structure (CSR layout,
+    trie-join enumeration order) deterministic. *)
+
+module Make (H : Hashtbl.HashedType) : sig
+  type t
+
+  val create : ?hint:int -> unit -> t
+  (** [hint] sizes the initial hash table (default 64). *)
+
+  val intern : t -> H.t -> int
+  (** The id of [v], assigning the next dense id on first sight.
+      Idempotent: a second intern of an equal value returns the same id. *)
+
+  val find_opt : t -> H.t -> int option
+  (** The id of [v] if already interned, without assigning one. *)
+
+  val value : t -> int -> H.t
+  (** Inverse lookup.  @raise Invalid_argument on an unassigned id. *)
+
+  val size : t -> int
+  (** Number of interned values; assigned ids are exactly [0 .. size-1]. *)
+end

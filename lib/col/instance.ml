@@ -1,0 +1,326 @@
+type rel_data = { arity : int; col0 : int array; col1 : int array }
+
+(* Atom shapes after variable resolution.  [Di] is the repeated-variable
+   pattern R(x,x): only diagonal tuples can ever match it. *)
+type shape =
+  | Un of int (* A(v) *)
+  | Di of int (* R(v,v) *)
+  | Bi of int * int (* R(v0,v1), v0 <> v1 *)
+
+type index =
+  | I_keys of { keys : int array; tids : int array } (* unary / diagonal *)
+  | I_csr of Csr.t
+
+type atom_info = {
+  rel : string;
+  data : rel_data;
+  shape : shape;
+  mutable live : int array; (* surviving tuple ids, ascending *)
+  mutable idx : index option;
+}
+
+(* A variable's candidate source from one atom, resolved statically
+   against the enumeration order: bound-neighbour rows when the other
+   variable comes earlier, frontiers otherwise. *)
+type support =
+  | S_keys of int (* atom idx: unary or diagonal key column *)
+  | S_srcs of int (* binary frontier, level-1 of the fwd trie *)
+  | S_dsts of int
+  | S_succ of int * int (* atom idx, bound var idx *)
+  | S_pred of int * int
+
+type t = {
+  nvars : int;
+  n : int;
+  atoms : atom_info array;
+  order : int array; (* enumeration order, as var indexes *)
+  plan : support list array; (* plan.(k): supports of order.(k) *)
+  mutable reduced : bool;
+  mutable empty : bool;
+  mutable passes : int;
+}
+
+let shape_of_atom vidx (a : Res_cq.Atom.t) =
+  match a.args with
+  | [ v ] -> Un (vidx v)
+  | [ v; w ] -> if v = w then Di (vidx v) else Bi (vidx v, vidx w)
+  | _ -> invalid_arg "Instance.make: atom arity exceeds 2"
+
+(* distinct var indexes of a shape *)
+let shape_vars = function Un v | Di v -> [ v ] | Bi (v, w) -> [ v; w ]
+
+(* Greedy variable order: repeatedly pick the variable covered by the
+   most atoms, preferring variables already connected to the chosen
+   prefix so the join never restarts from a cross product mid-way.
+   Ties break to the smallest index — fully deterministic. *)
+let choose_order nvars shapes =
+  let score = Array.make nvars 0 in
+  List.iter (fun s -> List.iter (fun v -> score.(v) <- score.(v) + 1) (shape_vars s)) shapes;
+  let chosen = Array.make nvars false in
+  let connected v =
+    List.exists
+      (fun s ->
+        let vs = shape_vars s in
+        List.mem v vs && List.exists (fun w -> chosen.(w)) vs)
+      shapes
+  in
+  let order = Array.make nvars 0 in
+  for k = 0 to nvars - 1 do
+    let any_chosen = k > 0 in
+    let best = ref (-1) in
+    let consider v =
+      if (not chosen.(v)) && (!best < 0 || score.(v) > score.(!best)) then best := v
+    in
+    if any_chosen then
+      for v = 0 to nvars - 1 do
+        if (not chosen.(v)) && connected v then consider v
+      done;
+    if !best < 0 then
+      for v = 0 to nvars - 1 do
+        consider v
+      done;
+    chosen.(!best) <- true;
+    order.(k) <- !best
+  done;
+  order
+
+let make q ~n rels =
+  let vars = Res_cq.Query.vars q in
+  let nvars = List.length vars in
+  let vidx v =
+    let rec go i = function
+      | [] -> invalid_arg "Instance.make: unknown variable"
+      | w :: _ when w = v -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 vars
+  in
+  let atoms =
+    Array.of_list
+      (List.map
+         (fun (a : Res_cq.Atom.t) ->
+           let data =
+             match List.assoc_opt a.rel rels with
+             | Some d -> d
+             | None -> invalid_arg ("Instance.make: relation without data: " ^ a.rel)
+           in
+           if data.arity <> Res_cq.Atom.arity a then
+             invalid_arg ("Instance.make: arity mismatch for " ^ a.rel);
+           { rel = a.rel; data; shape = shape_of_atom vidx a; live = [||]; idx = None })
+         (Res_cq.Query.atoms q))
+  in
+  let shapes = Array.to_list (Array.map (fun a -> a.shape) atoms) in
+  let order = choose_order nvars shapes in
+  (* position of each var in the order, to decide bound vs frontier *)
+  let pos = Array.make nvars 0 in
+  Array.iteri (fun k v -> pos.(v) <- k) order;
+  let plan =
+    Array.init nvars (fun k ->
+        let v = order.(k) in
+        let supports = ref [] in
+        Array.iteri
+          (fun ai a ->
+            match a.shape with
+            | Un w when w = v -> supports := S_keys ai :: !supports
+            | Di w when w = v -> supports := S_keys ai :: !supports
+            | Bi (w0, w1) when w0 = v ->
+              supports := (if pos.(w1) < k then S_pred (ai, w1) else S_srcs ai) :: !supports
+            | Bi (w0, w1) when w1 = v ->
+              supports := (if pos.(w0) < k then S_succ (ai, w0) else S_dsts ai) :: !supports
+            | _ -> ())
+          atoms;
+        !supports)
+  in
+  { nvars; n; atoms; order; plan; reduced = false; empty = false; passes = 0 }
+
+(* ---- semijoin reduction ------------------------------------------------ *)
+
+let initial_live a =
+  let m = Array.length a.data.col0 in
+  match a.shape with
+  | Un _ | Bi _ -> Array.init m Fun.id
+  | Di _ ->
+    (* only diagonal tuples can match R(x,x) *)
+    let keep = ref [] in
+    for i = m - 1 downto 0 do
+      if a.data.col0.(i) = a.data.col1.(i) then keep := i :: !keep
+    done;
+    Array.of_list !keep
+
+(* projections of an atom's live tuples onto variable [v]: the columns
+   of [v]'s occurrences *)
+let project_into a v ~src ~dst =
+  (* dst.(c) <- '\001' for every value c of v in a live tuple, provided
+     src.(c) allows it (src == dst on the first atom: no gating). *)
+  let gate = src != dst in
+  let mark col =
+    Array.iter
+      (fun tid ->
+        let c = col.(tid) in
+        if (not gate) || Bytes.get src c = '\001' then Bytes.set dst c '\001')
+      a.live
+  in
+  match a.shape with
+  | Un w when w = v -> mark a.data.col0
+  | Di w when w = v -> mark a.data.col0 (* diagonal: col0 = col1 on live tuples *)
+  | Bi (w0, w1) ->
+    if w0 = v then mark a.data.col0;
+    if w1 = v then mark a.data.col1
+  | _ -> ()
+
+let atom_mentions a v = List.mem v (shape_vars a.shape)
+
+let semijoin_pass t allowed scratch =
+  (* allowed.(v) := intersection over atoms containing v of their
+     projections onto v *)
+  for v = 0 to t.nvars - 1 do
+    let first = ref true in
+    Array.iter
+      (fun a ->
+        if atom_mentions a v then begin
+          if !first then begin
+            Bytes.fill allowed.(v) 0 t.n '\000';
+            project_into a v ~src:allowed.(v) ~dst:allowed.(v);
+            first := false
+          end
+          else begin
+            Bytes.fill scratch 0 t.n '\000';
+            project_into a v ~src:allowed.(v) ~dst:scratch;
+            Bytes.blit scratch 0 allowed.(v) 0 t.n
+          end
+        end)
+      t.atoms
+  done;
+  (* filter every atom's live set against the allowed values *)
+  let changed = ref false in
+  Array.iter
+    (fun a ->
+      let ok tid =
+        match a.shape with
+        | Un v | Di v -> Bytes.get allowed.(v) a.data.col0.(tid) = '\001'
+        | Bi (v0, v1) ->
+          Bytes.get allowed.(v0) a.data.col0.(tid) = '\001'
+          && Bytes.get allowed.(v1) a.data.col1.(tid) = '\001'
+      in
+      let kept = ref 0 in
+      Array.iter (fun tid -> if ok tid then incr kept) a.live;
+      if !kept <> Array.length a.live then begin
+        let out = Array.make !kept 0 in
+        let k = ref 0 in
+        Array.iter
+          (fun tid ->
+            if ok tid then begin
+              out.(!k) <- tid;
+              incr k
+            end)
+          a.live;
+        a.live <- out;
+        changed := true
+      end)
+    t.atoms;
+  !changed
+
+(* pack/sort/unpack a unary key column with its tuple ids; keys are
+   unique within a relation, so plain int sorting is total. *)
+let sorted_keys col live =
+  let packed = Array.map (fun tid -> (col.(tid) lsl 31) lor tid) live in
+  Array.sort Int.compare packed;
+  let keys = Array.map (fun p -> p lsr 31) packed in
+  let tids = Array.map (fun p -> p land ((1 lsl 31) - 1)) packed in
+  I_keys { keys; tids }
+
+let build_indexes t =
+  Array.iter
+    (fun a ->
+      let idx =
+        match a.shape with
+        | Un _ | Di _ -> sorted_keys a.data.col0 a.live
+        | Bi _ ->
+          I_csr
+            (Csr.build ~n:t.n
+               (Array.map (fun tid -> (a.data.col0.(tid), a.data.col1.(tid), tid)) a.live))
+      in
+      a.idx <- Some idx)
+    t.atoms
+
+let reduce t =
+  if not t.reduced then begin
+    t.reduced <- true;
+    Array.iter (fun a -> a.live <- initial_live a) t.atoms;
+    if Array.length t.atoms > 0 then begin
+      let allowed = Array.init t.nvars (fun _ -> Bytes.create t.n) in
+      let scratch = Bytes.create t.n in
+      let continue_ = ref true in
+      while !continue_ do
+        t.passes <- t.passes + 1;
+        continue_ := semijoin_pass t allowed scratch;
+        if Array.exists (fun a -> Array.length a.live = 0) t.atoms then begin
+          t.empty <- true;
+          continue_ := false
+        end
+      done
+    end;
+    build_indexes t
+  end
+
+let passes t = t.passes
+
+let live t rel =
+  reduce t;
+  let all =
+    Array.to_list t.atoms
+    |> List.filter (fun a -> a.rel = rel)
+    |> List.concat_map (fun a -> Array.to_list a.live)
+  in
+  Sorted.of_list all
+
+(* ---- trie-join enumeration --------------------------------------------- *)
+
+let keys_of a = match a.idx with Some (I_keys k) -> k.keys | _ -> assert false
+let csr_of a = match a.idx with Some (I_csr c) -> c | _ -> assert false
+
+let slice_of t binding = function
+  | S_keys ai -> Sorted.full (keys_of t.atoms.(ai))
+  | S_srcs ai -> Sorted.full (Csr.srcs (csr_of t.atoms.(ai)))
+  | S_dsts ai -> Sorted.full (Csr.dsts (csr_of t.atoms.(ai)))
+  | S_succ (ai, w) -> Csr.succ (csr_of t.atoms.(ai)) binding.(w)
+  | S_pred (ai, w) -> Csr.pred (csr_of t.atoms.(ai)) binding.(w)
+
+let enumerate t ~emit =
+  reduce t;
+  if Array.length t.atoms = 0 then emit [||]
+  else if not t.empty then begin
+    let binding = Array.make t.nvars (-1) in
+    let rec go k =
+      if k = t.nvars then emit binding
+      else begin
+        let v = t.order.(k) in
+        let each c =
+          binding.(v) <- c;
+          go (k + 1)
+        in
+        match t.plan.(k) with
+        | [ s ] ->
+          let sl = slice_of t binding s in
+          for i = sl.Sorted.off to sl.Sorted.off + sl.Sorted.len - 1 do
+            each sl.Sorted.arr.(i)
+          done
+        | supports ->
+          let cands = Sorted.inter_many (List.map (slice_of t binding) supports) in
+          Array.iter each cands
+      end
+    in
+    go 0
+  end
+
+exception Found
+
+let sat t =
+  match enumerate t ~emit:(fun _ -> raise Found) with
+  | () -> false
+  | exception Found -> true
+
+let count t =
+  let n = ref 0 in
+  enumerate t ~emit:(fun _ -> incr n);
+  !n

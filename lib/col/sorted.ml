@@ -1,0 +1,81 @@
+type slice = { arr : int array; off : int; len : int }
+
+let full arr = { arr; off = 0; len = Array.length arr }
+let to_array s = Array.sub s.arr s.off s.len
+let of_list l = Array.of_list (List.sort_uniq Int.compare l)
+
+let is_strictly_sorted a =
+  let ok = ref true in
+  for i = 1 to Array.length a - 1 do
+    if a.(i - 1) >= a.(i) then ok := false
+  done;
+  !ok
+
+let lower_bound arr lo hi x =
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if arr.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Exponential probe from [lo], then binary search inside the last
+   doubling window.  Equivalent to [lower_bound arr lo hi x]. *)
+let gallop arr lo hi x =
+  if lo >= hi || arr.(lo) >= x then lo
+  else begin
+    let step = ref 1 in
+    let prev = ref lo in
+    (* invariant: arr.(!prev) < x *)
+    while !prev + !step < hi && arr.(!prev + !step) < x do
+      prev := !prev + !step;
+      step := !step * 2
+    done;
+    lower_bound arr (!prev + 1) (min hi (!prev + !step)) x
+  end
+
+let mem s x =
+  let hi = s.off + s.len in
+  let i = lower_bound s.arr s.off hi x in
+  i < hi && s.arr.(i) = x
+
+let inter a b =
+  let out = Array.make (min a.len b.len) 0 in
+  let k = ref 0 in
+  let i = ref a.off and j = ref b.off in
+  let ahi = a.off + a.len and bhi = b.off + b.len in
+  while !i < ahi && !j < bhi do
+    let x = a.arr.(!i) and y = b.arr.(!j) in
+    if x = y then begin
+      out.(!k) <- x;
+      incr k;
+      incr i;
+      incr j
+    end
+    else if x < y then i := gallop a.arr !i ahi y
+    else j := gallop b.arr !j bhi x
+  done;
+  Array.sub out 0 !k
+
+let inter_naive a b =
+  let out = ref [] in
+  let i = ref a.off and j = ref b.off in
+  let ahi = a.off + a.len and bhi = b.off + b.len in
+  while !i < ahi && !j < bhi do
+    let x = a.arr.(!i) and y = b.arr.(!j) in
+    if x = y then begin
+      out := x :: !out;
+      incr i;
+      incr j
+    end
+    else if x < y then incr i
+    else incr j
+  done;
+  Array.of_list (List.rev !out)
+
+let inter_many slices =
+  match List.sort (fun a b -> compare a.len b.len) slices with
+  | [] -> invalid_arg "Sorted.inter_many: no slices"
+  | [ s ] -> to_array s
+  | s :: rest ->
+    List.fold_left (fun acc s -> if Array.length acc = 0 then acc else inter (full acc) s) (to_array s) rest

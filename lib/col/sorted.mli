@@ -1,0 +1,39 @@
+(** Sorted-set kernels over strictly increasing [int] arrays.
+
+    Every candidate list in the trie join — CSR rows, frontiers, unary
+    key columns — is a strictly sorted array (or a window into one), so
+    set intersection reduces to merging with galloping (exponential
+    probe + binary search) on skips.  Galloping makes the cost
+    [O(min·log(max/min))] instead of [O(min + max)], which is the whole
+    point when a tight unary atom meets a hub's adjacency row. *)
+
+type slice = { arr : int array; off : int; len : int }
+(** A read-only window [arr.(off) .. arr.(off+len-1)], strictly sorted. *)
+
+val full : int array -> slice
+val to_array : slice -> int array
+val of_list : int list -> int array
+(** Sort and dedup. *)
+
+val is_strictly_sorted : int array -> bool
+
+val lower_bound : int array -> int -> int -> int -> int
+(** [lower_bound arr lo hi x] is the least [i] in [lo..hi] with
+    [arr.(i) >= x], or [hi] if none (indices in [lo..hi-1] are read). *)
+
+val gallop : int array -> int -> int -> int -> int
+(** Same postcondition as {!lower_bound}, but probes exponentially from
+    [lo] first — O(log distance) when the answer is near [lo]. *)
+
+val mem : slice -> int -> bool
+
+val inter : slice -> slice -> int array
+(** Galloping intersection. *)
+
+val inter_naive : slice -> slice -> int array
+(** Two-pointer merge intersection — the reference implementation the
+    property suite checks {!inter} against. *)
+
+val inter_many : slice list -> int array
+(** Intersection of all slices, smallest-first.  [inter_many []] is
+    invalid input; callers always have at least one support. *)

@@ -42,6 +42,12 @@ let solve ?(cancel = Cancel.never) ?(fact_exogenous = fun _ -> false) db (q : Re
   | None -> None
   | Some order ->
     Res_obs.Obs.span ~cat:"flow" "solve" @@ fun () ->
+    (* Semijoin pre-pass: tuples pruned by the reduction lie on no witness,
+       hence on no source-sink path of the network below — dropping them
+       shrinks the graph without changing max-flow value or min-cut
+       validity.  [Eval.reduce] preserves the witness set exactly, so the
+       sat-checks against the reduced db are also equivalent. *)
+    let db = Res_obs.Obs.span ~cat:"flow" "semijoin" (fun () -> Eval.reduce db q) in
     let atoms = Array.of_list order in
     let m = Array.length atoms in
     let bounds = boundaries atoms in
@@ -60,7 +66,7 @@ let solve ?(cancel = Cancel.never) ?(fact_exogenous = fun _ -> false) db (q : Re
           v
       end
     in
-    let edge_facts : (Maxflow.edge * Database.fact) list ref = ref [] in
+    let edge_facts : (Maxflow.edge, Database.fact) Hashtbl.t = Hashtbl.create 256 in
     for p = 0 to m - 1 do
       let a = atoms.(p) in
       let exo_rel = Res_cq.Query.is_exogenous q a.rel in
@@ -78,7 +84,7 @@ let solve ?(cancel = Cancel.never) ?(fact_exogenous = fun _ -> false) db (q : Re
               if exo_rel || fact_exogenous f then Maxflow.infinite else 1
             in
             let e = Maxflow.add_edge net ~src ~dst ~cap in
-            if cap = 1 then edge_facts := (e, f) :: !edge_facts)
+            if cap = 1 then Hashtbl.replace edge_facts e f)
         (Database.tuples_of db a.rel)
     done;
     Cancel.guard cancel;
@@ -88,16 +94,15 @@ let solve ?(cancel = Cancel.never) ?(fact_exogenous = fun _ -> false) db (q : Re
     else begin
       let _, cut = Maxflow.min_cut net ~src:source in
       let cut_facts =
-        List.filter_map
-          (fun e -> List.assoc_opt e !edge_facts)
-          cut
+        List.filter_map (fun e -> Hashtbl.find_opt edge_facts e) cut
         |> List.sort_uniq compare
       in
       (* Greedy minimalization: duplicate edges of a self-joined tuple may
          have put redundant facts in the cut.  Only worthwhile at small
-         sizes; for sj-free queries the cut has no duplicates anyway. *)
+         sizes; for sj-free queries the cut has no duplicates anyway, and
+         each greedy step pays a full [Eval.sat] over the database. *)
       let minimalize facts =
-        if List.length facts > 200 then facts
+        if List.length facts > 200 || Database.size db > 20_000 then facts
         else
           List.fold_left
             (fun kept f ->

@@ -4,10 +4,12 @@ module Maxflow = Res_graph.Maxflow
 (* Shared finishing step: drop redundant facts greedily (only worthwhile
    for small sets — the flow and König results are already optimal, the
    greedy pass just strips duplicate-edge artifacts), then check the
-   result really falsifies the query. *)
+   result really falsifies the query.  Each greedy step pays a full
+   [Eval.sat] over the database, so the pass is skipped on large
+   instances where that cost dwarfs its cosmetic benefit. *)
 let finalize db q facts =
   let minimal =
-    if List.length facts > 200 then facts
+    if List.length facts > 200 || Database.size db > 20_000 then facts
     else
       List.fold_left
         (fun kept f ->

@@ -40,8 +40,23 @@ let facts db =
   Smap.fold (fun rel set acc -> Tset.fold (fun t acc -> { rel; tuple = t } :: acc) set acc) db []
   |> List.rev
 
+(* Bulk load: one [Tset.of_list] per relation instead of n tree inserts —
+   the difference between loading a 10^6-tuple generated instance in
+   tenths of a second vs several seconds. *)
+let with_relation db rel tuples =
+  let set = Tset.of_list tuples in
+  if Tset.is_empty set then Smap.remove rel db else Smap.add rel set db
+
 let of_rows rows =
-  List.fold_left (fun db (rel, tuples) -> List.fold_left (fun db t -> add_row db rel t) db tuples) empty rows
+  List.fold_left
+    (fun db (rel, tuples) ->
+      let set = Tset.of_list tuples in
+      if Tset.is_empty set then db
+      else
+        Smap.update rel
+          (function None -> Some set | Some cur -> Some (Tset.union cur set))
+          db)
+    empty rows
 
 let of_int_rows rows =
   of_rows (List.map (fun (rel, tuples) -> (rel, List.map (List.map Value.i) tuples)) rows)

@@ -21,7 +21,15 @@ val mem : t -> fact -> bool
 
 val of_facts : fact list -> t
 val facts : t -> fact list
+
 val of_rows : (string * tuple list) list -> t
+(** Bulk load: one balanced-set build per relation (fast path for the
+    generated million-tuple instances); repeated relation names union. *)
+
+val with_relation : t -> string -> tuple list -> t
+(** Replace a relation's tuples wholesale (removing the relation when
+    the list is empty). *)
+
 val of_int_rows : (string * int list list) list -> t
 (** Convenience for tests: int constants. *)
 

@@ -9,15 +9,91 @@ let random_for_query ~seed ~domain ~tuples_per_relation (q : Res_cq.Query.t) =
     Database.empty (Res_cq.Query.relations q)
 
 let random_graph ~seed ~nodes ~edges ~rel =
+  (* Draw sequence unchanged (pinned seeds appear in many tests); only the
+     materialization moved to the bulk [of_rows] path. *)
   let st = Random.State.make [| seed; 13 |] in
-  let rec loop db n =
-    if n = 0 then db
+  let rec loop acc n =
+    if n = 0 then acc
     else begin
       let u = Random.State.int st nodes and v = Random.State.int st nodes in
-      loop (Database.add_row db rel [ Value.i u; Value.i v ]) (n - 1)
+      loop ([ Value.i u; Value.i v ] :: acc) (n - 1)
     end
   in
-  loop Database.empty edges
+  Database.of_rows [ (rel, loop [] edges) ]
+
+(* Exactly [edges] distinct pairs: rejection-sample with a Hashtbl dedup,
+   then — if the sampler keeps colliding (dense or heavily skewed
+   requests) — finish with a deterministic row-major sweep so the
+   function is total and the tuple count exact. *)
+let distinct_pairs ~edges ~max_u ~max_v ~draw =
+  if edges > max_u * max_v then
+    invalid_arg "Db_gen: more edges requested than distinct pairs exist";
+  let seen = Hashtbl.create (2 * edges + 1) in
+  let out = ref [] in
+  let count = ref 0 in
+  let add u v =
+    if not (Hashtbl.mem seen (u, v)) then begin
+      Hashtbl.add seen (u, v) ();
+      out := (u, v) :: !out;
+      incr count
+    end
+  in
+  let budget = (20 * edges) + 1000 in
+  let attempts = ref 0 in
+  while !count < edges && !attempts < budget do
+    incr attempts;
+    let u, v = draw () in
+    add u v
+  done;
+  let u = ref 0 and v = ref 0 in
+  while !count < edges do
+    add !u !v;
+    incr v;
+    if !v = max_v then begin
+      v := 0;
+      incr u
+    end
+  done;
+  List.rev !out
+
+let pairs_db ~rel pairs =
+  Database.of_rows [ (rel, List.map (fun (u, v) -> [ Value.i u; Value.i v ]) pairs) ]
+
+let power_law ~seed ~nodes ~edges ~rel =
+  let st = Random.State.make [| seed; 1009 |] in
+  (* u^3 warps the uniform draw toward low ids: a few hub nodes collect
+     most of the edge mass, the degree tail decays polynomially. *)
+  let skewed () =
+    let u = Random.State.float st 1.0 in
+    let x = int_of_float (float_of_int nodes *. (u *. u *. u)) in
+    if x >= nodes then nodes - 1 else x
+  in
+  let draw () =
+    if Random.State.bool st then (skewed (), Random.State.int st nodes)
+    else (Random.State.int st nodes, skewed ())
+  in
+  pairs_db ~rel (distinct_pairs ~edges ~max_u:nodes ~max_v:nodes ~draw)
+
+let bipartite ~seed ~left ~right ~edges ~rel =
+  let st = Random.State.make [| seed; 2017 |] in
+  let draw () = (Random.State.int st left, Random.State.int st right) in
+  distinct_pairs ~edges ~max_u:left ~max_v:right ~draw
+  |> List.map (fun (u, v) -> (u, left + v))
+  |> pairs_db ~rel
+
+let grid_graph ~rows ~cols ~rel =
+  let node i j = (i * cols) + j in
+  let acc = ref [] in
+  for i = rows - 1 downto 0 do
+    for j = cols - 1 downto 0 do
+      if j + 1 < cols then acc := (node i j, node i (j + 1)) :: !acc;
+      if i + 1 < rows then acc := (node i j, node (i + 1) j) :: !acc
+    done
+  done;
+  pairs_db ~rel !acc
+
+let unary ~count ~rel =
+  Database.of_rows [ (rel, List.init count (fun i -> [ Value.i i ])) ]
 
 let chain_db ~length ~rel =
   List.init length (fun i -> Database.fact rel [ Value.i i; Value.i (i + 1) ])

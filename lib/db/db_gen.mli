@@ -1,5 +1,9 @@
 (** Deterministic random database generators for property tests and
-    benchmark workloads. *)
+    benchmark workloads.
+
+    Everything here is a pure function of its named arguments — the same
+    seed always yields the same database, across runs and platforms
+    (OCaml's [Random.State] is deterministic given the seed array). *)
 
 val random_for_query :
   seed:int -> domain:int -> tuples_per_relation:int -> Res_cq.Query.t -> Database.t
@@ -8,7 +12,32 @@ val random_for_query :
     [0 .. domain-1]. *)
 
 val random_graph : seed:int -> nodes:int -> edges:int -> rel:string -> Database.t
-(** A random directed graph as a single binary relation. *)
+(** A random directed graph as a single binary relation; [edges] draws
+    with replacement, so the tuple count may come out lower after
+    deduplication. *)
+
+val power_law : seed:int -> nodes:int -> edges:int -> rel:string -> Database.t
+(** Exactly [edges] {e distinct} edges with a skewed (heavy-hub) degree
+    distribution: one endpoint of each edge is warped toward the low
+    node ids by a cubic transform.  Stresses the columnar plane's
+    galloping intersections with very unbalanced adjacency lists.
+    @raise Invalid_argument if [edges > nodes * nodes]. *)
+
+val bipartite : seed:int -> left:int -> right:int -> edges:int -> rel:string -> Database.t
+(** Exactly [edges] distinct edges from [0..left-1] to
+    [left..left+right-1].  Acyclic and triangle-free; witness counts for
+    path queries stay near-linear, so this is the scalable enumeration
+    family.
+    @raise Invalid_argument if [edges > left * right]. *)
+
+val grid_graph : rows:int -> cols:int -> rel:string -> Database.t
+(** The directed grid: node [(i,j)] is id [i*cols + j], with edges right
+    and down.  Deterministic (no seed); [rows*(cols-1) + (rows-1)*cols]
+    edges, maximum out-degree 2. *)
+
+val unary : count:int -> rel:string -> Database.t
+(** [rel(0), ..., rel(count-1)] — bulk unary relation for queries mixing
+    arity-1 atoms. *)
 
 val chain_db : length:int -> rel:string -> Database.t
 (** [R(0,1), R(1,2), ..., R(len-1,len)] — worst-case family for chain

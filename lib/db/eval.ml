@@ -5,9 +5,33 @@ type witness = {
 
 module Smap = Map.Make (String)
 
-(* Backtracking join.  At each step pick the atom with the most bound
-   variables (fail-fast); scan its relation's tuples filtered against the
-   current partial valuation. *)
+(* ---- plane selection ---------------------------------------------------
+
+   Two evaluators share this module's surface: the legacy structural
+   backtracking join (below) and the columnar fast path compiled onto
+   lib/col (interned ids, CSR adjacency, semijoin reduction, trie-join
+   enumeration).  The columnar plane is the default for queries whose
+   atoms all have arity <= 2; [RES_LEGACY_EVAL] or {!set_legacy} force
+   the legacy enumerator everywhere — the escape hatch the differential
+   suite and CI use to keep both planes green. *)
+
+let legacy_flag =
+  ref
+    (match Sys.getenv_opt "RES_LEGACY_EVAL" with
+    | Some ("1" | "true" | "yes" | "on") -> true
+    | _ -> false)
+
+let use_legacy () = !legacy_flag
+let set_legacy b = legacy_flag := b
+
+let columnar_eligible (q : Res_cq.Query.t) =
+  List.for_all (fun a -> Res_cq.Atom.arity a <= 2) (Res_cq.Query.atoms q)
+
+(* ---- legacy backtracking join ------------------------------------------ *)
+
+(* At each step pick the atom with the most bound variables (fail-fast);
+   scan its relation's tuples filtered against the current partial
+   valuation. *)
 
 let bound_count subst (a : Res_cq.Atom.t) =
   List.length (List.filter (fun v -> Smap.mem v subst) (Res_cq.Atom.vars a))
@@ -86,10 +110,69 @@ let enumerate db (q : Res_cq.Query.t) ~emit =
 
 exception Found
 
+(* ---- the columnar fast path -------------------------------------------- *)
+
+module VDict = Res_col.Dict.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type compiled = {
+  dict : VDict.t;
+  inst : Res_col.Instance.t;
+  rows : (string * Database.tuple array * Database.tuple list) list;
+      (* per relation: right-arity tuples in tuple-id order, and the
+         wrong-arity leftovers (which match no atom of this query) *)
+}
+
+let compile db (q : Res_cq.Query.t) =
+  if use_legacy () || not (columnar_eligible q) then None
+  else begin
+    let module I = Res_col.Instance in
+    let dict = VDict.create ~hint:256 () in
+    let rels =
+      Res_obs.Obs.span ~cat:"col" "intern" @@ fun () ->
+      List.map
+        (fun r ->
+          let ar = Res_cq.Query.arity_of q r in
+          let right, wrong =
+            List.partition (fun t -> List.length t = ar) (Database.tuples_of db r)
+          in
+          let arr = Array.of_list right in
+          let m = Array.length arr in
+          let col0 = Array.make m 0 in
+          let col1 = if ar = 2 then Array.make m 0 else [||] in
+          Array.iteri
+            (fun i t ->
+              match t with
+              | [ a ] -> col0.(i) <- VDict.intern dict a
+              | [ a; b ] ->
+                col0.(i) <- VDict.intern dict a;
+                col1.(i) <- VDict.intern dict b
+              | _ -> assert false)
+            arr;
+          (r, { I.arity = ar; col0; col1 }, arr, wrong))
+        (Res_cq.Query.relations q)
+    in
+    let inst =
+      Res_obs.Obs.span ~cat:"col" "build" @@ fun () ->
+      I.make q ~n:(VDict.size dict) (List.map (fun (r, d, _, _) -> (r, d)) rels)
+    in
+    (Res_obs.Obs.span ~cat:"col" "semijoin" @@ fun () -> I.reduce inst);
+    Some { dict; inst; rows = List.map (fun (r, _, arr, wrong) -> (r, arr, wrong)) rels }
+  end
+
+(* ---- the shared surface ------------------------------------------------ *)
+
 let sat db q =
-  match enumerate db q ~emit:(fun _ -> raise Found) with
-  | () -> false
-  | exception Found -> true
+  match compile db q with
+  | Some c -> Res_obs.Obs.span ~cat:"col" "enumerate" @@ fun () -> Res_col.Instance.sat c.inst
+  | None -> (
+    match enumerate db q ~emit:(fun _ -> raise Found) with
+    | () -> false
+    | exception Found -> true)
 
 let facts_of_valuation (q : Res_cq.Query.t) valuation =
   let lookup v =
@@ -101,22 +184,37 @@ let facts_of_valuation (q : Res_cq.Query.t) valuation =
     (fun (a : Res_cq.Atom.t) -> Database.fact a.rel (List.map lookup a.args))
     (Res_cq.Query.atoms q)
 
+(* Witnesses are returned in canonical valuation order (lexicographic on
+   the values in [Query.vars] order) whichever plane enumerated them, so
+   output is deterministic and plane-independent. *)
+let canonical ws =
+  List.sort
+    (fun w1 w2 ->
+      List.compare Value.compare (List.map snd w1.valuation) (List.map snd w2.valuation))
+    ws
+
+let fact_set_of q valuation =
+  List.fold_left
+    (fun set f -> Database.Fact_set.add f set)
+    Database.Fact_set.empty (facts_of_valuation q valuation)
+
 let witnesses ?(limit = 2_000_000) db q =
   let vars = Res_cq.Query.vars q in
   let acc = ref [] in
   let n = ref 0 in
-  enumerate db q ~emit:(fun subst ->
-      incr n;
-      if !n > limit then failwith "Eval.witnesses: limit exceeded";
-      let valuation = List.map (fun v -> (v, Smap.find v subst)) vars in
-      let facts =
-        List.fold_left
-          (fun set f -> Database.Fact_set.add f set)
-          Database.Fact_set.empty
-          (facts_of_valuation q valuation)
-      in
-      acc := { valuation; facts } :: !acc);
-  List.rev !acc
+  let push valuation =
+    incr n;
+    if !n > limit then failwith "Eval.witnesses: limit exceeded";
+    acc := { valuation; facts = fact_set_of q valuation } :: !acc
+  in
+  (match compile db q with
+  | Some c ->
+    Res_obs.Obs.span ~cat:"col" "enumerate" @@ fun () ->
+    Res_col.Instance.enumerate c.inst ~emit:(fun b ->
+        push (List.mapi (fun i v -> (v, VDict.value c.dict b.(i))) vars))
+  | None ->
+    enumerate db q ~emit:(fun subst -> push (List.map (fun v -> (v, Smap.find v subst)) vars)));
+  canonical !acc
 
 let witness_fact_sets db q =
   let module FS = Set.Make (struct
@@ -127,6 +225,23 @@ let witness_fact_sets db q =
   List.fold_left (fun s w -> FS.add w.facts s) FS.empty (witnesses db q) |> FS.elements
 
 let count db q =
-  let n = ref 0 in
-  enumerate db q ~emit:(fun _ -> incr n);
-  !n
+  match compile db q with
+  | Some c -> Res_obs.Obs.span ~cat:"col" "enumerate" @@ fun () -> Res_col.Instance.count c.inst
+  | None ->
+    let n = ref 0 in
+    enumerate db q ~emit:(fun _ -> incr n);
+    !n
+
+let reduce db q =
+  match compile db q with
+  | None -> db
+  | Some c ->
+    let module I = Res_col.Instance in
+    List.fold_left
+      (fun acc (rel, arr, wrong) ->
+        let keep = I.live c.inst rel in
+        if Array.length keep = Array.length arr then acc
+        else
+          Database.with_relation acc rel
+            (Array.to_list (Array.map (fun tid -> arr.(tid)) keep) @ wrong))
+      db c.rows

@@ -4,7 +4,17 @@
     A witness (paper Section 2) is a valuation of all existential variables
     that makes the query true; each witness determines the set of at most
     [m] facts it uses.  Witness enumeration drives both the exact resilience
-    solver and the flow constructions. *)
+    solver and the flow constructions.
+
+    Two evaluation planes live behind this surface.  Queries whose atoms
+    all have arity <= 2 (the paper's binary fragment) are compiled onto
+    the columnar engine in [lib/col]: constants are interned to dense
+    ids, relations become CSR adjacency, a Yannakakis-style semijoin
+    reduction prunes dangling tuples, and witnesses are enumerated by a
+    worst-case-optimal trie join.  Higher-arity queries — and everything
+    when the escape hatch is on — run the legacy structural backtracking
+    join.  Both planes produce identical results; the differential test
+    suite ([test/test_col.ml]) and a dedicated CI leg keep it that way. *)
 
 type witness = {
   valuation : (Res_cq.Atom.var * Value.t) list; (* in Query.vars order *)
@@ -15,7 +25,9 @@ val sat : Database.t -> Res_cq.Query.t -> bool
 (** [D |= q], with early exit. *)
 
 val witnesses : ?limit:int -> Database.t -> Res_cq.Query.t -> witness list
-(** All witnesses (valuations).  @raise Failure if more than [limit]
+(** All witnesses (valuations), in canonical order — lexicographic on the
+    valuation's values in [Query.vars] order, so the result is identical
+    whichever plane enumerated it.  @raise Failure if more than [limit]
     (default 2_000_000) witnesses exist — a guard against accidental
     cross-product blowups in tests. *)
 
@@ -29,3 +41,22 @@ val count : Database.t -> Res_cq.Query.t -> int
 val facts_of_valuation :
   Res_cq.Query.t -> (Res_cq.Atom.var * Value.t) list -> Database.fact list
 (** The facts a given valuation would use (whether or not present). *)
+
+val reduce : Database.t -> Res_cq.Query.t -> Database.t
+(** The semijoin-reduced instance: drops (right-arity) tuples of the
+    query's relations that survive in no atom occurrence of the
+    fixpoint — a sound pruning pass, [reduce db q] has exactly the same
+    witness set as [db].  Identity when the query is not columnar-eligible
+    or the legacy plane is forced.  Used as a pre-pass before flow-graph
+    construction. *)
+
+val use_legacy : unit -> bool
+(** Is the legacy evaluator forced ([RES_LEGACY_EVAL] or {!set_legacy})? *)
+
+val set_legacy : bool -> unit
+(** Force (or release) the legacy structural evaluator — the escape
+    hatch back from the columnar plane. *)
+
+val columnar_eligible : Res_cq.Query.t -> bool
+(** All atoms of arity <= 2, i.e. the query can compile onto the
+    columnar plane (it still won't if the legacy flag is set). *)

@@ -5,6 +5,7 @@ let () =
       ("sat", Test_sat.suite);
       ("cq", Test_cq.suite);
       ("db", Test_db.suite);
+      ("col", Test_col.suite);
       ("structure", Test_structure.suite);
       ("classify", Test_classify.suite);
       ("fragment", Test_fragment.suite);
