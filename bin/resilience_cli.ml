@@ -261,6 +261,102 @@ let solve_cmd =
     Term.(const run $ query_arg $ db_file_arg $ facts_arg $ explain_arg $ timeout_arg $ json_arg
           $ bounds_arg $ jobs_arg $ trace_file_arg $ legacy_eval_arg)
 
+(* --- watch ------------------------------------------------------------ *)
+
+(* Streaming front end for the incremental session: the initial answer,
+   then one updated answer per delta batch read from stdin (or --script).
+   The same verbs are available over the wire as protocol v4's "watch". *)
+let watch_cmd =
+  let run query_s db_file facts_inline script explain validate json jobs trace_file legacy =
+    with_trace trace_file @@ fun () ->
+    if legacy then Eval.set_legacy true;
+    let q = parse_query query_s in
+    let db = load_db db_file facts_inline in
+    let ic =
+      match script with
+      | None -> stdin
+      | Some path -> (
+        try open_in path
+        with Sys_error msg ->
+          prerr_endline msg;
+          exit 2)
+    in
+    with_pool jobs @@ fun pool ->
+    let session = Res_inc.Session.create ?pool db q in
+    if explain then
+      Printf.eprintf "strategies: %s\n%!"
+        (String.concat ", " (Res_inc.Session.strategies session));
+    let print_result r =
+      if json then
+        print_endline
+          (json_obj
+             (("version", string_of_int (Res_inc.Session.version session))
+             :: ("fp", json_str (Res_inc.Session.fingerprint session))
+             :: interval_fields (Res_inc.Session.result_interval r)))
+      else begin
+        let body =
+          match r with
+          | Res_inc.Session.Value Resilience.Solution.Unbreakable -> "unbreakable"
+          | Res_inc.Session.Value (Resilience.Solution.Finite (v, facts)) ->
+            Printf.sprintf "rho=%d set={%s}" v (String.concat "; " (List.map fact_str facts))
+          | Res_inc.Session.Interval iv ->
+            let module I = Res_bounds.Interval in
+            Printf.sprintf "interval lb=%d ub=%s" (I.lb iv)
+              (match I.ub iv with Some u -> string_of_int u | None -> "none")
+        in
+        Printf.printf "%s version=%d\n%!" body (Res_inc.Session.version session)
+      end
+    in
+    let check () =
+      if validate && not (Res_inc.Session.selfcheck session) then begin
+        Printf.eprintf "selfcheck FAILED at version %d\n" (Res_inc.Session.version session);
+        exit 1
+      end
+    in
+    print_result (Res_inc.Session.last session);
+    check ();
+    let rec loop () =
+      match input_line ic with
+      | exception End_of_file -> ()
+      | line when String.trim line = "" || (String.trim line).[0] = '#' -> loop ()
+      | line -> begin
+        match Res_db.Delta.parse line with
+        | exception Fact_syntax.Parse_error msg ->
+          Printf.eprintf "delta parse error: %s\n" msg;
+          exit 2
+        | deltas ->
+          print_result (Res_inc.Session.apply ?pool session deltas);
+          check ();
+          loop ()
+      end
+    in
+    loop ();
+    if script <> None then close_in ic
+  in
+  let script_arg =
+    Arg.(value & opt (some string) None & info [ "script" ] ~docv:"FILE"
+           ~doc:"Read delta batches from \\$(docv) instead of stdin: one batch per line, \
+                 ';'-separated signed facts (e.g. \"+R(1, 2); -S(3)\"), # comments.")
+  in
+  let explain_arg =
+    Arg.(value & flag & info [ "explain" ]
+           ~doc:"Print the per-component maintenance strategy to stderr before streaming.")
+  in
+  let validate_arg =
+    Arg.(value & flag & info [ "validate" ]
+           ~doc:"After every batch, audit the answer (facts present, removal falsifies \
+                 the query); exit 1 on the first failure.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit one JSON object per answer with version, fingerprint and bounds.")
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:"Maintain the resilience of a database under a stream of insert/delete deltas")
+    Term.(const run $ query_arg $ db_file_arg $ facts_arg $ script_arg $ explain_arg
+          $ validate_arg $ json_arg $ jobs_arg $ trace_file_arg $ legacy_eval_arg)
+
 (* --- batch ------------------------------------------------------------ *)
 
 let batch_cmd =
@@ -855,4 +951,4 @@ let scrape_cmd =
 let () =
   let doc = "resilience of conjunctive queries with self-joins (PODS 2020 reproduction)" in
   let info = Cmd.info "resilience" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ classify_cmd; solve_cmd; batch_cmd; serve_cmd; client_cmd; witnesses_cmd; gen_cmd; zoo_cmd; ijp_cmd; gadget_cmd; repairs_cmd; blame_cmd; propagate_cmd; trace_check_cmd; scrape_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ classify_cmd; solve_cmd; watch_cmd; batch_cmd; serve_cmd; client_cmd; witnesses_cmd; gen_cmd; zoo_cmd; ijp_cmd; gadget_cmd; repairs_cmd; blame_cmd; propagate_cmd; trace_check_cmd; scrape_cmd ]))

@@ -274,3 +274,23 @@ let lp_value sets =
     let ilp = Ilp.of_sets ~minimized:true sets in
     let b = lp ilp in
     if check ilp b then b.value else (packing ilp).value
+
+let lp_value_warm ?warm sets =
+  match sets with
+  | [] -> (0, [||])
+  | _ ->
+    Res_obs.Obs.span ~cat:"lp" "value-warm" @@ fun () ->
+    let ilp = Ilp.of_sets ~minimized:true sets in
+    if Ilp.n_constraints ilp = 0 then (0, [||])
+    else begin
+      let res = Simplex.packing_lp ?warm ilp in
+      let weights =
+        Array.map (fun y -> max 0 (int_of_float (floor (y *. float_of_int scale)))) res.solution
+      in
+      let denom = Array.fold_left max scale (column_sums ilp weights) in
+      let total = Array.fold_left ( + ) 0 weights in
+      let value = (total + denom - 1) / denom in
+      let b = { value; certificate = Fractional { weights; denom }; name = "lp-warm" } in
+      let sound = if check ilp b then b.value else (packing ilp).value in
+      (sound, res.basis)
+    end

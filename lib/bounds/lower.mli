@@ -56,3 +56,10 @@ val lp_value : Iset.t list -> int
     constraint system (the caller's sets are taken as already minimal),
     falling back to the greedy packing value if the certificate fails to
     check.  [ρ(sets) ≥ lp_value sets] always. *)
+
+val lp_value_warm : ?warm:int array -> Iset.t list -> int * int array
+(** Like {!lp_value} but the simplex resumes from a previous basis, and the
+    final basis is returned for the next call — the warm-start used by the
+    streaming tier, where consecutive deltas solve near-identical programs.
+    The bound is integer-checked exactly as in {!lp_value}, so a stale warm
+    hint can cost time, never soundness. *)

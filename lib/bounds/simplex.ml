@@ -1,4 +1,4 @@
-type result = { objective : float; solution : float array; optimal : bool }
+type result = { objective : float; solution : float array; optimal : bool; basis : int array }
 
 (* Dense primal simplex on the standard-form program
      maximize c·x  subject to  A x ≤ b,  x ≥ 0
@@ -9,11 +9,18 @@ type result = { objective : float; solution : float array; optimal : bool }
 
    The caller never needs optimality for soundness — every intermediate
    basic solution is primal-feasible, so even a capped run returns a
-   genuine feasible point whose objective is a valid bound. *)
-let maximize ?(eps = 1e-9) ?max_iter ~a ~b ~c () =
+   genuine feasible point whose objective is a valid bound.
+
+   A [?warm] basis (from a previous solve of a nearby program) is pivoted
+   in column by column before the optimization loop.  Each warm pivot is a
+   standard ratio-test pivot, so feasibility is preserved no matter how
+   stale the hint is; columns that no longer exist or admit no pivot are
+   skipped.  When the hint is close to the new optimum the main loop then
+   terminates in a handful of iterations. *)
+let maximize ?(eps = 1e-9) ?max_iter ?warm ~a ~b ~c () =
   let m = Array.length a in
   let n = Array.length c in
-  if m = 0 then { objective = 0.; solution = Array.make n 0.; optimal = true }
+  if m = 0 then { objective = 0.; solution = Array.make n 0.; optimal = true; basis = [||] }
   else begin
     Array.iter (fun bi -> if bi < 0. then invalid_arg "Simplex.maximize: b must be nonnegative") b;
     let cols = n + m + 1 in
@@ -27,6 +34,50 @@ let maximize ?(eps = 1e-9) ?max_iter ~a ~b ~c () =
       tab.(m).(j) <- -.c.(j)
     done;
     let basis = Array.init m (fun i -> n + i) in
+    let pivot r j =
+      let piv = tab.(r).(j) in
+      for k = 0 to cols - 1 do
+        tab.(r).(k) <- tab.(r).(k) /. piv
+      done;
+      for i = 0 to m do
+        if i <> r && abs_float tab.(i).(j) > 0. then begin
+          let f = tab.(i).(j) in
+          for k = 0 to cols - 1 do
+            tab.(i).(k) <- tab.(i).(k) -. (f *. tab.(r).(k))
+          done
+        end
+      done;
+      basis.(r) <- j
+    in
+    (* feasibility-preserving ratio-test row for entering column [j] *)
+    let leaving_row j =
+      let leaving = ref (-1) in
+      let best = ref infinity in
+      for i = 0 to m - 1 do
+        if tab.(i).(j) > eps then begin
+          let ratio = tab.(i).(cols - 1) /. tab.(i).(j) in
+          if
+            ratio < !best -. eps
+            || (ratio < !best +. eps && (!leaving < 0 || basis.(i) < basis.(!leaving)))
+          then begin
+            best := ratio;
+            leaving := i
+          end
+        end
+      done;
+      !leaving
+    in
+    (match warm with
+    | None -> ()
+    | Some hint ->
+      Array.iter
+        (fun j ->
+          if j >= 0 && j < n + m && not (Array.exists (fun bj -> bj = j) basis) then begin
+            match leaving_row j with
+            | -1 -> ()
+            | r -> pivot r j
+          end)
+        hint);
     let max_iter = match max_iter with Some k -> k | None -> (50 * (m + n)) + 1000 in
     let optimal = ref false in
     let iter = ref 0 in
@@ -49,50 +100,24 @@ let maximize ?(eps = 1e-9) ?max_iter ~a ~b ~c () =
          end;
          let j = !entering in
          (* leaving row: minimum ratio, ties broken by smallest basis var *)
-         let leaving = ref (-1) in
-         let best = ref infinity in
-         for i = 0 to m - 1 do
-           if tab.(i).(j) > eps then begin
-             let ratio = tab.(i).(cols - 1) /. tab.(i).(j) in
-             if
-               ratio < !best -. eps
-               || (ratio < !best +. eps && (!leaving < 0 || basis.(i) < basis.(!leaving)))
-             then begin
-               best := ratio;
-               leaving := i
-             end
-           end
-         done;
-         if !leaving < 0 then
+         match leaving_row j with
+         | -1 ->
            (* unbounded direction; the current feasible point still stands *)
-           raise Exit;
-         let r = !leaving in
-         let piv = tab.(r).(j) in
-         for k = 0 to cols - 1 do
-           tab.(r).(k) <- tab.(r).(k) /. piv
-         done;
-         for i = 0 to m do
-           if i <> r && abs_float tab.(i).(j) > 0. then begin
-             let f = tab.(i).(j) in
-             for k = 0 to cols - 1 do
-               tab.(i).(k) <- tab.(i).(k) -. (f *. tab.(r).(k))
-             done
-           end
-         done;
-         basis.(r) <- j
+           raise Exit
+         | r -> pivot r j
        done
      with Exit -> ());
     let solution = Array.make n 0. in
     for i = 0 to m - 1 do
       if basis.(i) < n then solution.(basis.(i)) <- max 0. tab.(i).(cols - 1)
     done;
-    { objective = tab.(m).(cols - 1); solution; optimal = !optimal }
+    { objective = tab.(m).(cols - 1); solution; optimal = !optimal; basis = Array.copy basis }
   end
 
 (* The packing LP  max Σy, Aᵀy ≤ 1, y ≥ 0  is the dual of the covering
    LP relaxation of a hitting-set program: one y per constraint, one ≤ 1
    row per variable. *)
-let packing_lp (ilp : Ilp.t) =
+let packing_lp ?warm (ilp : Ilp.t) =
   let n = Ilp.n_constraints ilp in
   let m = Ilp.n_vars ilp in
   let a = Array.make_matrix m n 0. in
@@ -102,4 +127,4 @@ let packing_lp (ilp : Ilp.t) =
         (fun v -> match Ilp.column ilp v with Some r -> a.(r).(ci) <- 1. | None -> ())
         set)
     (Ilp.constraints ilp);
-  maximize ~a ~b:(Array.make m 1.) ~c:(Array.make n 1.) ()
+  maximize ?warm ~a ~b:(Array.make m 1.) ~c:(Array.make n 1.) ()

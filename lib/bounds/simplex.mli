@@ -10,19 +10,26 @@
     re-checked in exact integer arithmetic ({!Lower.check}), so float
     error here can cost bound {e quality}, never {e correctness}. *)
 
-type result = { objective : float; solution : float array; optimal : bool }
+type result = { objective : float; solution : float array; optimal : bool; basis : int array }
+(** [basis] is the final basic column set (one entry per constraint row) —
+    feed it back as [?warm] to resume a later solve of a nearby program. *)
 
 val maximize :
   ?eps:float ->
   ?max_iter:int ->
+  ?warm:int array ->
   a:float array array ->
   b:float array ->
   c:float array ->
   unit ->
   result
-(** @raise Invalid_argument when some [b.(i) < 0]. *)
+(** [?warm] pivots a previous solve's basis in before optimizing; each warm
+    pivot passes the usual ratio test, so feasibility — and therefore
+    soundness of the result — holds however stale the hint is.  Invalid or
+    out-of-range columns are skipped silently.
+    @raise Invalid_argument when some [b.(i) < 0]. *)
 
-val packing_lp : Ilp.t -> result
+val packing_lp : ?warm:int array -> Ilp.t -> result
 (** The fractional witness-packing LP — the dual of the covering LP
     relaxation of the hitting-set program.  One variable per covering
     constraint, one [≤ 1] row per ILP variable; its optimum equals the

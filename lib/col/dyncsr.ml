@@ -1,0 +1,139 @@
+(* Incrementally maintained CSR adjacency.
+
+   A [Dyncsr.t] is a compact {!Csr} base plus a small mutable overlay: edges
+   inserted since the last compaction live in per-source lists, edges deleted
+   from the base are masked by a tombstone set.  Queries merge base and
+   overlay on the fly; when the overlay grows past a quarter of the base the
+   structure compacts back into a fresh {!Csr}, so the amortized cost per
+   delta stays constant while reads keep CSR locality.
+
+   Tuple ids follow the same contract as {!Csr.build}: the caller assigns
+   them and they ride along unchanged.  Re-inserting a deleted pair gets the
+   caller's fresh tuple id (the base pair stays masked until compaction). *)
+
+type t = {
+  mutable base : Csr.t;
+  mutable n : int; (* node id bound, >= Csr.n_nodes base *)
+  mutable extra : (int, (int * int) list) Hashtbl.t; (* src -> (dst, tid), live *)
+  mutable dead : (int, unit) Hashtbl.t; (* packed (src, dst) masked in base *)
+  mutable n_extra : int;
+  mutable n_dead : int;
+}
+
+let pack src dst = (src lsl 31) lor dst
+
+let build ~n edges =
+  {
+    base = Csr.build ~n edges;
+    n;
+    extra = Hashtbl.create 16;
+    dead = Hashtbl.create 16;
+    n_extra = 0;
+    n_dead = 0;
+  }
+
+let n_nodes t = t.n
+let n_edges t = Csr.n_edges t.base - t.n_dead + t.n_extra
+
+let in_base t src dst =
+  Csr.mem t.base src dst && not (Hashtbl.mem t.dead (pack src dst))
+
+let in_extra t src dst =
+  match Hashtbl.find_opt t.extra src with
+  | None -> false
+  | Some l -> List.exists (fun (d, _) -> d = dst) l
+
+let mem t src dst = in_base t src dst || in_extra t src dst
+
+let tid_of t src dst =
+  match Hashtbl.find_opt t.extra src with
+  | Some l when List.mem_assoc dst l -> Some (List.assoc dst l)
+  | _ -> if in_base t src dst then Csr.tid_of t.base src dst else None
+
+let iter_edges f t =
+  let b = t.base in
+  Array.iter
+    (fun src ->
+      let row = Csr.succ b src in
+      for i = 0 to row.Sorted.len - 1 do
+        let dst = row.Sorted.arr.(row.Sorted.off + i) in
+        if not (Hashtbl.mem t.dead (pack src dst)) then f src dst (Csr.succ_tid b src i)
+      done)
+    (Csr.srcs b);
+  Hashtbl.iter (fun src l -> List.iter (fun (dst, tid) -> f src dst tid) l) t.extra
+
+let edges t =
+  let acc = ref [] in
+  iter_edges (fun src dst tid -> acc := (src, dst, tid) :: !acc) t;
+  Array.of_list !acc
+
+let compact t =
+  if t.n_extra > 0 || t.n_dead > 0 then begin
+    t.base <- Csr.build ~n:t.n (edges t);
+    t.extra <- Hashtbl.create 16;
+    t.dead <- Hashtbl.create 16;
+    t.n_extra <- 0;
+    t.n_dead <- 0
+  end
+
+let maybe_compact t =
+  let overlay = t.n_extra + t.n_dead in
+  if overlay > 16 && overlay * 4 > Csr.n_edges t.base then compact t
+
+let add t ~src ~dst ~tid =
+  if src < 0 || dst < 0 then invalid_arg "Dyncsr.add";
+  if mem t src dst then invalid_arg "Dyncsr.add: edge already present";
+  if max src dst >= t.n then t.n <- max src dst + 1;
+  let prev = Option.value ~default:[] (Hashtbl.find_opt t.extra src) in
+  Hashtbl.replace t.extra src ((dst, tid) :: prev);
+  t.n_extra <- t.n_extra + 1;
+  maybe_compact t
+
+let remove t ~src ~dst =
+  (match Hashtbl.find_opt t.extra src with
+  | Some l when List.mem_assoc dst l ->
+    let l' = List.filter (fun (d, _) -> d <> dst) l in
+    if l' = [] then Hashtbl.remove t.extra src else Hashtbl.replace t.extra src l';
+    t.n_extra <- t.n_extra - 1
+  | _ ->
+    if in_base t src dst then begin
+      Hashtbl.replace t.dead (pack src dst) ();
+      t.n_dead <- t.n_dead + 1
+    end
+    else invalid_arg "Dyncsr.remove: edge not present");
+  maybe_compact t
+
+let succ t src =
+  let base =
+    let row = Csr.succ t.base src in
+    let acc = ref [] in
+    for i = row.Sorted.len - 1 downto 0 do
+      let dst = row.Sorted.arr.(row.Sorted.off + i) in
+      if not (Hashtbl.mem t.dead (pack src dst)) then acc := dst :: !acc
+    done;
+    !acc
+  in
+  match Hashtbl.find_opt t.extra src with
+  | None -> base
+  | Some l -> List.sort_uniq compare (base @ List.map fst l)
+
+let pred t dst =
+  (* The overlay is keyed by source, so the reverse direction scans it. *)
+  let base =
+    let row = Csr.pred t.base dst in
+    let acc = ref [] in
+    for i = row.Sorted.len - 1 downto 0 do
+      let src = row.Sorted.arr.(row.Sorted.off + i) in
+      if not (Hashtbl.mem t.dead (pack src dst)) then acc := src :: !acc
+    done;
+    !acc
+  in
+  let extra = ref [] in
+  Hashtbl.iter
+    (fun src l -> if List.mem_assoc dst l then extra := src :: !extra)
+    t.extra;
+  match !extra with [] -> base | e -> List.sort_uniq compare (base @ e)
+
+let snapshot t =
+  compact t;
+  t.base

@@ -69,7 +69,7 @@ let instance db q =
             fs IS.empty)
         witness_sets
     in
-    Some (sets, facts_rev)
+    Some (sets, facts_rev, fact_ids)
   end
 
 (* Keep only ⊆-minimal sets (tree-set version, used by the optimal-set
@@ -228,12 +228,24 @@ let packing_bound_b n_facts sets =
     0
     (List.sort (fun (a, _) (b, _) -> compare a b) sets)
 
-let lower_of ~lp_budget ~n_facts depth sets =
+let lower_of ?lp_state ~lp_budget ~n_facts depth sets =
   let pack = packing_bound_b n_facts sets in
   if depth <= lp_depth_cap && List.length sets <= lp_constraint_cap && take_slot lp_budget
   then begin
     Atomic.incr lp_calls_c;
-    let l = Res_bounds.Lower.lp_value (List.map (fun (_, b) -> is_of_bitset b) sets) in
+    let is_sets = List.map (fun (_, b) -> is_of_bitset b) sets in
+    let l =
+      match lp_state with
+      | Some st when depth = 0 ->
+        (* Streaming warm start: root LPs of consecutive deltas are
+           near-identical programs, so resume the simplex from the last
+           basis and publish the new one.  Sharing is advisory — a racy
+           read across parallel components only costs pivots. *)
+        let l, basis = Res_bounds.Lower.lp_value_warm ?warm:(Atomic.get st) is_sets in
+        Atomic.set st (Some basis);
+        l
+      | _ -> Res_bounds.Lower.lp_value is_sets
+    in
     if l > pack then `Lp (l, pack) else `Pack pack
   end
   else `Pack pack
@@ -317,16 +329,34 @@ let rec branch ~cancel ~best ~lp_budget ~n_facts chosen depth sets =
    bound, then branch-and-bound — sequentially, or with the top of the
    search tree forked into executor tasks that share the incumbent, the
    LP budget and the cancellation token. *)
-let solve_component_body ?pool ~cancel ~lp n_facts bsets =
+let solve_component_body ?pool ?seed ?lp_state ~cancel ~lp n_facts bsets =
   Atomic.incr covers_c;
   let sets = List.map (fun b -> (Bitset.cardinal b, b)) bsets in
   let ilp = Res_bounds.Ilp.of_sets ~minimized:true (List.map (fun (_, b) -> is_of_bitset b) sets) in
   let ub0 = Res_bounds.Upper.best ilp in
   assert (Res_bounds.Upper.check ilp ub0);
-  let best = Atomic.make (ub0.Res_bounds.Upper.value, ub0.Res_bounds.Upper.cover) in
+  (* Warm start: if the caller's previous incumbent still hits every witness
+     of this component, its restriction to the component's universe is a
+     valid initial incumbent — validated here, after minimization and fact
+     dominance, because a seed fact dropped by the dominance pass may have
+     been load-bearing. *)
+  let seeded =
+    match seed with
+    | Some sb when List.for_all (fun (_, s) -> not (Bitset.inter_empty s sb)) sets ->
+      let universe = Bitset.create n_facts in
+      List.iter (fun (_, s) -> Bitset.union_into universe s) sets;
+      let elems = List.filter (fun f -> Bitset.mem universe f) (Bitset.elements sb) in
+      Some (List.length elems, elems)
+    | _ -> None
+  in
+  let ub0_pair = (ub0.Res_bounds.Upper.value, ub0.Res_bounds.Upper.cover) in
+  let start =
+    match seeded with Some (v, c) when v < fst ub0_pair -> (v, c) | _ -> ub0_pair
+  in
+  let best = Atomic.make start in
   let lp_budget = Atomic.make (if lp then lp_call_budget else 0) in
   let root_lb =
-    match lower_of ~lp_budget ~n_facts 0 sets with `Lp (l, _) -> l | `Pack p -> p
+    match lower_of ?lp_state ~lp_budget ~n_facts 0 sets with `Lp (l, _) -> l | `Pack p -> p
   in
   if root_lb >= fst (Atomic.get best) then `Complete (Atomic.get best)
   else begin
@@ -379,12 +409,12 @@ let solve_component_body ?pool ~cancel ~lp n_facts bsets =
     if finished then `Complete (Atomic.get best) else `Interrupted (Atomic.get best, root_lb)
   end
 
-let solve_component ?pool ~cancel ~lp n_facts bsets =
+let solve_component ?pool ?seed ?lp_state ~cancel ~lp n_facts bsets =
   if Obs.enabled () then
     Obs.span ~cat:"bnb" "component"
       ~args:[ ("witnesses", string_of_int (List.length bsets)) ]
-      (fun () -> solve_component_body ?pool ~cancel ~lp n_facts bsets)
-  else solve_component_body ?pool ~cancel ~lp n_facts bsets
+      (fun () -> solve_component_body ?pool ?seed ?lp_state ~cancel ~lp n_facts bsets)
+  else solve_component_body ?pool ?seed ?lp_state ~cancel ~lp n_facts bsets
 
 (* Branch-and-bound on the hitting-set instance.  Witness minimization,
    fact dominance, then a split into connected components of the
@@ -393,7 +423,7 @@ let solve_component ?pool ~cancel ~lp n_facts bsets =
    are a genuine hitting set — that is what [`Interrupted] carries,
    together with the summed certified lower bounds (a finished
    component contributes its exact optimum to both sides). *)
-let solve_hitting_set ?(cancel = Cancel.never) ?(lp = true) ?pool sets =
+let solve_hitting_set ?(cancel = Cancel.never) ?(lp = true) ?pool ?seed ?lp_state sets =
   match sets with
   | [] -> `Complete (0, [])
   | _ ->
@@ -405,8 +435,16 @@ let solve_hitting_set ?(cancel = Cancel.never) ?(lp = true) ?pool sets =
        never empties a set (each set keeps at least one undominated
        fact: the fact whose witness-set is maximal wrt the others). *)
     assert (List.for_all (fun s -> not (Bitset.is_empty s)) bsets);
+    let seed =
+      match seed with
+      | None -> None
+      | Some s ->
+        let b = Bitset.create n_facts in
+        IS.iter (fun f -> if f >= 0 && f < n_facts then Bitset.add b f) s;
+        Some b
+    in
     let comps = witness_components n_facts bsets in
-    let solve_one = solve_component ?pool ~cancel ~lp n_facts in
+    let solve_one = solve_component ?pool ?seed ?lp_state ~cancel ~lp n_facts in
     let results =
       match (pool, comps) with
       | Some p, _ :: _ :: _ when Executor.jobs p > 1 -> Executor.parallel_map p solve_one comps
@@ -425,17 +463,30 @@ type outcome =
   | Complete of Solution.t
   | Interrupted of { incumbent : Solution.t; lb : int }
 
-let resilience_bounded ?cancel ?lp ?pool db q =
+let resilience_bounded ?cancel ?lp ?pool ?seed ?lp_state db q =
   match instance db q with
   | None -> Complete Solution.Unbreakable
-  | Some (sets, facts_rev) ->
+  | Some (sets, facts_rev, fact_ids) ->
+    let seed =
+      (* Seed facts that no witness mentions simply drop out here; the
+         per-component validation decides whether what remains still hits
+         everything. *)
+      match seed with
+      | None -> None
+      | Some facts ->
+        Some
+          (List.fold_left
+             (fun acc f ->
+               match Hashtbl.find_opt fact_ids f with Some i -> IS.add i acc | None -> acc)
+             IS.empty facts)
+    in
     let finish (value, chosen) =
       (* sort by fact id: witness-enumeration order, independent of
          component order and of the parallel search interleaving *)
       Solution.Finite
         (value, List.map (Hashtbl.find facts_rev) (List.sort_uniq compare chosen))
     in
-    (match solve_hitting_set ?cancel ?lp ?pool sets with
+    (match solve_hitting_set ?cancel ?lp ?pool ?seed ?lp_state sets with
      | `Complete r -> Complete (finish r)
      | `Interrupted (r, lb) -> Interrupted { incumbent = finish r; lb })
 
@@ -463,7 +514,7 @@ let in_res db q k =
 let minimum_sets ?(limit = 1000) db q =
   match instance db q with
   | None -> []
-  | Some (sets, facts_rev) ->
+  | Some (sets, facts_rev, _) ->
     let opt =
       match solve_hitting_set sets with
       | `Complete (v, _) -> v

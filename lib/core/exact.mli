@@ -57,6 +57,8 @@ val resilience_bounded :
   ?cancel:Cancel.t ->
   ?lp:bool ->
   ?pool:Res_exec.Executor.t ->
+  ?seed:Database.fact list ->
+  ?lp_state:int array option Atomic.t ->
   Database.t ->
   Res_cq.Query.t ->
   outcome
@@ -67,7 +69,16 @@ val resilience_bounded :
     forked subtree stops at its next poll and the summed per-component
     incumbents/lower bounds still sandwich ρ.  [?lp] (default [true])
     switches the LP-relaxation pruning — exposed so the pruning bench
-    can measure its effect. *)
+    can measure its effect.
+
+    Warm starts for the streaming tier: [?seed] is a candidate hitting set
+    (typically the previous delta's optimal contingency set); per component,
+    if its restriction still hits every witness it becomes the initial
+    incumbent when smaller than the greedy cover — validity is re-checked
+    from scratch, so a stale seed costs nothing.  [?lp_state] carries the
+    root simplex basis across calls: the basis found by this call's root LP
+    is stored back, and the stored basis warm-starts the next.  Neither
+    option changes any returned value, only search effort. *)
 
 (** {2 Search instrumentation}
 

@@ -98,20 +98,11 @@ let solve ?(cancel = Cancel.never) ?(fact_exogenous = fun _ -> false) db (q : Re
         |> List.sort_uniq compare
       in
       (* Greedy minimalization: duplicate edges of a self-joined tuple may
-         have put redundant facts in the cut.  Only worthwhile at small
-         sizes; for sj-free queries the cut has no duplicates anyway, and
-         each greedy step pays a full [Eval.sat] over the database. *)
-      let minimalize facts =
-        if List.length facts > 200 || Database.size db > 20_000 then facts
-        else
-          List.fold_left
-            (fun kept f ->
-              Cancel.guard cancel;
-              let candidate = List.filter (fun g -> g <> f) kept in
-              if Eval.sat (Database.remove_all db candidate) q then kept else candidate)
-            facts facts
-      in
-      let contingency = minimalize cut_facts in
+         have put redundant facts in the cut.  For sj-free queries the cut
+         has no duplicates anyway, and each greedy step pays a full
+         [Eval.sat] over the database — [Tuning] gates it on instance
+         size. *)
+      let contingency = Tuning.minimalize ~cancel db q cut_facts in
       assert (not (Eval.sat (Database.remove_all db contingency) q));
       Some (Solution.Finite (List.length contingency, contingency))
     end

@@ -64,6 +64,13 @@ val interval_of_solution : Solution.t -> Res_bounds.Interval.t
 val value : Database.t -> Res_cq.Query.t -> int option
 (** [Some ρ] or [None] (unbreakable). *)
 
+val extend_db_for_split : Database.t -> Res_cq.Query.t -> Database.t
+(** Materialize the exogenous-split renaming on the database: every
+    relation [R__k] of the split query that is absent from the database
+    inherits the tuples of its base relation [R].  Exposed for the
+    incremental session ([lib/inc]), which must present strategies with
+    the same extended view the dispatcher solves against. *)
+
 (** {2 The mirror symmetry}
 
     Reversing every binary atom ({!Query_iso.mirror}) together with every

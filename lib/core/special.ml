@@ -4,19 +4,9 @@ module Maxflow = Res_graph.Maxflow
 (* Shared finishing step: drop redundant facts greedily (only worthwhile
    for small sets — the flow and König results are already optimal, the
    greedy pass just strips duplicate-edge artifacts), then check the
-   result really falsifies the query.  Each greedy step pays a full
-   [Eval.sat] over the database, so the pass is skipped on large
-   instances where that cost dwarfs its cosmetic benefit. *)
+   result really falsifies the query.  The size gate lives in [Tuning]. *)
 let finalize db q facts =
-  let minimal =
-    if List.length facts > 200 || Database.size db > 20_000 then facts
-    else
-      List.fold_left
-        (fun kept f ->
-          let candidate = List.filter (fun g -> g <> f) kept in
-          if Eval.sat (Database.remove_all db candidate) q then kept else candidate)
-        facts facts
-  in
+  let minimal = Tuning.minimalize db q facts in
   assert (not (Eval.sat (Database.remove_all db minimal) q));
   Solution.Finite (List.length minimal, minimal)
 

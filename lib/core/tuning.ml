@@ -1,0 +1,37 @@
+(* Runtime-tunable solver knobs, shared across the PTIME solvers.
+
+   The greedy minimalization pass that post-processes flow cuts and vertex
+   covers pays a full [Eval.sat] per kept fact, so it is gated on instance
+   size.  The gate used to be two magic numbers duplicated in [Flow] and
+   [Special]; it now lives here, configurable per process via
+   [RES_MINIMALIZE_CAP] or programmatically via {!set_minimalize_cap}. *)
+
+let default_minimalize_cap = 20_000
+
+(* Minimalization also bails on very large candidate sets regardless of
+   database size; this second knob is not env-configurable. *)
+let minimalize_fact_cap = 200
+
+let cap_of_env () =
+  match Sys.getenv_opt "RES_MINIMALIZE_CAP" with
+  | None -> default_minimalize_cap
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some v when v >= 0 -> v
+    | _ -> default_minimalize_cap)
+
+let cap = ref (cap_of_env ())
+let minimalize_cap () = !cap
+let set_minimalize_cap v = cap := max 0 v
+
+let minimalize ?(cancel = Cancel.never) ?cap:cap_override db q facts =
+  let cap = match cap_override with Some c -> c | None -> minimalize_cap () in
+  if List.length facts > minimalize_fact_cap || Res_db.Database.size db > cap then facts
+  else
+    List.fold_left
+      (fun kept f ->
+        Cancel.guard cancel;
+        let candidate = List.filter (fun g -> g <> f) kept in
+        if Res_db.Eval.sat (Res_db.Database.remove_all db candidate) q then kept
+        else candidate)
+      facts facts

@@ -1,0 +1,57 @@
+type t = Insert of Database.fact | Delete of Database.fact
+
+let insert f = Insert f
+let delete f = Delete f
+let fact_of = function Insert f | Delete f -> f
+
+let apply_db db deltas =
+  List.fold_left
+    (fun db -> function
+      | Insert f -> Database.add db f
+      | Delete f -> Database.remove db f)
+    db deltas
+
+let effective db deltas =
+  (* Keep only deltas that change the database, applying left to right (so
+     [+R(1); -R(1)] keeps both when R(1) was absent: the state genuinely
+     changes twice). *)
+  let db = ref db in
+  List.filter
+    (fun d ->
+      match d with
+      | Insert f ->
+        if Database.mem !db f then false
+        else begin
+          db := Database.add !db f;
+          true
+        end
+      | Delete f ->
+        if Database.mem !db f then begin
+          db := Database.remove !db f;
+          true
+        end
+        else false)
+    deltas
+
+let parse_one s =
+  let s = String.trim s in
+  if s = "" then None
+  else begin
+    let n = String.length s in
+    match s.[0] with
+    | '+' -> Some (Insert (Fact_syntax.fact (String.sub s 1 (n - 1))))
+    | '-' -> Some (Delete (Fact_syntax.fact (String.sub s 1 (n - 1))))
+    | _ -> raise (Fact_syntax.Parse_error ("delta must start with '+' or '-': " ^ s))
+  end
+
+let parse s =
+  (* Same separators as [Fact_syntax.facts]: semicolons and newlines. *)
+  String.split_on_char '\n' s
+  |> List.concat_map (String.split_on_char ';')
+  |> List.filter_map parse_one
+
+let pp ppf = function
+  | Insert f -> Format.fprintf ppf "+%a" Database.pp_fact f
+  | Delete f -> Format.fprintf ppf "-%a" Database.pp_fact f
+
+let to_string d = Format.asprintf "%a" pp d

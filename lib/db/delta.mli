@@ -1,0 +1,25 @@
+(** Tuple-level updates: the unit of change for the streaming tier.
+
+    A delta inserts or deletes one fact.  Batches are ordered lists; the
+    concrete syntax is the fact syntax prefixed with [+] or [-], separated by
+    semicolons or newlines — ["+R(1,2); -A(x)"]. *)
+
+type t = Insert of Database.fact | Delete of Database.fact
+
+val insert : Database.fact -> t
+val delete : Database.fact -> t
+val fact_of : t -> Database.fact
+
+val apply_db : Database.t -> t list -> Database.t
+(** Apply in order.  Inserting a present fact and deleting an absent one are
+    no-ops (relations are sets). *)
+
+val effective : Database.t -> t list -> t list
+(** The subsequence of deltas that actually change the database when applied
+    in order from [db] — what the incremental solvers consume. *)
+
+val parse : string -> t list
+(** @raise Fact_syntax.Parse_error on malformed input. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

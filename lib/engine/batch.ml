@@ -167,6 +167,46 @@ let solve t db q =
   | Solved (sol, _) -> sol
   | Timed_out _ -> assert false
 
+(* Fingerprint fast path for the streaming tier.  The versioned database's
+   O(1) content fingerprint stands in for the O(|D|) canonical instance
+   digest.  Unlike the digest it is neither renaming- nor mirror-invariant
+   and covers the whole database, so the witnessing renaming is folded into
+   the cache key and hits are shared only between instances with literally
+   equal databases — what is bought is that re-solving a mutated-then-
+   reverted instance costs no per-fact hashing at all.  The stored value is
+   the solution already translated into the caller's vocabulary, sound
+   because equal key ⟹ equal canonical class, renaming and database
+   content.  A miss falls through to {!solve_keyed_bounded}, which also
+   feeds the digest-keyed entry for cross-instance sharing. *)
+let solve_versioned t (vdb : Vdb.t) q =
+  if not t.cached then (solve t (Vdb.db vdb) q, false)
+  else begin
+    let k = timed_canon t (fun () -> Canon.keyed q) in
+    let rel_repr =
+      String.concat ","
+        (List.map (fun (a, b) -> a ^ ">" ^ b) (List.sort compare k.renaming.rel_map))
+      ^ if k.renaming.mirrored then "~m" else ""
+    in
+    let fast_key = (k.key ^ "|" ^ rel_repr, "fp:" ^ Vdb.fingerprint vdb) in
+    let hit =
+      locked t (fun () ->
+          match Cache.find t.solve_cache fast_key with
+          | Some sol ->
+            t.stats.solve_hits <- t.stats.solve_hits + 1;
+            Some sol
+          | None -> None)
+    in
+    match hit with
+    | Some sol -> (sol, true)
+    | None -> begin
+      match solve_keyed_bounded t k (Vdb.db vdb) q with
+      | Solved (sol, cached) ->
+        locked t (fun () -> Cache.add t.solve_cache fast_key sol);
+        (sol, cached)
+      | Timed_out _ -> assert false (* Cancel.never cannot fire *)
+    end
+  end
+
 let count_instance t = locked t (fun () -> t.stats.instances <- t.stats.instances + 1)
 
 let solve_item t (i, (inst : instance), keyed) =

@@ -37,6 +37,14 @@ val classify : t -> Query.t -> Classify.verdict
 val solve : t -> Database.t -> Query.t -> Solution.t
 (** ρ(D, q) with a minimum contingency set, via the caches. *)
 
+val solve_versioned : t -> Vdb.t -> Query.t -> Solution.t * bool
+(** Like {!solve} on the versioned database's current contents, but keyed
+    by its O(1) content fingerprint instead of the O(|D|) instance digest —
+    the re-solve fast path of the streaming tier.  Correct under mutation:
+    every effective delta changes the fingerprint, so a stale entry can
+    never be served; reverting the database restores the fingerprint and
+    the hit.  The boolean reports whether the answer came from cache. *)
+
 (** {2 Deadline-aware solving}
 
     An engine is shared by every worker of the service layer, so the

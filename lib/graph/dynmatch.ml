@@ -1,0 +1,206 @@
+(* Dynamic maximum bipartite matching (incremental Hopcroft–Karp).
+
+   Unlike {!Bipartite}, the matching survives edge insertions and deletions:
+   a delta marks the structure dirty and the next query runs Hopcroft–Karp
+   phases {e from the current matching} instead of from scratch.  Since a
+   single edge delta changes the maximum matching size by at most one, repair
+   is usually a single layered phase over the graph rather than the
+   O(E·sqrt(V)) rebuild. *)
+
+type t = {
+  mutable n_left : int;
+  mutable n_right : int;
+  mutable adj : int list array; (* left -> rights; one entry per parallel edge *)
+  mutable match_l : int array; (* left -> matched right or -1 *)
+  mutable match_r : int array; (* right -> matched left or -1 *)
+  mutable dist : int array;
+  mutable size : int; (* current matching size *)
+  mutable dirty : bool; (* matching may be below maximum *)
+}
+
+let create () =
+  {
+    n_left = 0;
+    n_right = 0;
+    adj = Array.make 4 [];
+    match_l = Array.make 4 (-1);
+    match_r = Array.make 4 (-1);
+    dist = Array.make 4 (-1);
+    size = 0;
+    dirty = false;
+  }
+
+let grow_int a n fill =
+  let cap = Array.length a in
+  if n <= cap then a
+  else begin
+    let a' = Array.make (max n (2 * cap)) fill in
+    Array.blit a 0 a' 0 cap;
+    a'
+  end
+
+let grow_lists a n =
+  let cap = Array.length a in
+  if n <= cap then a
+  else begin
+    let a' = Array.make (max n (2 * cap)) [] in
+    Array.blit a 0 a' 0 cap;
+    a'
+  end
+
+let ensure_left g n =
+  if n > g.n_left then begin
+    g.adj <- grow_lists g.adj n;
+    g.match_l <- grow_int g.match_l n (-1);
+    g.dist <- grow_int g.dist n (-1);
+    g.n_left <- n
+  end
+
+let ensure_right g n =
+  if n > g.n_right then begin
+    g.match_r <- grow_int g.match_r n (-1);
+    g.n_right <- n
+  end
+
+let n_left g = g.n_left
+let n_right g = g.n_right
+let inf = max_int
+
+(* Layered BFS / shortest-path DFS, as in {!Bipartite} but starting from
+   whatever matching is currently in place. *)
+let bfs g =
+  let q = Queue.create () in
+  for u = 0 to g.n_left - 1 do
+    if g.match_l.(u) < 0 then begin
+      g.dist.(u) <- 0;
+      Queue.add u q
+    end
+    else g.dist.(u) <- inf
+  done;
+  let found = ref false in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun v ->
+        let u' = g.match_r.(v) in
+        if u' < 0 then found := true
+        else if g.dist.(u') = inf then begin
+          g.dist.(u') <- g.dist.(u) + 1;
+          Queue.add u' q
+        end)
+      g.adj.(u)
+  done;
+  !found
+
+let rec dfs g u =
+  let rec try_edges = function
+    | [] ->
+      g.dist.(u) <- inf;
+      false
+    | v :: rest ->
+      let u' = g.match_r.(v) in
+      if u' < 0 || (g.dist.(u') = g.dist.(u) + 1 && dfs g u') then begin
+        g.match_l.(u) <- v;
+        g.match_r.(v) <- u;
+        true
+      end
+      else try_edges rest
+  in
+  try_edges g.adj.(u)
+
+let repair g =
+  if g.dirty then begin
+    while bfs g do
+      for u = 0 to g.n_left - 1 do
+        if g.match_l.(u) < 0 && dfs g u then g.size <- g.size + 1
+      done
+    done;
+    g.dirty <- false
+  end
+
+let add_edge g u v =
+  if u < 0 || v < 0 then invalid_arg "Dynmatch.add_edge";
+  ensure_left g (u + 1);
+  ensure_right g (v + 1);
+  g.adj.(u) <- v :: g.adj.(u);
+  if g.match_l.(u) < 0 && g.match_r.(v) < 0 then begin
+    (* Both endpoints free: matching the new edge directly adds one, which is
+       the most any single insertion can add, so maximality is preserved. *)
+    g.match_l.(u) <- v;
+    g.match_r.(v) <- u;
+    g.size <- g.size + 1
+  end
+  else
+    (* Even with both endpoints matched the new edge can enable an augmenting
+       path, so a repair phase is required before the next query. *)
+    g.dirty <- true
+
+let remove_one lst v =
+  let rec go acc = function
+    | [] -> None
+    | x :: rest when x = v -> Some (List.rev_append acc rest)
+    | x :: rest -> go (x :: acc) rest
+  in
+  go [] lst
+
+let remove_edge g u v =
+  if u < 0 || u >= g.n_left then false
+  else begin
+    match remove_one g.adj.(u) v with
+    | None -> false
+    | Some rest ->
+      g.adj.(u) <- rest;
+      if g.match_l.(u) = v && not (List.mem v rest) then begin
+        (* The matched copy is gone: unmatch and look for a replacement
+           augmenting path at the next query.  Deleting one edge lowers the
+           maximum by at most one, so a single phase suffices. *)
+        g.match_l.(u) <- -1;
+        g.match_r.(v) <- -1;
+        g.size <- g.size - 1;
+        g.dirty <- true
+      end;
+      true
+  end
+
+let matching_size g =
+  repair g;
+  g.size
+
+let matching_pairs g =
+  repair g;
+  let acc = ref [] in
+  for u = g.n_left - 1 downto 0 do
+    if g.match_l.(u) >= 0 then acc := (u, g.match_l.(u)) :: !acc
+  done;
+  !acc
+
+let min_vertex_cover g =
+  repair g;
+  (* König on the maintained maximum matching; identical to
+     {!Bipartite.min_vertex_cover} except that no rebuild happens. *)
+  let visited_l = Array.make (max g.n_left 1) false in
+  let visited_r = Array.make (max g.n_right 1) false in
+  let rec explore u =
+    if not visited_l.(u) then begin
+      visited_l.(u) <- true;
+      List.iter
+        (fun v ->
+          if v <> g.match_l.(u) && not visited_r.(v) then begin
+            visited_r.(v) <- true;
+            let u' = g.match_r.(v) in
+            if u' >= 0 then explore u'
+          end)
+        g.adj.(u)
+    end
+  in
+  for u = 0 to g.n_left - 1 do
+    if g.match_l.(u) < 0 then explore u
+  done;
+  let left = ref [] and right = ref [] in
+  for u = g.n_left - 1 downto 0 do
+    if not visited_l.(u) && g.match_l.(u) >= 0 then left := u :: !left
+  done;
+  for v = g.n_right - 1 downto 0 do
+    if visited_r.(v) then right := v :: !right
+  done;
+  (!left, !right)

@@ -1,0 +1,36 @@
+(** Dynamic maximum bipartite matching (incremental Hopcroft–Karp).
+
+    The matching is maintained across edge insertions and deletions: a delta
+    marks the structure dirty, and the next query repairs by running
+    Hopcroft–Karp phases from the current matching instead of rebuilding.  A
+    single edge delta moves the maximum by at most one, so repair is
+    typically one layered phase.  Vertices are created on demand by
+    {!add_edge}; parallel edges are kept with multiplicity (relevant when
+    several tuples back the same vertex pair). *)
+
+type t
+
+val create : unit -> t
+(** An empty graph with no vertices. *)
+
+val n_left : t -> int
+val n_right : t -> int
+
+val add_edge : t -> int -> int -> unit
+(** [add_edge g u v] inserts an edge (growing the vertex ranges to include
+    [u] and [v]).  O(1); repair is deferred to the next query. *)
+
+val remove_edge : t -> int -> int -> bool
+(** [remove_edge g u v] deletes one copy of the edge; returns [false] when no
+    such edge exists.  If the deleted copy was matched, the pair is unmatched
+    and repair is deferred to the next query. *)
+
+val matching_size : t -> int
+(** Size of a maximum matching of the current graph (repairs if dirty). *)
+
+val matching_pairs : t -> (int * int) list
+(** Pairs [(u, v)] of a maximum matching (repairs if dirty). *)
+
+val min_vertex_cover : t -> int list * int list
+(** König cover [(left, right)] computed on the maintained maximum matching;
+    [List.length left + List.length right = matching_size]. *)

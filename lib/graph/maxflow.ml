@@ -133,6 +133,51 @@ let max_flow g ~src ~dst =
   done;
   !flow
 
+let flow_limited g ~src ~dst ~limit =
+  if limit <= 0 || src = dst then 0
+  else begin
+    g.level <- Array.make g.n (-1);
+    g.iter <- Array.make g.n (-1);
+    let flow = ref 0 in
+    let blocked = ref false in
+    while (not !blocked) && !flow < limit && bfs g src dst do
+      Array.blit g.heads 0 g.iter 0 g.n;
+      let progressing = ref true in
+      while !progressing && !flow < limit do
+        let f = dfs g src dst (limit - !flow) in
+        if f > 0 then flow := !flow + f else progressing := false
+      done;
+      if !flow >= limit then blocked := true
+    done;
+    !flow
+  end
+
+let remove_edge g ~source ~sink e =
+  let u = g.dests.data.(e lxor 1) and v = g.dests.data.(e) in
+  let f = g.orig.data.(e) - g.caps.data.(e) in
+  (* Kill the arc pair outright; [min_cut] skips dead arcs via orig = 0. *)
+  g.caps.data.(e) <- 0;
+  g.orig.data.(e) <- 0;
+  g.caps.data.(e lxor 1) <- 0;
+  if f <= 0 then 0
+  else begin
+    (* The flow that used the dead arc leaves an excess of [f] at [u] and a
+       deficit of [f] at [v].  First reroute what the residual graph allows
+       from [u] to [v]; whatever cannot be rerouted is cancelled by pushing it
+       back along flow-carrying arcs, [u]→[source] and [sink]→[v].  Flow
+       decomposition guarantees those residual paths exist, so both legs push
+       exactly the deficit.  The return value is the drop in s-t flow value. *)
+    let rerouted = flow_limited g ~src:u ~dst:v ~limit:f in
+    let deficit = f - rerouted in
+    if deficit > 0 then begin
+      let a = if u = source then deficit else flow_limited g ~src:u ~dst:source ~limit:deficit in
+      let b = if v = sink then deficit else flow_limited g ~src:sink ~dst:v ~limit:deficit in
+      if a <> deficit || b <> deficit then
+        invalid_arg "Maxflow.remove_edge: inconsistent flow state"
+    end;
+    deficit
+  end
+
 let min_cut g ~src =
   let side = Array.make g.n false in
   side.(src) <- true;

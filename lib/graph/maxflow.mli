@@ -25,7 +25,23 @@ val add_edge : t -> src:int -> dst:int -> cap:int -> edge
     capacity 0 is created internally). *)
 
 val max_flow : t -> src:int -> dst:int -> int
-(** Maximum [src]→[dst] flow.  May be called once per network. *)
+(** Maximum [src]→[dst] flow.  May be called repeatedly: each call resumes on
+    the current residual network and returns only the {e additional} flow
+    found, so after edge insertions the sum of all calls is the new maximum. *)
+
+val flow_limited : t -> src:int -> dst:int -> limit:int -> int
+(** Like {!max_flow} but stops once [limit] units have been pushed in this
+    call; returns the amount actually pushed ([<= limit]).  Used by the
+    incremental layer to reroute or cancel an exact quantity of flow. *)
+
+val remove_edge : t -> source:int -> sink:int -> edge -> int
+(** [remove_edge g ~source ~sink e] deletes edge [e] from a network whose
+    current flow is feasible for [source]→[sink], repairing feasibility in
+    place: flow through [e] is first rerouted through the residual graph and
+    any remainder is cancelled back to the terminals.  Returns the decrease in
+    flow value (0 when [e] carried no flow or could be fully rerouted).  The
+    resulting flow is feasible but not necessarily maximum — follow up with
+    {!max_flow} (or {!flow_limited}) to re-augment. *)
 
 val min_cut : t -> src:int -> (bool array * edge list)
 (** After {!max_flow}: [(side, cut)] where [side.(v)] iff [v] is reachable

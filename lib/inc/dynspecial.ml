@@ -1,0 +1,352 @@
+open Res_db
+module Dynmatch = Res_graph.Dynmatch
+module Dyncsr = Res_col.Dyncsr
+
+(* Incremental counterparts of the {!Resilience.Special} solvers for the
+   permutation-family templates, maintained under tuple deltas:
+
+   - {!Pairs}: [R(x,y), R(y,x)] (Prop 33) — ρ is the number of two-way
+     pairs, kept as a hash set, O(1) per delta.
+   - {!APerm}: [A(x), R(x,y), R(y,x)] (Prop 33) — ρ is a König vertex
+     cover of the A-values × two-way-pairs graph, maintained by
+     {!Dynmatch}.
+   - {!Z3}: [R(x,x), R(x,y), A(y)] (Prop 36) — ρ is a König vertex cover
+     of diagonals × A-values with one edge per R-tuple, maintained by
+     {!Dynmatch} over a {!Dyncsr} adjacency of interned ids.
+
+   Each structure's [solution] emits the same value as its from-scratch
+   counterpart (the differential suite pins this) and a genuine contingency
+   set of facts present in the current database. *)
+
+module VDict = Res_col.Dict.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+let vp a b = if Value.compare a b <= 0 then (a, b) else (b, a)
+
+let sorted_facts facts = List.sort_uniq compare facts
+
+(* ---- Prop 33, no unary guard: count two-way pairs -------------------- *)
+
+module Pairs = struct
+  type t = {
+    r : string;
+    present : (Value.t * Value.t, unit) Hashtbl.t;
+    pairs : (Value.t * Value.t, unit) Hashtbl.t; (* canonical live pairs *)
+  }
+
+  let insert t (a, b) =
+    Hashtbl.replace t.present (a, b) ();
+    if Value.equal a b || Hashtbl.mem t.present (b, a) then
+      Hashtbl.replace t.pairs (vp a b) ()
+
+  let delete t (a, b) =
+    Hashtbl.remove t.present (a, b);
+    (* a live pair needs both directions (or its diagonal), so losing this
+       tuple always breaks it *)
+    Hashtbl.remove t.pairs (vp a b)
+
+  let route t (d : Delta.t) =
+    match d with
+    | Insert { rel; tuple = [ a; b ] } when rel = t.r -> insert t (a, b)
+    | Delete { rel; tuple = [ a; b ] } when rel = t.r -> delete t (a, b)
+    | _ -> ()
+
+  let apply t ds = List.iter (route t) ds
+
+  let create ~r db =
+    let t = { r; present = Hashtbl.create 256; pairs = Hashtbl.create 64 } in
+    List.iter
+      (fun (f : Database.fact) ->
+        match f.tuple with [ a; b ] when f.rel = r -> insert t (a, b) | _ -> ())
+      (Database.facts db);
+    t
+
+  let solution t =
+    let facts =
+      Hashtbl.fold (fun (a, b) () acc -> Database.fact t.r [ a; b ] :: acc) t.pairs []
+    in
+    Resilience.Solution.Finite (Hashtbl.length t.pairs, sorted_facts facts)
+end
+
+(* ---- Prop 33 with unary guard: A-values × two-way pairs VC ------------ *)
+
+module APerm = struct
+  type t = {
+    a : string;
+    r : string;
+    g : Dynmatch.t;
+    present : (Value.t * Value.t, unit) Hashtbl.t;
+    a_live : (Value.t, unit) Hashtbl.t;
+    pair_live : (Value.t * Value.t, unit) Hashtbl.t;
+    (* dense vertex ids, permanent once assigned *)
+    left_ids : (Value.t, int) Hashtbl.t;
+    left_rev : (int, Value.t) Hashtbl.t;
+    right_ids : (Value.t * Value.t, int) Hashtbl.t;
+    right_rev : (int, Value.t * Value.t) Hashtbl.t;
+    incident : (Value.t, (Value.t * Value.t, unit) Hashtbl.t) Hashtbl.t;
+        (* value -> live pairs containing it *)
+  }
+
+  let left_id t w =
+    match Hashtbl.find_opt t.left_ids w with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length t.left_ids in
+      Hashtbl.replace t.left_ids w i;
+      Hashtbl.replace t.left_rev i w;
+      i
+
+  let right_id t p =
+    match Hashtbl.find_opt t.right_ids p with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length t.right_ids in
+      Hashtbl.replace t.right_ids p i;
+      Hashtbl.replace t.right_rev i p;
+      i
+
+  let incident_of t w =
+    match Hashtbl.find_opt t.incident w with
+    | Some h -> h
+    | None ->
+      let h = Hashtbl.create 8 in
+      Hashtbl.replace t.incident w h;
+      h
+
+  let ends (u, v) = if Value.equal u v then [ u ] else [ u; v ]
+
+  let insert_a t w =
+    if not (Hashtbl.mem t.a_live w) then begin
+      Hashtbl.replace t.a_live w ();
+      let lid = left_id t w in
+      Hashtbl.iter (fun p () -> Dynmatch.add_edge t.g lid (right_id t p)) (incident_of t w)
+    end
+
+  let delete_a t w =
+    if Hashtbl.mem t.a_live w then begin
+      let lid = left_id t w in
+      Hashtbl.iter
+        (fun p () -> ignore (Dynmatch.remove_edge t.g lid (right_id t p)))
+        (incident_of t w);
+      Hashtbl.remove t.a_live w
+    end
+
+  let insert_r t (x, y) =
+    Hashtbl.replace t.present (x, y) ();
+    if Value.equal x y || Hashtbl.mem t.present (y, x) then begin
+      let p = vp x y in
+      if not (Hashtbl.mem t.pair_live p) then begin
+        Hashtbl.replace t.pair_live p ();
+        let pid = right_id t p in
+        List.iter
+          (fun w ->
+            Hashtbl.replace (incident_of t w) p ();
+            if Hashtbl.mem t.a_live w then Dynmatch.add_edge t.g (left_id t w) pid)
+          (ends p)
+      end
+    end
+
+  let delete_r t (x, y) =
+    Hashtbl.remove t.present (x, y);
+    let p = vp x y in
+    if Hashtbl.mem t.pair_live p then begin
+      Hashtbl.remove t.pair_live p;
+      let pid = right_id t p in
+      List.iter
+        (fun w ->
+          Hashtbl.remove (incident_of t w) p;
+          if Hashtbl.mem t.a_live w then
+            ignore (Dynmatch.remove_edge t.g (left_id t w) pid))
+        (ends p)
+    end
+
+  let route t (d : Delta.t) =
+    match d with
+    | Insert { rel; tuple = [ a; b ] } when rel = t.r -> insert_r t (a, b)
+    | Delete { rel; tuple = [ a; b ] } when rel = t.r -> delete_r t (a, b)
+    | Insert { rel; tuple = [ w ] } when rel = t.a -> insert_a t w
+    | Delete { rel; tuple = [ w ] } when rel = t.a -> delete_a t w
+    | _ -> ()
+
+  let apply t ds = List.iter (route t) ds
+
+  let create ~a ~r db =
+    let t =
+      {
+        a;
+        r;
+        g = Dynmatch.create ();
+        present = Hashtbl.create 256;
+        a_live = Hashtbl.create 64;
+        pair_live = Hashtbl.create 64;
+        left_ids = Hashtbl.create 64;
+        left_rev = Hashtbl.create 64;
+        right_ids = Hashtbl.create 64;
+        right_rev = Hashtbl.create 64;
+        incident = Hashtbl.create 64;
+      }
+    in
+    List.iter
+      (fun (f : Database.fact) ->
+        match f.tuple with
+        | [ x; y ] when f.rel = r -> insert_r t (x, y)
+        | [ w ] when f.rel = a -> insert_a t w
+        | _ -> ())
+      (Database.facts db);
+    t
+
+  let solution t =
+    let left, right = Dynmatch.min_vertex_cover t.g in
+    let facts =
+      List.map (fun lid -> Database.fact t.a [ Hashtbl.find t.left_rev lid ]) left
+      @ List.map
+          (fun pid ->
+            let u, v = Hashtbl.find t.right_rev pid in
+            Database.fact t.r [ u; v ])
+          right
+    in
+    Resilience.Solution.Finite (List.length left + List.length right, sorted_facts facts)
+end
+
+(* ---- Prop 36 (z3): diagonals × A-values VC over Dyncsr adjacency ------ *)
+
+module Z3 = struct
+  type t = {
+    r : string;
+    a : string;
+    g : Dynmatch.t;
+    dict : VDict.t;
+    adj : Dyncsr.t; (* live R tuples, interned ids *)
+    a_live : (Value.t, unit) Hashtbl.t;
+    left_ids : (Value.t, int) Hashtbl.t; (* diagonal value -> left id *)
+    left_rev : (int, Value.t) Hashtbl.t;
+    right_ids : (Value.t, int) Hashtbl.t; (* A-value -> right id *)
+    right_rev : (int, Value.t) Hashtbl.t;
+  }
+
+  let left_id t w =
+    match Hashtbl.find_opt t.left_ids w with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length t.left_ids in
+      Hashtbl.replace t.left_ids w i;
+      Hashtbl.replace t.left_rev i w;
+      i
+
+  let right_id t w =
+    match Hashtbl.find_opt t.right_ids w with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length t.right_ids in
+      Hashtbl.replace t.right_ids w i;
+      Hashtbl.replace t.right_rev i w;
+      i
+
+  (* edge invariant: (diag u — A v) in [g] iff R(u,v), R(u,u) and A(v) all
+     live; one edge per middle tuple *)
+
+  let insert_r t (u, v) =
+    let iu = VDict.intern t.dict u and iv = VDict.intern t.dict v in
+    Dyncsr.add t.adj ~src:iu ~dst:iv ~tid:0;
+    if Value.equal u v then
+      (* new diagonal: every outgoing live tuple (u, w) with A(w) live gains
+         an edge — including (u, u) itself *)
+      List.iter
+        (fun iw ->
+          let w = VDict.value t.dict iw in
+          if Hashtbl.mem t.a_live w then Dynmatch.add_edge t.g (left_id t u) (right_id t w))
+        (Dyncsr.succ t.adj iu)
+    else if Dyncsr.mem t.adj iu iu && Hashtbl.mem t.a_live v then
+      Dynmatch.add_edge t.g (left_id t u) (right_id t v)
+
+  let delete_r t (u, v) =
+    let iu = VDict.intern t.dict u and iv = VDict.intern t.dict v in
+    (if Value.equal u v then
+       (* losing the diagonal drops every edge it anchored, (u,u) included *)
+       List.iter
+         (fun iw ->
+           let w = VDict.value t.dict iw in
+           if Hashtbl.mem t.a_live w then
+             ignore (Dynmatch.remove_edge t.g (left_id t u) (right_id t w)))
+         (Dyncsr.succ t.adj iu)
+     else if Dyncsr.mem t.adj iu iu && Hashtbl.mem t.a_live v then
+       ignore (Dynmatch.remove_edge t.g (left_id t u) (right_id t v)));
+    Dyncsr.remove t.adj ~src:iu ~dst:iv
+
+  let insert_a t v =
+    if not (Hashtbl.mem t.a_live v) then begin
+      Hashtbl.replace t.a_live v ();
+      match VDict.find_opt t.dict v with
+      | None -> ()
+      | Some iv ->
+        List.iter
+          (fun iu ->
+            if Dyncsr.mem t.adj iu iu then
+              Dynmatch.add_edge t.g (left_id t (VDict.value t.dict iu)) (right_id t v))
+          (Dyncsr.pred t.adj iv)
+    end
+
+  let delete_a t v =
+    if Hashtbl.mem t.a_live v then begin
+      (match VDict.find_opt t.dict v with
+      | None -> ()
+      | Some iv ->
+        List.iter
+          (fun iu ->
+            if Dyncsr.mem t.adj iu iu then
+              ignore
+                (Dynmatch.remove_edge t.g (left_id t (VDict.value t.dict iu)) (right_id t v)))
+          (Dyncsr.pred t.adj iv));
+      Hashtbl.remove t.a_live v
+    end
+
+  let route t (d : Delta.t) =
+    match d with
+    | Insert { rel; tuple = [ u; v ] } when rel = t.r -> insert_r t (u, v)
+    | Delete { rel; tuple = [ u; v ] } when rel = t.r -> delete_r t (u, v)
+    | Insert { rel; tuple = [ w ] } when rel = t.a -> insert_a t w
+    | Delete { rel; tuple = [ w ] } when rel = t.a -> delete_a t w
+    | _ -> ()
+
+  let apply t ds = List.iter (route t) ds
+
+  let create ~r ~a db =
+    let t =
+      {
+        r;
+        a;
+        g = Dynmatch.create ();
+        dict = VDict.create ~hint:256 ();
+        adj = Dyncsr.build ~n:1 [||];
+        a_live = Hashtbl.create 64;
+        left_ids = Hashtbl.create 64;
+        left_rev = Hashtbl.create 64;
+        right_ids = Hashtbl.create 64;
+        right_rev = Hashtbl.create 64;
+      }
+    in
+    List.iter
+      (fun (f : Database.fact) ->
+        match f.tuple with
+        | [ u; v ] when f.rel = r -> insert_r t (u, v)
+        | [ w ] when f.rel = a -> insert_a t w
+        | _ -> ())
+      (Database.facts db);
+    t
+
+  let solution t =
+    let left, right = Dynmatch.min_vertex_cover t.g in
+    let facts =
+      List.map
+        (fun lid ->
+          let u = Hashtbl.find t.left_rev lid in
+          Database.fact t.r [ u; u ])
+        left
+      @ List.map (fun rid -> Database.fact t.a [ Hashtbl.find t.right_rev rid ]) right
+    in
+    Resilience.Solution.Finite (List.length left + List.length right, sorted_facts facts)
+end

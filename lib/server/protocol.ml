@@ -5,6 +5,9 @@ type request =
   | Classify of string
   | Solve of { timeout_ms : int option; body : string }
   | Batch of { timeout_ms : int option; bodies : string list }
+  | Watch_register of { timeout_ms : int option; body : string }
+  | Watch_delta of { timeout_ms : int option; id : int; deltas : string }
+  | Watch_close of int
   | Stats
   | Stats_prom
   | Quit
@@ -78,7 +81,36 @@ let parse line =
       if List.exists (fun b -> b = "") bodies then Error "batch: empty instance between ';;'"
       else Ok (Batch { timeout_ms; bodies })
   end
-  | other -> Error (Printf.sprintf "unknown command %S (try ping/classify/solve/batch/stats/quit)" other)
+  | "watch" -> begin
+    let sub, rest = split_command arg in
+    match sub with
+    | "register" -> begin
+      match split_timeout rest with
+      | Error _ as e -> e
+      | Ok (_, "") -> Error "watch register: missing \"QUERY | FACTS\""
+      | Ok (timeout_ms, body) -> Ok (Watch_register { timeout_ms; body })
+    end
+    | "delta" -> begin
+      match split_timeout rest with
+      | Error _ as e -> e
+      | Ok (timeout_ms, rest) -> begin
+        let id_s, deltas = split_command rest in
+        match int_of_string_opt id_s with
+        | None -> Error "watch delta: expected \"watch delta [timeout=MS] ID DELTAS\""
+        | Some id ->
+          if deltas = "" then Error "watch delta: missing deltas (e.g. \"+R(1, 2); -S(3)\")"
+          else Ok (Watch_delta { timeout_ms; id; deltas })
+      end
+    end
+    | "close" -> begin
+      match int_of_string_opt (String.trim rest) with
+      | Some id -> Ok (Watch_close id)
+      | None -> Error "watch close: expected \"watch close ID\""
+    end
+    | other -> Error (Printf.sprintf "unknown watch verb %S (try register/delta/close)" other)
+  end
+  | other ->
+    Error (Printf.sprintf "unknown command %S (try ping/classify/solve/batch/watch/stats/quit)" other)
 
 (* --- responses ---------------------------------------------------------- *)
 
@@ -100,7 +132,28 @@ let solution ~cached = function
       (Printf.sprintf "rho=%d set={%s}%s" v (pp_facts facts)
          (if cached then " cached" else ""))
 
-let version = 3
+let version = 4
+
+(* v4: the streaming tier.  Every watch reply is a single line carrying the
+   current answer together with the database version (number of effective
+   deltas) and content fingerprint it is valid for, so clients can detect
+   both missed updates and ineffective batches. *)
+let watch_payload = function
+  | Res_inc.Session.Value Resilience.Solution.Unbreakable -> "unbreakable"
+  | Res_inc.Session.Value (Resilience.Solution.Finite (v, facts)) ->
+    Printf.sprintf "rho=%d set={%s}" v (pp_facts facts)
+  | Res_inc.Session.Interval iv ->
+    let module I = Res_bounds.Interval in
+    let ub = match I.ub iv with Some u -> string_of_int u | None -> "none" in
+    Printf.sprintf "interval lb=%d ub=%s" (I.lb iv) ub
+
+let watch_reply ~id session result =
+  ok
+    (Printf.sprintf "watch=%d %s version=%d fp=%s" id (watch_payload result)
+       (Res_inc.Session.version session)
+       (Res_inc.Session.fingerprint session))
+
+let watch_closed ~id = ok (Printf.sprintf "watch=%d closed" id)
 
 (* The one multi-line response in the protocol: Prometheus exposition
    text cannot be flattened to a single line, so the reply body is sent

@@ -7,6 +7,9 @@
       classify QUERY
       solve [timeout=MS] QUERY | FACTS
       batch [timeout=MS] QUERY | FACTS ;; QUERY | FACTS ;; ...
+      watch register [timeout=MS] QUERY | FACTS
+      watch delta [timeout=MS] ID DELTAS
+      watch close ID
       stats
       stats/prom
       quit
@@ -40,17 +43,32 @@
     Clients issuing [stats/prom] must read until that line; every other
     response remains a single line.
 
-    {b Versioning.}  This is protocol {!version} 3.  v1 timeout lines
+    {b The streaming tier (v4).}  [watch register] parses one instance,
+    builds an incremental session ({!Res_inc.Session}) and answers
+    [ok watch=ID rho=N set={...} version=V fp=X] (or [unbreakable], or —
+    when a deadline interrupted a hard component — [interval lb=M ub=N]).
+    [watch delta ID DELTAS] applies a [;]-separated batch of signed facts
+    ([+R(1, 2); -S(3)]) to the session and answers the updated value in
+    the same shape; [version] counts effective deltas and [fp] is the
+    database content fingerprint, so a client can tell a no-op batch from
+    a missed one.  [watch close ID] retires the session.  Watch ids are
+    server-global: a session registered on one connection may be fed from
+    another, and it survives its registering connection.
+
+    {b Versioning.}  This is protocol {!version} 4.  v1 timeout lines
     were exactly [timeout bound=<N|none>]; v2 appended [lb=]/[gap=]
     fields and refined batch timeout items from [timeout:N] to
-    [timeout:LB..UB]; v3 adds the [stats/prom] verb (new verb only — a
-    v2 client never sees a multi-line reply it did not ask for). *)
+    [timeout:LB..UB]; v3 added the [stats/prom] verb; v4 adds the
+    [watch] verbs (new verbs only — older clients are unaffected). *)
 
 type request =
   | Ping
   | Classify of string  (** query text *)
   | Solve of { timeout_ms : int option; body : string }  (** ["QUERY | FACTS"] *)
   | Batch of { timeout_ms : int option; bodies : string list }
+  | Watch_register of { timeout_ms : int option; body : string }
+  | Watch_delta of { timeout_ms : int option; id : int; deltas : string }
+  | Watch_close of int
   | Stats
   | Stats_prom
   | Quit
@@ -81,5 +99,11 @@ val timeout : Res_bounds.Interval.t -> string
     interval. *)
 
 val batch_item : Res_engine.Batch.solve_outcome -> string
+
+val watch_reply : id:int -> Res_inc.Session.t -> Res_inc.Session.result -> string
+(** [ok watch=ID <answer> version=V fp=X] — the current answer stamped
+    with the session's database version and fingerprint. *)
+
+val watch_closed : id:int -> string
 
 val stats_line : (string * string) list -> string

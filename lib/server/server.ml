@@ -74,7 +74,20 @@ type t = {
   gap : Metrics.histogram;
       (* certified gap (ub - lb) of timed-out solves; infinite gaps (no
          finite upper bound) land in the implicit +∞ bucket *)
+  watch_latency : Metrics.histogram;
+      (* whole watch-batch time on the worker *)
+  watch_delta_latency : Metrics.histogram;
+      (* the same time amortized per delta of the batch — the number the
+         streaming tier's ≥10x-vs-from-scratch claim is made on *)
+  watchers : (int, watcher) Hashtbl.t;
+  watchers_lock : Mutex.t;
+  mutable next_watch : int;
 }
+
+(* A registered streaming session.  [m] serializes delta batches aimed at
+   the same watcher (they may arrive from several connections); distinct
+   watchers proceed in parallel on the worker pool. *)
+and watcher = { watch_id : int; m : Mutex.t; session : Res_inc.Session.t }
 
 let metrics t = t.metrics
 let engine t = t.engine
@@ -170,6 +183,97 @@ let submit_solve t ~kind ~timeout_ms body_lines =
       Protocol.error "busy: request queue is full, retry later"
     end
 
+(* --- the streaming (watch) tier ----------------------------------------- *)
+
+let find_watcher t id =
+  Mutex.protect t.watchers_lock (fun () -> Hashtbl.find_opt t.watchers id)
+
+let run_watch_register t ~deadline (inst : Res_engine.Batch.instance) fill =
+  Obs.span ~cat:"server" "watch.register" @@ fun () ->
+  let cancel = cancel_for t deadline in
+  match Res_inc.Session.create ~cancel ?pool:t.exec inst.db inst.query with
+  | exception Resilience.Cancel.Cancelled ->
+    count t "watch_register" "timeout";
+    fill (Protocol.error "watch register: deadline fired while building the session")
+  | session ->
+    let w =
+      Mutex.protect t.watchers_lock (fun () ->
+          let id = t.next_watch in
+          t.next_watch <- id + 1;
+          let w = { watch_id = id; m = Mutex.create (); session } in
+          Hashtbl.replace t.watchers id w;
+          w)
+    in
+    count t "watch_register" "ok";
+    fill (Protocol.watch_reply ~id:w.watch_id session (Res_inc.Session.last session))
+
+let run_watch_delta t ~deadline (w : watcher) deltas fill =
+  Obs.span ~cat:"server" "watch.delta" @@ fun () ->
+  let cancel = cancel_for t deadline in
+  let t0 = now () in
+  let result =
+    Mutex.protect w.m (fun () -> Res_inc.Session.apply ~cancel ?pool:t.exec w.session deltas)
+  in
+  let dt = now () -. t0 in
+  Metrics.observe t.watch_latency dt;
+  Metrics.observe t.watch_delta_latency (dt /. float_of_int (max 1 (List.length deltas)));
+  count t "watch_delta" (match result with Res_inc.Session.Value _ -> "ok" | _ -> "timeout");
+  fill (Protocol.watch_reply ~id:w.watch_id w.session result)
+
+let submit_watch t ~kind ~timeout_ms job =
+  let deadline = deadline_of t timeout_ms in
+  let ivar = Ivar.create () in
+  if Pool.submit t.pool (fun () -> job ~deadline (Ivar.fill ivar)) then Ivar.read ivar
+  else begin
+    count t kind "rejected";
+    Protocol.error "busy: request queue is full, retry later"
+  end
+
+let watch_register t ~timeout_ms body =
+  match Res_engine.Batch.parse_instances body with
+  | exception Res_engine.Batch.Parse_error msg ->
+    count t "watch_register" "error";
+    Protocol.error msg
+  | [ inst ] ->
+    submit_watch t ~kind:"watch_register" ~timeout_ms (fun ~deadline fill ->
+        run_watch_register t ~deadline inst fill)
+  | _ ->
+    count t "watch_register" "error";
+    Protocol.error "watch register: exactly one \"QUERY | FACTS\" instance expected"
+
+let watch_delta t ~timeout_ms id deltas_s =
+  match Res_db.Delta.parse deltas_s with
+  | exception Res_db.Fact_syntax.Parse_error msg ->
+    count t "watch_delta" "error";
+    Protocol.error ("deltas: " ^ msg)
+  | deltas -> begin
+    match find_watcher t id with
+    | None ->
+      count t "watch_delta" "error";
+      Protocol.error (Printf.sprintf "no such watch id %d" id)
+    | Some w ->
+      submit_watch t ~kind:"watch_delta" ~timeout_ms (fun ~deadline fill ->
+          run_watch_delta t ~deadline w deltas fill)
+  end
+
+let watch_close t id =
+  let found =
+    Mutex.protect t.watchers_lock (fun () ->
+        if Hashtbl.mem t.watchers id then begin
+          Hashtbl.remove t.watchers id;
+          true
+        end
+        else false)
+  in
+  if found then begin
+    count t "watch_close" "ok";
+    Protocol.watch_closed ~id
+  end
+  else begin
+    count t "watch_close" "error";
+    Protocol.error (Printf.sprintf "no such watch id %d" id)
+  end
+
 let stats_reply t =
   Protocol.stats_line
     (("protocol.version", string_of_int Protocol.version) :: Metrics.render t.metrics)
@@ -202,6 +306,11 @@ let execute t line =
     `Reply (submit_solve t ~kind:"solve" ~timeout_ms [ body ])
   | Ok (Protocol.Batch { timeout_ms; bodies }) ->
     `Reply (submit_solve t ~kind:"batch" ~timeout_ms bodies)
+  | Ok (Protocol.Watch_register { timeout_ms; body }) ->
+    `Reply (watch_register t ~timeout_ms body)
+  | Ok (Protocol.Watch_delta { timeout_ms; id; deltas }) ->
+    `Reply (watch_delta t ~timeout_ms id deltas)
+  | Ok (Protocol.Watch_close id) -> `Reply (watch_close t id)
   | Ok Protocol.Quit ->
     count t "quit" "ok";
     `Close (Protocol.ok "bye")
@@ -453,8 +562,15 @@ let start ?engine:(eng = Res_engine.Batch.create ()) cfg =
         Metrics.histogram
           ~buckets:[ 0.; 1.; 2.; 3.; 5.; 8.; 13.; 21. ]
           metrics "solve.gap";
+      watch_latency = Metrics.histogram metrics "latency.watch";
+      watch_delta_latency = Metrics.histogram metrics "latency.watch_delta";
+      watchers = Hashtbl.create 16;
+      watchers_lock = Mutex.create ();
+      next_watch = 1;
     }
   in
+  Metrics.gauge metrics "watchers.active" (fun () ->
+      float_of_int (Mutex.protect t.watchers_lock (fun () -> Hashtbl.length t.watchers)));
   Metrics.gauge metrics "queue.depth" (fun () -> float_of_int (Pool.depth pool));
   Metrics.gauge metrics "queue.running" (fun () -> float_of_int (Pool.running pool));
   Metrics.gauge metrics "connections.active" (fun () ->

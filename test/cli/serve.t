@@ -28,7 +28,7 @@ A batch shares one line, one deadline:
 Malformed requests are answered, never dropped:
 
   $ resilience client --socket ./serve.sock "frobnicate"
-  error unknown command "frobnicate" (try ping/classify/solve/batch/stats/quit)
+  error unknown command "frobnicate" (try ping/classify/solve/batch/watch/stats/quit)
 
   $ resilience client --socket ./serve.sock "solve R(x | R(1,2)"
   error line 1: query: malformed argument list for R: expected a lowercase variable, found "x" at offset 2
@@ -40,6 +40,31 @@ counters (three distinct instances solved, one repeat served from cache):
   engine.solve_hits=1
   engine.solve_misses=3
   engine.solve_timeouts=0
+
+The streaming tier (protocol v4): register a watch session, stream
+delta batches against it, and retire it.  Every reply carries the
+database version (effective delta count) and content fingerprint the
+answer is valid for.
+
+  $ resilience client --socket ./serve.sock "watch register R(x,y), R(y,x) | R(1,2); R(2,1); R(3,3)"
+  ok watch=1 rho=2 set={R(1,2); R(3,3)} version=0 fp=8ce285dfe69471e0
+
+An effective batch moves the value, the version, and the fingerprint:
+
+  $ resilience client --socket ./serve.sock "watch delta 1 -R(3, 3); +R(4, 5); +R(5, 4)"
+  ok watch=1 rho=2 set={R(1,2); R(4,5)} version=3 fp=3d165c119f5865a0
+
+An ineffective batch (inserting a present fact) changes nothing — the
+version and fingerprint prove it to the client:
+
+  $ resilience client --socket ./serve.sock "watch delta 1 +R(4, 5)"
+  ok watch=1 rho=2 set={R(1,2); R(4,5)} version=3 fp=3d165c119f5865a0
+
+  $ resilience client --socket ./serve.sock "watch close 1"
+  ok watch=1 closed
+
+  $ resilience client --socket ./serve.sock "watch delta 1 +R(9, 9)"
+  error no such watch id 1
 
 Graceful shutdown: the reply still arrives, the process exits, the
 socket file is removed.

@@ -1,0 +1,442 @@
+(* The incremental subsystem (lib/inc) and its supporting layers: dynamic
+   residual repair in Maxflow, dynamic Hopcroft–Karp, the overlay CSR, the
+   versioned database, warm-started simplex/B&B, the fingerprint fast path
+   of the engine cache — each against its from-scratch counterpart — and
+   the headline differential property: a streaming session agrees with a
+   from-scratch solve after {e every} prefix of a random delta sequence,
+   across the query zoo, both evaluation planes, and multicore pools. *)
+
+open Res_db
+open Resilience
+module Session = Res_inc.Session
+module Incflow = Res_inc.Incflow
+module Maxflow = Res_graph.Maxflow
+module Dynmatch = Res_graph.Dynmatch
+module Bipartite = Res_graph.Bipartite
+module Dyncsr = Res_col.Dyncsr
+
+let qp = Res_cq.Parser.query
+
+let vi i = Value.Int i
+
+(* --- Maxflow.remove_edge ----------------------------------------------- *)
+
+(* Delete edges one by one from a random network; after each deletion the
+   incrementally repaired value must equal a from-scratch max-flow of the
+   surviving edges. *)
+let prop_maxflow_removal =
+  QCheck.Test.make ~count:300 ~name:"maxflow: incremental edge deletion = rebuild"
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed; 7 |] in
+      let n = 4 + Random.State.int st 6 in
+      let m = 6 + Random.State.int st 20 in
+      let specs =
+        List.init m (fun _ ->
+            let src = Random.State.int st n in
+            let dst = (src + 1 + Random.State.int st (n - 1)) mod n in
+            let cap = if Random.State.int st 5 = 0 then Maxflow.infinite else 1 + Random.State.int st 3 in
+            (src, dst, cap))
+      in
+      let g = Maxflow.create n in
+      let edges = List.map (fun (src, dst, cap) -> (Maxflow.add_edge g ~src ~dst ~cap, (src, dst, cap))) specs in
+      let value = ref (Maxflow.max_flow g ~src:0 ~dst:1) in
+      let remaining = ref edges in
+      let ok = ref true in
+      while !remaining <> [] && !ok do
+        let i = Random.State.int st (List.length !remaining) in
+        let e, _ = List.nth !remaining i in
+        remaining := List.filter (fun (e', _) -> e' <> e) !remaining;
+        value := !value - Maxflow.remove_edge g ~source:0 ~sink:1 e;
+        value := !value + Maxflow.flow_limited g ~src:0 ~dst:1 ~limit:(max 0 (Maxflow.infinite - !value));
+        let fresh = Maxflow.create n in
+        List.iter (fun (_, (src, dst, cap)) -> ignore (Maxflow.add_edge fresh ~src ~dst ~cap)) !remaining;
+        let expect = min (Maxflow.max_flow fresh ~src:0 ~dst:1) Maxflow.infinite in
+        if min !value Maxflow.infinite <> expect then ok := false
+      done;
+      if not !ok then QCheck.Test.fail_report "incremental flow value diverged from rebuild";
+      true)
+
+(* --- Dynmatch ----------------------------------------------------------- *)
+
+let prop_dynmatch =
+  QCheck.Test.make ~count:300 ~name:"dynmatch: matching size = HK rebuild; König cover valid"
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed; 13 |] in
+      let nl = 1 + Random.State.int st 7 and nr = 1 + Random.State.int st 7 in
+      let g = Dynmatch.create () in
+      let live = ref [] in
+      for _ = 1 to 25 do
+        (if !live <> [] && Random.State.int st 3 = 0 then begin
+           let l, r = List.nth !live (Random.State.int st (List.length !live)) in
+           assert (Dynmatch.remove_edge g l r);
+           live :=
+             (let rec drop = function
+                | [] -> []
+                | (l', r') :: tl when l' = l && r' = r -> tl
+                | p :: tl -> p :: drop tl
+              in
+              drop !live)
+         end
+         else begin
+           let l = Random.State.int st nl and r = Random.State.int st nr in
+           Dynmatch.add_edge g l r;
+           live := (l, r) :: !live
+         end);
+        let fresh = Bipartite.create ~n_left:nl ~n_right:nr in
+        List.iter (fun (l, r) -> Bipartite.add_edge fresh l r) !live;
+        let expect = Bipartite.max_matching fresh in
+        if Dynmatch.matching_size g <> expect then
+          QCheck.Test.fail_report
+            (Printf.sprintf "matching size %d, rebuild says %d" (Dynmatch.matching_size g) expect);
+        let lc, rc = Dynmatch.min_vertex_cover g in
+        if List.length lc + List.length rc <> expect then
+          QCheck.Test.fail_report "cover size differs from matching size";
+        if not (List.for_all (fun (l, r) -> List.mem l lc || List.mem r rc) !live) then
+          QCheck.Test.fail_report "cover misses an edge"
+      done;
+      true)
+
+(* --- Dyncsr ------------------------------------------------------------- *)
+
+let prop_dyncsr =
+  QCheck.Test.make ~count:300 ~name:"dyncsr: overlay+tombstones = naive edge set"
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed; 19 |] in
+      let n = 2 + Random.State.int st 8 in
+      let base =
+        (* a random initial CSR so tombstones actually mask base edges *)
+        let tbl = Hashtbl.create 16 in
+        for _ = 1 to 8 do
+          Hashtbl.replace tbl (Random.State.int st n, Random.State.int st n) ()
+        done;
+        Hashtbl.fold (fun (s, d) () acc -> (s, d, s * n + d) :: acc) tbl []
+      in
+      let t = Dyncsr.build ~n (Array.of_list base) in
+      let naive = Hashtbl.create 32 in
+      List.iter (fun (s, d, _) -> Hashtbl.replace naive (s, d) ()) base;
+      for _ = 1 to 40 do
+        let s = Random.State.int st n and d = Random.State.int st n in
+        if Hashtbl.mem naive (s, d) then begin
+          Dyncsr.remove t ~src:s ~dst:d;
+          Hashtbl.remove naive (s, d)
+        end
+        else begin
+          Dyncsr.add t ~src:s ~dst:d ~tid:0;
+          Hashtbl.replace naive (s, d) ()
+        end;
+        if Random.State.int st 10 = 0 then Dyncsr.compact t
+      done;
+      let ok = ref (Dyncsr.n_edges t = Hashtbl.length naive) in
+      for s = 0 to n - 1 do
+        let expect =
+          List.sort compare
+            (Hashtbl.fold (fun (s', d) () acc -> if s' = s then d :: acc else acc) naive [])
+        in
+        if Dyncsr.succ t s <> expect then ok := false;
+        let expect_pred =
+          List.sort compare
+            (Hashtbl.fold (fun (s', d) () acc -> if d = s then s' :: acc else acc) naive [])
+        in
+        if Dyncsr.pred t s <> expect_pred then ok := false
+      done;
+      if not !ok then QCheck.Test.fail_report "dyncsr diverged from naive set";
+      true)
+
+(* --- Vdb ----------------------------------------------------------------- *)
+
+let random_fact st (q : Res_cq.Query.t) =
+  let rels = Res_cq.Query.relations q in
+  let rel = List.nth rels (Random.State.int st (List.length rels)) in
+  let ar = Res_cq.Query.arity_of q rel in
+  Database.fact rel (List.init ar (fun _ -> vi (Random.State.int st 4)))
+
+let random_delta st q db =
+  let f =
+    (* bias deletes towards present facts so they are usually effective *)
+    if Random.State.bool st then random_fact st q
+    else begin
+      match Database.facts db with
+      | [] -> random_fact st q
+      | facts -> List.nth facts (Random.State.int st (List.length facts))
+    end
+  in
+  if Random.State.bool st then Delta.insert f else Delta.delete f
+
+let prop_vdb =
+  QCheck.Test.make ~count:300 ~name:"vdb: db/version/fingerprint track deltas; revert restores fp"
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed; 23 |] in
+      let q = Generators.fragment_query seed in
+      let db = Db_gen.random_for_query ~seed ~domain:3 ~tuples_per_relation:4 q in
+      let v = Vdb.create db in
+      let fp0 = Vdb.fingerprint v in
+      let deltas = List.init 10 (fun _ -> random_delta st q (Vdb.db v)) in
+      let eff = List.concat_map (fun d -> Vdb.apply v [ d ]) deltas in
+      let by_hand = Delta.apply_db db deltas in
+      let sorted d = List.sort compare (Database.facts d) in
+      if sorted (Vdb.db v) <> sorted by_hand then QCheck.Test.fail_report "db contents diverged";
+      if Vdb.version v <> List.length eff then QCheck.Test.fail_report "version != effective count";
+      if Vdb.fingerprint v <> Vdb.fingerprint_of by_hand then
+        QCheck.Test.fail_report "fingerprint != one-shot fingerprint of same contents";
+      if Vdb.sat v q <> Eval.sat (Vdb.db v) q then QCheck.Test.fail_report "sat diverged";
+      (* undo every effective delta in reverse: the fingerprint is content-
+         determined, so it must come back exactly *)
+      let undo = List.rev_map (function Delta.Insert f -> Delta.delete f | Delta.Delete f -> Delta.insert f) eff in
+      ignore (Vdb.apply v undo);
+      if Vdb.fingerprint v <> fp0 then QCheck.Test.fail_report "revert did not restore fingerprint";
+      true)
+
+(* --- engine fingerprint fast path (cache-under-mutation regression) ----- *)
+
+let prop_engine_versioned =
+  QCheck.Test.make ~count:150
+    ~name:"engine: solve_versioned correct under mutation, hits after revert"
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed; 29 |] in
+      let q = Generators.fragment_query seed in
+      let db = Db_gen.random_for_query ~seed ~domain:3 ~tuples_per_relation:4 q in
+      let engine = Res_engine.Batch.create () in
+      let v = Vdb.create db in
+      let check () =
+        let got, _ = Res_engine.Batch.solve_versioned engine v q in
+        let expect = Solver.solve (Vdb.db v) q in
+        if Solution.value got <> Solution.value expect then
+          QCheck.Test.fail_report "versioned solve diverged from from-scratch after mutation"
+      in
+      check ();
+      let _, hit = Res_engine.Batch.solve_versioned engine v q in
+      if not hit then QCheck.Test.fail_report "identical re-solve missed the cache";
+      let eff = ref [] in
+      for _ = 1 to 5 do
+        eff := !eff @ Vdb.apply v [ random_delta st q (Vdb.db v) ];
+        check ()
+      done;
+      ignore
+        (Vdb.apply v
+           (List.rev_map
+              (function Delta.Insert f -> Delta.delete f | Delta.Delete f -> Delta.insert f)
+              !eff));
+      let _, hit = Res_engine.Batch.solve_versioned engine v q in
+      if not hit then QCheck.Test.fail_report "revert to a seen fingerprint missed the cache";
+      true)
+
+(* --- warm-started simplex and B&B ---------------------------------------- *)
+
+let prop_simplex_warm =
+  QCheck.Test.make ~count:300 ~name:"simplex: warm basis reaches the cold objective"
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed; 31 |] in
+      let n_sets = 2 + Random.State.int st 6 in
+      let sets =
+        List.init n_sets (fun _ ->
+            Res_bounds.Iset.of_list (List.init (1 + Random.State.int st 3) (fun _ -> Random.State.int st 6)))
+      in
+      let cold, basis = Res_bounds.Lower.lp_value_warm sets in
+      let warm, _ = Res_bounds.Lower.lp_value_warm ~warm:basis sets in
+      if cold <> warm then QCheck.Test.fail_report "warm restart changed the LP bound";
+      if cold <> Res_bounds.Lower.lp_value sets then
+        QCheck.Test.fail_report "lp_value_warm disagrees with lp_value";
+      (* a stale basis from a *different* instance must also be harmless *)
+      let other =
+        List.init n_sets (fun _ ->
+            Res_bounds.Iset.of_list (List.init (1 + Random.State.int st 3) (fun _ -> Random.State.int st 6)))
+      in
+      let _, stale = Res_bounds.Lower.lp_value_warm other in
+      let with_stale, _ = Res_bounds.Lower.lp_value_warm ~warm:stale sets in
+      if cold <> with_stale then QCheck.Test.fail_report "stale warm basis changed the LP bound";
+      true)
+
+let prop_exact_seeded =
+  QCheck.Test.make ~count:150 ~name:"exact: seed + lp_state leave the value unchanged"
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed; 37 |] in
+      let q = Generators.fragment_query seed in
+      let db = Db_gen.random_for_query ~seed ~domain:3 ~tuples_per_relation:4 q in
+      let base =
+        match Exact.resilience_bounded db q with
+        | Exact.Complete s -> s
+        | Exact.Interrupted _ -> assert false (* no cancel token *)
+      in
+      let good_seed = match base with Solution.Finite (_, facts) -> facts | _ -> [] in
+      let junk_seed = List.init 3 (fun _ -> random_fact st q) in
+      let lp_state = Atomic.make None in
+      List.iter
+        (fun seed_facts ->
+          match Exact.resilience_bounded ~seed:seed_facts ~lp_state db q with
+          | Exact.Complete s ->
+            if Solution.value s <> Solution.value base then
+              QCheck.Test.fail_report "seeded search changed the value"
+          | Exact.Interrupted _ -> assert false)
+        [ good_seed; junk_seed; good_seed ];
+      true)
+
+(* --- Incflow against Flow ------------------------------------------------ *)
+
+let incflow_queries =
+  lazy
+    [|
+      qp "A(x), R(x,y), B(y)";
+      qp "A^x(x), R(x,y), B(y)";
+      qp "R(x,y), S(y,z)";
+      qp "A(x), R(x,y), S(y,z), B(z)";
+    |]
+
+let prop_incflow =
+  QCheck.Test.make ~count:200 ~name:"incflow: value and solution match Flow.solve per delta"
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed; 41 |] in
+      let qs = Lazy.force incflow_queries in
+      let q = qs.(seed mod Array.length qs) in
+      let db = Db_gen.random_for_query ~seed ~domain:3 ~tuples_per_relation:4 q in
+      let t = Option.get (Incflow.create db q) in
+      let cur = ref db in
+      let check () =
+        match (Incflow.solution t, Flow.solve !cur q) with
+        | Solution.Unbreakable, Some Solution.Unbreakable -> ()
+        | Solution.Finite (v, facts), Some (Solution.Finite (v', _)) ->
+          if v <> v' then QCheck.Test.fail_report (Printf.sprintf "incflow %d, flow %d" v v');
+          if not (List.for_all (Database.mem !cur) facts) then
+            QCheck.Test.fail_report "incflow cut names an absent fact";
+          if List.length facts <> v then QCheck.Test.fail_report "incflow cut size != value";
+          if Eval.sat (Database.remove_all !cur facts) q then
+            QCheck.Test.fail_report "incflow cut does not falsify the query"
+        | _ -> QCheck.Test.fail_report "unbreakable / finite mismatch"
+      in
+      check ();
+      for _ = 1 to 8 do
+        let d = random_delta st q !cur in
+        let eff = Delta.effective !cur [ d ] in
+        cur := Delta.apply_db !cur [ d ];
+        Incflow.apply t eff;
+        check ()
+      done;
+      true)
+
+(* --- the headline differential: sessions across the zoo ------------------ *)
+
+let session_pool =
+  lazy
+    (Array.of_list
+       (List.map (fun (e : Zoo.entry) -> e.query) Zoo.all
+       @ [
+           (* mirror-matched variants of the incremental templates *)
+           qp "R(x,x), R(y,x), A(y)";
+           qp "A(x), R(y,x), R(x,y)";
+           (* multi-component: one streaming, one hard *)
+           qp "R(x,y), R(y,x), S(u,v), S(v,w), S(w,u)";
+         ]))
+
+let run_session_differential ?pool st q db =
+  let s = Session.create ?pool db q in
+  let cur = ref db in
+  let check () =
+    (match Session.last s with
+    | Session.Value got ->
+      let expect = Solver.solve !cur q in
+      if Solution.value got <> Solution.value expect then
+        QCheck.Test.fail_report
+          (Printf.sprintf "session %s, scratch %s (strategies: %s)"
+             (match Solution.value got with Some v -> string_of_int v | None -> "unbreakable")
+             (match Solution.value expect with Some v -> string_of_int v | None -> "unbreakable")
+             (String.concat "," (Session.strategies s)))
+    | Session.Interval _ -> QCheck.Test.fail_report "interval without a deadline");
+    if not (Session.selfcheck s) then QCheck.Test.fail_report "selfcheck failed";
+    if Session.fingerprint s <> Vdb.fingerprint_of !cur then
+      QCheck.Test.fail_report "session fingerprint diverged"
+  in
+  check ();
+  for _ = 1 to 6 do
+    let d = random_delta st q !cur in
+    cur := Delta.apply_db !cur [ d ];
+    ignore (Session.apply ?pool s [ d ]);
+    check ()
+  done
+
+let session_prop ?pool ~count ~name ~legacy () =
+  QCheck.Test.make ~count ~name
+    QCheck.(int_bound 100_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed; 43 |] in
+      let qs = Lazy.force session_pool in
+      let q = qs.(seed mod Array.length qs) in
+      let db = Db_gen.random_for_query ~seed ~domain:3 ~tuples_per_relation:4 q in
+      let was = Eval.use_legacy () in
+      if legacy then Eval.set_legacy true;
+      Fun.protect
+        ~finally:(fun () -> Eval.set_legacy was)
+        (fun () ->
+          run_session_differential ?pool st q db;
+          true))
+
+let prop_session = session_prop ~count:220 ~name:"session = from-scratch on every prefix (zoo)" ~legacy:false ()
+
+let prop_session_legacy =
+  session_prop ~count:60 ~name:"session = from-scratch, legacy evaluation plane" ~legacy:true ()
+
+let prop_session_jobs4 =
+  QCheck.Test.make ~count:30 ~name:"session = from-scratch with a 4-domain pool"
+    QCheck.(int_bound 100_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed; 47 |] in
+      let qs = Lazy.force session_pool in
+      let q = qs.(seed mod Array.length qs) in
+      let db = Db_gen.random_for_query ~seed ~domain:3 ~tuples_per_relation:4 q in
+      Res_exec.Executor.with_executor ~jobs:4 (fun pool ->
+          run_session_differential ~pool st q db;
+          true))
+
+(* --- deterministic spot checks ------------------------------------------- *)
+
+let strategy_selection () =
+  let expect q facts strat =
+    let s = Session.create (Fact_syntax.database facts) (qp q) in
+    Alcotest.(check (list string)) q [ strat ] (Session.strategies s)
+  in
+  expect "A(x), R(x,y), B(y)" "A(1); R(1,2); B(2)" "flow-repair";
+  expect "R(x,y), R(y,x)" "R(1,2); R(2,1)" "pairs";
+  expect "A(x), R(x,y), R(y,x)" "A(1); R(1,2); R(2,1)" "cover-aperm";
+  expect "R(x,x), R(x,y), A(y)" "R(1,1); R(1,2); A(2)" "cover-z3";
+  expect "R(x,x), R(y,x), A(y)" "R(1,1); R(2,1); A(2)" "cover-z3";
+  expect "R(x,y), R(y,z), R(z,x)" "R(1,2); R(2,3); R(3,1)" "warm-exact"
+
+let watch_session_basic () =
+  let q = qp "R(x,y), R(y,x)" in
+  let db = Fact_syntax.database "R(1,2); R(2,1); R(3,3)" in
+  let s = Session.create db q in
+  (match Session.last s with
+  | Session.Value (Solution.Finite (v, _)) -> Alcotest.(check int) "initial rho" 2 v
+  | _ -> Alcotest.fail "expected finite");
+  (match Session.apply s (Delta.parse "-R(3, 3); +R(4, 5); +R(5, 4)") with
+  | Session.Value (Solution.Finite (v, _)) -> Alcotest.(check int) "after batch" 2 v
+  | _ -> Alcotest.fail "expected finite");
+  Alcotest.(check int) "version counts effective deltas" 3 (Session.version s);
+  (* an ineffective batch changes nothing, including the fingerprint *)
+  let fp = Session.fingerprint s in
+  ignore (Session.apply s (Delta.parse "+R(4, 5); -R(9, 9)"));
+  Alcotest.(check int) "ineffective batch skipped" 3 (Session.version s);
+  Alcotest.(check string) "fingerprint unchanged" fp (Session.fingerprint s)
+
+let suite =
+  [
+    Alcotest.test_case "strategy selection" `Quick strategy_selection;
+    Alcotest.test_case "session basics" `Quick watch_session_basic;
+    QCheck_alcotest.to_alcotest prop_maxflow_removal;
+    QCheck_alcotest.to_alcotest prop_dynmatch;
+    QCheck_alcotest.to_alcotest prop_dyncsr;
+    QCheck_alcotest.to_alcotest prop_vdb;
+    QCheck_alcotest.to_alcotest prop_engine_versioned;
+    QCheck_alcotest.to_alcotest prop_simplex_warm;
+    QCheck_alcotest.to_alcotest prop_exact_seeded;
+    QCheck_alcotest.to_alcotest prop_incflow;
+    QCheck_alcotest.to_alcotest prop_session;
+    QCheck_alcotest.to_alcotest prop_session_legacy;
+    QCheck_alcotest.to_alcotest prop_session_jobs4;
+  ]

@@ -19,6 +19,7 @@ let () =
       ("differential", Test_differential.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("exec", Test_exec.suite);
+      ("inc", Test_inc.suite);
       ("obs", Test_obs.suite);
       ("server", Test_server.suite);
     ]
