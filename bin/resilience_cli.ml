@@ -449,8 +449,8 @@ let parse_metrics_addr s =
   end
 
 let serve_cmd =
-  let run socket port host workers queue timeout_ms no_timeout verbose jobs metrics_addr
-      trace_dir =
+  let run socket port host workers queue hard_workers hard_queue timeout_ms no_timeout
+      verbose jobs metrics_addr trace_dir shard_id persist_dir =
     Fmt_tty.setup_std_outputs ();
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs_threaded.enable ();
@@ -472,23 +472,62 @@ let serve_cmd =
         Res_server.Server.address = address_of socket port host;
         workers;
         queue_capacity = queue;
+        hard_workers;
+        hard_queue;
+        hard_timeout_ms = Some 10_000;
         default_timeout_ms = (if no_timeout then None else Some timeout_ms);
         jobs = resolve_jobs jobs;
         metrics_addr = Option.map parse_metrics_addr metrics_addr;
       }
     in
-    let srv = Res_server.Server.start cfg in
+    (match shard_id with
+    | Some id -> Logs.info (fun m -> m "shard id %s" id)
+    | None -> ());
+    (* the persistent store attaches to the engine before the listener
+       opens, so the very first request already sees the warm cache *)
+    let engine = Res_engine.Batch.create () in
+    let store =
+      Option.map
+        (fun dir ->
+          let s = Res_shard.Store.attach ~dir engine in
+          Logs.info (fun m ->
+              m "persistent cache %s: %d entries recovered (%d bytes of torn tail discarded)"
+                dir (Res_shard.Store.recovered s)
+                (Res_shard.Store.truncated_bytes s));
+          s)
+        persist_dir
+    in
+    let srv = Res_server.Server.start ~engine cfg in
     let graceful _ = ignore (Thread.create (fun () -> Res_server.Server.stop srv) ()) in
     Sys.set_signal Sys.sigint (Sys.Signal_handle graceful);
     Sys.set_signal Sys.sigterm (Sys.Signal_handle graceful);
-    Res_server.Server.wait srv
+    Res_server.Server.wait srv;
+    Option.iter Res_shard.Store.close store
   in
   let workers_arg =
     Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc:"Worker threads solving requests.")
   in
   let queue_arg =
     Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N"
-           ~doc:"Admission-control bound on queued requests; beyond it clients get \"error busy\".")
+           ~doc:"Admission-control bound on queued fast-lane requests; beyond it clients \
+                 get a \"busy\" reply.")
+  in
+  let hard_workers_arg =
+    Arg.(value & opt int 2 & info [ "hard-workers" ] ~docv:"N"
+           ~doc:"Worker threads of the hard (NP-hard) admission lane.")
+  in
+  let hard_queue_arg =
+    Arg.(value & opt int 32 & info [ "hard-queue" ] ~docv:"N"
+           ~doc:"Admission-control bound on queued hard-lane requests.")
+  in
+  let shard_id_arg =
+    Arg.(value & opt (some string) None & info [ "shard-id" ] ~docv:"ID"
+           ~doc:"Name of this shard in a routed fleet (logging only; routing is by address).")
+  in
+  let persist_dir_arg =
+    Arg.(value & opt (some string) None & info [ "persist-dir" ] ~docv:"DIR"
+           ~doc:"Persist the solve cache to an append-only log under DIR and recover it \
+                 on startup, so the shard restarts warm.")
   in
   let timeout_arg =
     Arg.(value & opt int 30_000 & info [ "timeout-ms" ] ~docv:"MS"
@@ -515,35 +554,96 @@ let serve_cmd =
              deadlines, cooperative cancellation and a metrics registry (see the protocol \
              in the README)")
     Term.(const run $ socket_arg $ port_arg $ host_arg $ workers_arg $ queue_arg
-          $ timeout_arg $ no_timeout_arg $ verbose_arg $ jobs_arg $ metrics_addr_arg
-          $ trace_dir_arg)
+          $ hard_workers_arg $ hard_queue_arg $ timeout_arg $ no_timeout_arg
+          $ verbose_arg $ jobs_arg $ metrics_addr_arg $ trace_dir_arg $ shard_id_arg
+          $ persist_dir_arg)
 
+(* Client exit codes, pinned by test/cli/fleet.t: 2 usage/parse errors
+   (cmdliner's own convention), 3 cannot connect, 4 connection lost
+   mid-conversation, 5 the server spoke something that is not the
+   protocol. *)
 let client_cmd =
-  let run socket port host retry requests =
-    let sockaddr, domain =
-      match address_of socket port host with
-      | Res_server.Server.Unix_socket path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
-      | Res_server.Server.Tcp (h, p) ->
-        let addr =
-          try Unix.inet_addr_of_string h
-          with Failure _ -> (Unix.gethostbyname h).Unix.h_addr_list.(0)
+  let run socket port host fleet retry bulk requests =
+    let targets =
+      match fleet with
+      | Some spec -> begin
+        let parts =
+          String.split_on_char ',' spec |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
         in
-        (Unix.ADDR_INET (addr, p), Unix.PF_INET)
+        if parts = [] then begin
+          prerr_endline "empty --fleet: expected a comma-separated list of addresses";
+          exit 2
+        end;
+        List.map
+          (fun s ->
+            match Res_shard.Router.address_of_string s with
+            | Ok a -> a
+            | Error msg ->
+              prerr_endline msg;
+              exit 2)
+          parts
+      end
+      | None -> [ address_of socket port host ]
     in
-    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
-    let rec connect attempts =
-      try Unix.connect fd sockaddr
-      with Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) when attempts > 0 ->
-        Unix.sleepf 0.1;
-        connect (attempts - 1)
+    let named = List.map (fun a -> (Res_shard.Router.address_to_string a, a)) targets in
+    let ring = Res_shard.Ring.create (List.map fst named) in
+    let conns : (string, in_channel * out_channel) Hashtbl.t = Hashtbl.create 4 in
+    let connect_to name addr =
+      let sockaddr, domain =
+        match addr with
+        | Res_server.Server.Unix_socket path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
+        | Res_server.Server.Tcp (h, p) ->
+          let inet =
+            try Unix.inet_addr_of_string h
+            with Failure _ -> (Unix.gethostbyname h).Unix.h_addr_list.(0)
+          in
+          (Unix.ADDR_INET (inet, p), Unix.PF_INET)
+      in
+      let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+      let rec connect attempts =
+        try Unix.connect fd sockaddr
+        with Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) when attempts > 0 ->
+          Unix.sleepf 0.1;
+          connect (attempts - 1)
+      in
+      (try connect retry
+       with Unix.Unix_error (e, _, _) ->
+         Printf.eprintf
+           "cannot connect to %s: %s\n\
+            (is the server running there? --retry N waits N x 100ms for it)\n"
+           name (Unix.error_message e);
+         exit 3);
+      (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
     in
-    (try connect retry
-     with Unix.Unix_error (e, _, _) ->
-       Printf.eprintf "cannot connect: %s\n" (Unix.error_message e);
-       exit 3);
-    let ic = Unix.in_channel_of_descr fd in
-    let oc = Unix.out_channel_of_descr fd in
+    let channels_for key =
+      let name =
+        match Res_shard.Ring.route ring key with Some n -> n | None -> fst (List.hd named)
+      in
+      match Hashtbl.find_opt conns name with
+      | Some c -> c
+      | None ->
+        let c = connect_to name (List.assoc name named) in
+        Hashtbl.replace conns name c;
+        c
+    in
+    (* Requests without an instance (ping, stats, quit...) ride to the
+       shard of the empty key — one fixed member of the fleet. *)
+    let key_of_line line =
+      match Res_server.Protocol.parse line with
+      | Ok (Res_server.Protocol.Solve { body; _ })
+      | Ok (Res_server.Protocol.Watch_register { body; _ }) ->
+        Res_shard.Router.routing_key body
+      | Ok (Res_server.Protocol.Classify q_s) -> Res_shard.Router.routing_key q_s
+      | Ok (Res_server.Protocol.Batch { bodies = b :: _; _ }) -> Res_shard.Router.routing_key b
+      | _ -> ""
+    in
+    let valid_first_line r =
+      let has p = String.starts_with ~prefix:p r in
+      has "ok" || has "error" || has "busy" || has "timeout" || has "#"
+    in
     let send line =
+      let ic, oc = channels_for (key_of_line line) in
       output_string oc line;
       output_char oc '\n';
       flush oc;
@@ -552,18 +652,69 @@ let client_cmd =
            the "# EOF" terminator. *)
         String.lowercase_ascii (String.trim line) = "stats/prom"
       in
-      let rec recv () =
+      let rec recv first =
         match input_line ic with
         | reply ->
+          if first && not (valid_first_line reply) then begin
+            Printf.eprintf
+              "malformed reply %S\n\
+               (not a protocol response — is that address really a resilience server?)\n"
+              (String.sub reply 0 (min 80 (String.length reply)));
+            exit 5
+          end;
           print_endline reply;
-          if multi_line && reply <> Res_server.Protocol.prom_terminator then recv ()
+          if multi_line && reply <> Res_server.Protocol.prom_terminator then recv false
         | exception End_of_file ->
-          prerr_endline "server closed the connection";
-          exit 3
+          prerr_endline
+            "connection closed before the reply finished\n\
+             (the server crashed or was stopped mid-request; check its logs)";
+          exit 4
       in
-      recv ()
+      recv true
     in
-    if requests = [] then begin
+    let send_bulk file =
+      let instances =
+        try Res_engine.Batch.load_file file
+        with
+        | Res_engine.Batch.Parse_error msg ->
+          Printf.eprintf "%s: %s\n" file msg;
+          exit 2
+        | Sys_error msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 2
+      in
+      let key =
+        match instances with
+        | (inst : Res_engine.Batch.instance) :: _ ->
+          Res_shard.Router.routing_key
+            (Format.asprintf "%a" Res_cq.Query.pp inst.query)
+        | [] ->
+          Printf.eprintf "%s: no instances\n" file;
+          exit 2
+      in
+      let ic, oc = channels_for key in
+      Res_server.Frame.write_frame oc
+        (Res_server.Frame.encode_request
+           (Res_server.Frame.Bulk { timeout_ms = None; instances }));
+      match Res_server.Frame.read_frame ic with
+      | exception End_of_file ->
+        prerr_endline "connection closed before the bulk reply finished";
+        exit 4
+      | Error msg ->
+        Printf.eprintf "malformed bulk reply: %s\n" msg;
+        exit 5
+      | Ok payload -> begin
+        match Res_server.Frame.decode_reply payload with
+        | Ok (Res_server.Frame.Items items) ->
+          List.iter (fun it -> print_endline (Res_server.Frame.item_to_string it)) items
+        | Ok (Res_server.Frame.Error msg) -> print_endline ("error " ^ msg)
+        | Error msg ->
+          Printf.eprintf "malformed bulk reply: %s\n" msg;
+          exit 5
+      end
+    in
+    Option.iter send_bulk bulk;
+    if requests = [] && bulk = None then begin
       try
         while true do
           send (input_line stdin)
@@ -577,14 +728,105 @@ let client_cmd =
            ~doc:"Connection attempts (100ms apart) before giving up — lets scripts start \
                  the client right after the server.")
   in
+  let fleet_arg =
+    Arg.(value & opt (some string) None & info [ "fleet" ] ~docv:"ADDR,ADDR,..."
+           ~doc:"Address the fleet directly (no router): each request is sent to the \
+                 shard its canonical query key consistently hashes to.")
+  in
+  let bulk_arg =
+    Arg.(value & opt (some string) None & info [ "bulk" ] ~docv:"FILE"
+           ~doc:"Send the instance file as one binary v5 bulk frame and print the \
+                 per-instance results.")
+  in
   let requests_arg =
     Arg.(value & pos_all string [] & info [] ~docv:"REQUEST"
-           ~doc:"Protocol lines to send; with none, lines are read from stdin.")
+           ~doc:"Protocol lines to send; with none (and no --bulk), lines are read from stdin.")
   in
   Cmd.v
     (Cmd.info "client"
-       ~doc:"Send protocol requests to a running resilience server and print the replies")
-    Term.(const run $ socket_arg $ port_arg $ host_arg $ retry_arg $ requests_arg)
+       ~doc:"Send protocol requests to a running resilience server, router or fleet and \
+             print the replies")
+    Term.(const run $ socket_arg $ port_arg $ host_arg $ fleet_arg $ retry_arg $ bulk_arg
+          $ requests_arg)
+
+let route_cmd =
+  let run socket port host shards replicas retries backoff breaker_threshold
+      breaker_cooldown health_period verbose =
+    Fmt_tty.setup_std_outputs ();
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs_threaded.enable ();
+    Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning));
+    let shards =
+      List.map
+        (fun s ->
+          match Res_shard.Router.address_of_string s with
+          | Ok a -> a
+          | Error msg ->
+            prerr_endline msg;
+            exit 2)
+        shards
+    in
+    if shards = [] then begin
+      prerr_endline "no shards given: use --shard ADDR (repeatable)";
+      exit 2
+    end;
+    let cfg =
+      {
+        (Res_shard.Router.default_config ~address:(address_of socket port host) ~shards)
+        with
+        replicas;
+        retries;
+        backoff_ms = backoff;
+        breaker_threshold;
+        breaker_cooldown_ms = breaker_cooldown;
+        health_period_ms = health_period;
+      }
+    in
+    let r = Res_shard.Router.start cfg in
+    let graceful _ = ignore (Thread.create (fun () -> Res_shard.Router.stop r) ()) in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle graceful);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle graceful);
+    Res_shard.Router.wait r
+  in
+  let shards_arg =
+    Arg.(value & opt_all string [] & info [ "shard" ] ~docv:"ADDR"
+           ~doc:"A shard server address (Unix-socket path, HOST:PORT or PORT); repeatable.")
+  in
+  let replicas_arg =
+    Arg.(value & opt int 128 & info [ "replicas" ] ~docv:"N"
+           ~doc:"Virtual points per shard on the consistent-hash ring.")
+  in
+  let retries_arg =
+    Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N"
+           ~doc:"Attempts on the owning shard before failing over along the ring.")
+  in
+  let backoff_arg =
+    Arg.(value & opt int 50 & info [ "backoff-ms" ] ~docv:"MS"
+           ~doc:"Base retry backoff, doubled per attempt.")
+  in
+  let breaker_threshold_arg =
+    Arg.(value & opt int 3 & info [ "breaker-threshold" ] ~docv:"N"
+           ~doc:"Consecutive failures opening a shard's circuit breaker.")
+  in
+  let breaker_cooldown_arg =
+    Arg.(value & opt int 1000 & info [ "breaker-cooldown-ms" ] ~docv:"MS"
+           ~doc:"How long an open breaker skips its shard before re-probing.")
+  in
+  let health_period_arg =
+    Arg.(value & opt int 500 & info [ "health-period-ms" ] ~docv:"MS"
+           ~doc:"Health-ping cadence; 0 disables the health thread.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log routing decisions (debug level).")
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:"Run the consistent-hash router over a fleet of shard servers: canonical \
+             query keys map to shards, failures retry with backoff and fail over along \
+             the ring, saturated shards shed load with \"busy\" replies")
+    Term.(const run $ socket_arg $ port_arg $ host_arg $ shards_arg $ replicas_arg
+          $ retries_arg $ backoff_arg $ breaker_threshold_arg $ breaker_cooldown_arg
+          $ health_period_arg $ verbose_arg)
 
 (* --- witnesses ---------------------------------------------------------- *)
 
@@ -951,4 +1193,4 @@ let scrape_cmd =
 let () =
   let doc = "resilience of conjunctive queries with self-joins (PODS 2020 reproduction)" in
   let info = Cmd.info "resilience" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ classify_cmd; solve_cmd; watch_cmd; batch_cmd; serve_cmd; client_cmd; witnesses_cmd; gen_cmd; zoo_cmd; ijp_cmd; gadget_cmd; repairs_cmd; blame_cmd; propagate_cmd; trace_check_cmd; scrape_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ classify_cmd; solve_cmd; watch_cmd; batch_cmd; serve_cmd; route_cmd; client_cmd; witnesses_cmd; gen_cmd; zoo_cmd; ijp_cmd; gadget_cmd; repairs_cmd; blame_cmd; propagate_cmd; trace_check_cmd; scrape_cmd ]))

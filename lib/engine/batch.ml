@@ -37,6 +37,15 @@ let create ?(cached = true) ?(classify_capacity = 4096) ?(solve_capacity = 4096)
 
 let stats t = t.stats
 
+(* Persistence hooks: the solve cache is the engine's durable state (the
+   classify cache rebuilds in microseconds from query text).  A listener
+   sees every optimal solution as it is inserted; seeding bypasses the
+   listener so log replay cannot echo. *)
+let on_solve_insert t f = Cache.set_on_insert t.solve_cache f
+let seed_solve t key sol = Cache.seed t.solve_cache key sol
+let solve_cache_stats t =
+  (Cache.length t.solve_cache, Cache.hits t.solve_cache, Cache.misses t.solve_cache)
+
 let locked t f = Mutex.protect t.lock f
 
 let with_time f =

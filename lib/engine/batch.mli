@@ -84,6 +84,28 @@ val run : t -> ?pool:Res_exec.Executor.t -> instance list -> outcome list
 
 val stats : t -> Stats.t
 
+(** {2 Persistence hooks}
+
+    The solve cache is the engine's durable state; these hooks let a
+    disk-backed store (lib/shard's [Store]) tap its insertions and
+    replay them after a restart.  Keys are [(canonical key or
+    fingerprint-extended key, digest)] pairs exactly as the engine uses
+    them internally. *)
+
+val on_solve_insert : t -> (string * string -> Resilience.Solution.t -> unit) -> unit
+(** Register the solve-cache insertion listener (at most one; replaces).
+    Fires outside the cache's structural lock on every newly computed
+    optimal solution — never on cache hits, timeouts, or seeds. *)
+
+val seed_solve : t -> string * string -> Resilience.Solution.t -> unit
+(** Warm-restart recovery: insert a recovered binding without firing the
+    {!on_solve_insert} listener.  No-op if the key is already present or
+    the cache is full. *)
+
+val solve_cache_stats : t -> int * int * int
+(** [(length, hits, misses)] of the solve cache — the warm-restart bench
+    gate reads hits-after-restart from here. *)
+
 (** {2 Instance files}
 
     One instance per line: [QUERY | FACTS], with an optional leading

@@ -13,6 +13,7 @@ type ('k, 'v) t = {
   hits : int Atomic.t;
   misses : int Atomic.t;
   evictions : int Atomic.t;
+  mutable on_insert : ('k -> 'v -> unit) option;
 }
 
 let create ?(capacity = 4096) () =
@@ -25,7 +26,10 @@ let create ?(capacity = 4096) () =
     hits = Atomic.make 0;
     misses = Atomic.make 0;
     evictions = Atomic.make 0;
+    on_insert = None;
   }
+
+let set_on_insert c f = Mutex.protect c.lock (fun () -> c.on_insert <- Some f)
 
 let touch c e =
   c.tick <- c.tick + 1;
@@ -66,13 +70,28 @@ let evict c =
     oldest
 
 let add c k v =
+  let listener =
+    Mutex.protect c.lock (fun () ->
+        (match Hashtbl.find_opt c.tbl k with
+        | Some _ -> Hashtbl.remove c.tbl k
+        | None -> if Hashtbl.length c.tbl >= c.cap then evict c);
+        let e = { value = v; stamp = 0 } in
+        touch c e;
+        Hashtbl.add c.tbl k e;
+        c.on_insert)
+  in
+  (* the listener (e.g. a persistence log append) runs outside the
+     structural lock so a slow fsync never blocks concurrent lookups,
+     and a listener that reads the cache cannot deadlock *)
+  match listener with None -> () | Some f -> f k v
+
+let seed c k v =
   Mutex.protect c.lock (fun () ->
-      (match Hashtbl.find_opt c.tbl k with
-      | Some _ -> Hashtbl.remove c.tbl k
-      | None -> if Hashtbl.length c.tbl >= c.cap then evict c);
-      let e = { value = v; stamp = 0 } in
-      touch c e;
-      Hashtbl.add c.tbl k e)
+      if not (Hashtbl.mem c.tbl k) then begin
+        let e = { value = v; stamp = 0 } in
+        touch c e;
+        if Hashtbl.length c.tbl < c.cap then Hashtbl.add c.tbl k e
+      end)
 
 let length c = Mutex.protect c.lock (fun () -> Hashtbl.length c.tbl)
 let capacity c = c.cap

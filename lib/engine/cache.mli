@@ -24,7 +24,21 @@ val mem : ('k, 'v) t -> 'k -> bool
 
 val add : ('k, 'v) t -> 'k -> 'v -> unit
 (** Insert (or overwrite) a binding, evicting the least recently used
-    entries when the table exceeds its capacity. *)
+    entries when the table exceeds its capacity.  If an {!set_on_insert}
+    listener is registered it is invoked (outside the structural lock)
+    after the binding lands. *)
+
+val seed : ('k, 'v) t -> 'k -> 'v -> unit
+(** Like {!add} but for warm-restart recovery: does nothing when the key
+    is already present or the table is full, and never fires the
+    {!set_on_insert} listener — so replaying a persistence log into the
+    cache cannot echo entries back into the log. *)
+
+val set_on_insert : ('k, 'v) t -> ('k -> 'v -> unit) -> unit
+(** Register the insertion listener (replacing any previous one).  It
+    fires on every {!add} — this is the hook a disk-backed persistence
+    layer attaches to.  The callback must not call {!add} on the same
+    cache. *)
 
 val length : ('k, 'v) t -> int
 val capacity : ('k, 'v) t -> int

@@ -1,0 +1,310 @@
+(* Protocol v5 binary framing for bulk batch traffic.
+
+   The line protocol (one request, one reply, '\n'-terminated) stays the
+   compatibility surface; frames exist for the fleet's bulk path, where
+   rendering thousands of facts through the fact printer and re-parsing
+   them on the shard dominates the wire time.  A frame is
+
+     0xF5  varint(len)  payload[len]
+
+   0xF5 can never begin a text request (verbs are ASCII), so a server
+   reading a connection decides text vs binary per request from the
+   first byte.  Payloads are versioned by their leading verb byte;
+   integers are LEB128 varints (zigzag for signed), tuples are packed
+   value-by-value with a one-byte constructor tag. *)
+
+open Res_db
+
+let magic = '\xf5'
+
+let max_payload = 1 lsl 26 (* 64 MiB: a garbage length must not OOM the peer *)
+
+(* --- varint / string / value codecs ------------------------------------- *)
+
+let write_varint b n =
+  if n < 0 then invalid_arg "Frame.write_varint: negative";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char b (Char.chr n)
+    else begin
+      Buffer.add_char b (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+exception Malformed of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Malformed m)) fmt
+
+let read_varint s pos =
+  let rec go shift acc =
+    if !pos >= String.length s then fail "truncated varint";
+    let c = Char.code s.[!pos] in
+    incr pos;
+    if shift > 56 then fail "varint too long";
+    let acc = acc lor ((c land 0x7f) lsl shift) in
+    if c land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+(* zigzag: signed ints (fact constants can be negative) *)
+let write_zint b n = write_varint b (if n >= 0 then n lsl 1 else (lnot n lsl 1) lor 1)
+
+let read_zint s pos =
+  let u = read_varint s pos in
+  if u land 1 = 0 then u lsr 1 else lnot (u lsr 1)
+
+let write_str b s =
+  write_varint b (String.length s);
+  Buffer.add_string b s
+
+let read_str s pos =
+  let n = read_varint s pos in
+  if n > String.length s - !pos then fail "truncated string (%d bytes)" n;
+  let r = String.sub s !pos n in
+  pos := !pos + n;
+  r
+
+let rec write_value b (v : Value.t) =
+  match v with
+  | Value.Int n ->
+    Buffer.add_char b '\x00';
+    write_zint b n
+  | Value.Str s ->
+    Buffer.add_char b '\x01';
+    write_str b s
+  | Value.Pair (x, y) ->
+    Buffer.add_char b '\x02';
+    write_value b x;
+    write_value b y
+  | Value.Tag (t, x) ->
+    Buffer.add_char b '\x03';
+    write_str b t;
+    write_value b x
+
+let rec read_value s pos =
+  if !pos >= String.length s then fail "truncated value";
+  let tag = s.[!pos] in
+  incr pos;
+  match tag with
+  | '\x00' -> Value.i (read_zint s pos)
+  | '\x01' -> Value.s (read_str s pos)
+  | '\x02' ->
+    let x = read_value s pos in
+    let y = read_value s pos in
+    Value.pair x y
+  | '\x03' ->
+    let t = read_str s pos in
+    Value.tag t (read_value s pos)
+  | c -> fail "unknown value tag 0x%02x" (Char.code c)
+
+let write_fact b (f : Database.fact) =
+  write_str b f.Database.rel;
+  write_varint b (List.length f.Database.tuple);
+  List.iter (write_value b) f.Database.tuple
+
+let read_fact s pos =
+  let rel = read_str s pos in
+  let arity = read_varint s pos in
+  if arity > 64 then fail "implausible fact arity %d" arity;
+  let tuple = List.init arity (fun _ -> read_value s pos) in
+  Database.fact rel tuple
+
+(* --- databases: varint-packed tuples, grouped by relation ---------------- *)
+
+let write_db b db =
+  let rels = Database.relations db in
+  write_varint b (List.length rels);
+  List.iter
+    (fun rel ->
+      let rows = Database.tuples_of db rel in
+      write_str b rel;
+      write_varint b (List.length rows);
+      (match rows with
+      | [] -> write_varint b 0
+      | row :: _ -> write_varint b (List.length row));
+      List.iter (fun row -> List.iter (write_value b) row) rows)
+    rels
+
+let read_db s pos =
+  let n_rels = read_varint s pos in
+  if n_rels > 10_000 then fail "implausible relation count %d" n_rels;
+  let rows =
+    List.init n_rels (fun _ ->
+        let rel = read_str s pos in
+        let n = read_varint s pos in
+        let arity = read_varint s pos in
+        if arity > 64 then fail "implausible arity %d" arity;
+        let tuples = List.init n (fun _ -> List.init arity (fun _ -> read_value s pos)) in
+        (rel, tuples))
+  in
+  Database.of_rows rows
+
+(* --- requests and replies ------------------------------------------------ *)
+
+type request = Bulk of { timeout_ms : int option; instances : Res_engine.Batch.instance list }
+
+type item =
+  | Unbreakable
+  | Solved of { rho : int; cached : bool }
+  | Timeout of { lb : int; ub : int option }
+
+type reply = Items of item list | Error of string
+
+let verb_bulk = '\x01'
+let verb_items = '\x81'
+let verb_error = '\x7f'
+
+let query_str q = Format.asprintf "%a" Res_cq.Query.pp q
+
+let encode_request (Bulk { timeout_ms; instances }) =
+  let b = Buffer.create 4096 in
+  Buffer.add_char b verb_bulk;
+  write_varint b (match timeout_ms with None -> 0 | Some ms -> ms);
+  write_varint b (List.length instances);
+  List.iter
+    (fun (i : Res_engine.Batch.instance) ->
+      write_str b i.label;
+      write_str b (query_str i.query);
+      write_db b i.db)
+    instances;
+  Buffer.contents b
+
+let decode_request payload =
+  try
+    if payload = "" then Result.Error "empty frame"
+    else if payload.[0] <> verb_bulk then
+      Result.Error (Printf.sprintf "unknown request verb 0x%02x" (Char.code payload.[0]))
+    else begin
+      let pos = ref 1 in
+      let timeout_ms = match read_varint payload pos with 0 -> None | ms -> Some ms in
+      let n = read_varint payload pos in
+      if n > 1_000_000 then fail "implausible instance count %d" n;
+      let instances =
+        List.init n (fun k ->
+            let label = read_str payload pos in
+            let label = if label = "" then Printf.sprintf "#%d" (k + 1) else label in
+            let q_s = read_str payload pos in
+            let query =
+              match Res_cq.Parser.query_opt q_s with
+              | Ok q -> q
+              | Result.Error msg -> fail "instance %d query: %s" (k + 1) msg
+            in
+            let db = read_db payload pos in
+            { Res_engine.Batch.label; query; db })
+      in
+      Result.Ok (Bulk { timeout_ms; instances })
+    end
+  with Malformed m -> Result.Error m
+
+let encode_reply reply =
+  let b = Buffer.create 256 in
+  (match reply with
+  | Error msg ->
+    Buffer.add_char b verb_error;
+    write_str b msg
+  | Items items ->
+    Buffer.add_char b verb_items;
+    write_varint b (List.length items);
+    List.iter
+      (function
+        | Unbreakable -> Buffer.add_char b '\x00'
+        | Solved { rho; cached } ->
+          Buffer.add_char b '\x01';
+          write_varint b rho;
+          Buffer.add_char b (if cached then '\x01' else '\x00')
+        | Timeout { lb; ub } -> begin
+          Buffer.add_char b '\x02';
+          write_varint b lb;
+          match ub with
+          | None -> Buffer.add_char b '\x00'
+          | Some u ->
+            Buffer.add_char b '\x01';
+            write_varint b u
+        end)
+      items);
+  Buffer.contents b
+
+let decode_reply payload =
+  try
+    if payload = "" then Result.Error "empty frame"
+    else if payload.[0] = verb_error then begin
+      let pos = ref 1 in
+      Result.Ok (Error (read_str payload pos))
+    end
+    else if payload.[0] <> verb_items then
+      Result.Error (Printf.sprintf "unknown reply verb 0x%02x" (Char.code payload.[0]))
+    else begin
+      let pos = ref 1 in
+      let n = read_varint payload pos in
+      if n > 1_000_000 then fail "implausible item count %d" n;
+      let items =
+        List.init n (fun _ ->
+            if !pos >= String.length payload then fail "truncated item";
+            let tag = payload.[!pos] in
+            incr pos;
+            match tag with
+            | '\x00' -> Unbreakable
+            | '\x01' ->
+              let rho = read_varint payload pos in
+              if !pos >= String.length payload then fail "truncated item";
+              let cached = payload.[!pos] = '\x01' in
+              incr pos;
+              Solved { rho; cached }
+            | '\x02' ->
+              let lb = read_varint payload pos in
+              if !pos >= String.length payload then fail "truncated item";
+              let has_ub = payload.[!pos] = '\x01' in
+              incr pos;
+              let ub = if has_ub then Some (read_varint payload pos) else None in
+              Timeout { lb; ub }
+            | c -> fail "unknown item tag 0x%02x" (Char.code c))
+      in
+      Result.Ok (Items items)
+    end
+  with Malformed m -> Result.Error m
+
+(* The text rendering of an item, identical to the line protocol's batch
+   items — the differential suites compare the two paths with this. *)
+let item_to_string = function
+  | Unbreakable -> "unbreakable"
+  | Solved { rho; cached } -> Printf.sprintf "rho=%d%s" rho (if cached then " cached" else "")
+  | Timeout { lb; ub = None } -> if lb = 0 then "timeout" else Printf.sprintf "timeout:%d.." lb
+  | Timeout { lb; ub = Some u } -> Printf.sprintf "timeout:%d..%d" lb u
+
+(* --- channel I/O --------------------------------------------------------- *)
+
+let write_frame oc payload =
+  output_char oc magic;
+  let b = Buffer.create 8 in
+  write_varint b (String.length payload);
+  Buffer.output_buffer oc b;
+  output_string oc payload;
+  flush oc
+
+(* The magic byte has already been consumed by the caller (that is how it
+   decided the request is binary). *)
+let read_frame_body ic =
+  try
+    let rec len shift acc =
+      let c = Char.code (input_char ic) in
+      if shift > 56 then Result.Error "frame length varint too long"
+      else
+        let acc = acc lor ((c land 0x7f) lsl shift) in
+        if c land 0x80 = 0 then Result.Ok acc else len (shift + 7) acc
+    in
+    match len 0 0 with
+    | Result.Error _ as e -> e
+    | Result.Ok n when n > max_payload -> Result.Error (Printf.sprintf "frame too large (%d bytes)" n)
+    | Result.Ok n ->
+      let buf = Bytes.create n in
+      really_input ic buf 0 n;
+      Result.Ok (Bytes.unsafe_to_string buf)
+  with End_of_file -> Result.Error "connection closed inside a frame"
+
+(* Client side: read one full frame including the magic byte. *)
+let read_frame ic =
+  match input_char ic with
+  | exception End_of_file -> Result.Error "connection closed before a frame arrived"
+  | c when c = magic -> read_frame_body ic
+  | c -> Result.Error (Printf.sprintf "expected a frame, got byte 0x%02x" (Char.code c))

@@ -1,0 +1,67 @@
+(** Protocol v5 binary framing for bulk batch traffic.
+
+    A frame on the wire is [0xF5][varint len][payload]: the magic byte can
+    never start a text-protocol request, so servers decide text vs binary
+    per request from the first byte and the line protocol keeps working
+    unchanged on the same port.  Payloads pack instances with LEB128
+    varints (zigzag-encoded for signed constants) and one-byte value
+    constructor tags — a bulk batch of graph instances is a fraction of
+    its fact-syntax rendering, and costs no fact re-parsing on the shard.
+
+    Decoding never raises on adversarial input: lengths are bounded and
+    every truncation is an [Error]. *)
+
+open Res_db
+
+val magic : char
+(** [0xF5], the first byte of every frame. *)
+
+type request =
+  | Bulk of { timeout_ms : int option; instances : Res_engine.Batch.instance list }
+
+type item =
+  | Unbreakable
+  | Solved of { rho : int; cached : bool }
+  | Timeout of { lb : int; ub : int option }
+
+type reply = Items of item list | Error of string
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+
+val encode_reply : reply -> string
+val decode_reply : string -> (reply, string) result
+
+val item_to_string : item -> string
+(** Text rendering identical to the line protocol's batch items
+    ([rho=N] / [unbreakable] / [timeout:lb..ub]), so the two wire paths
+    can be compared literally. *)
+
+val write_frame : out_channel -> string -> unit
+(** Magic byte, varint length, payload; flushes. *)
+
+val read_frame_body : in_channel -> (string, string) result
+(** Read length + payload after the caller consumed the magic byte. *)
+
+val read_frame : in_channel -> (string, string) result
+(** Read one whole frame, magic byte included. *)
+
+(** {2 Codec primitives}
+
+    Reused by the persistent cache's record payloads ({!Res_shard.Plog})
+    so the repo has exactly one binary vocabulary. *)
+
+exception Malformed of string
+
+val write_varint : Buffer.t -> int -> unit
+val read_varint : string -> int ref -> int
+(** @raise Malformed on truncated input. *)
+
+val write_str : Buffer.t -> string -> unit
+val read_str : string -> int ref -> string
+
+val write_value : Buffer.t -> Value.t -> unit
+val read_value : string -> int ref -> Value.t
+
+val write_fact : Buffer.t -> Database.fact -> unit
+val read_fact : string -> int ref -> Database.fact

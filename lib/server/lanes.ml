@@ -1,0 +1,50 @@
+(* Admission lanes: classify-first two-tier scheduling.
+
+   The classifier is the cheapest useful oracle the server has — one
+   cached canonical-key lookup tells it whether a request is PTIME
+   (flow/matching solvable, milliseconds even on large instances) or
+   NP-hard (branch-and-bound, unbounded without a deadline).  Routing on
+   that verdict keeps the fast lane's latency independent of however
+   many hard solves are queued behind it, and makes load-shedding
+   precise: a saturated hard lane sheds hard requests with a BUSY reply
+   while cheap traffic keeps flowing. *)
+
+type lane = Fast | Hard
+
+let lane_name = function Fast -> "fast" | Hard -> "hard"
+
+(* The hard side is PTIME-complement: anything not proven tractable —
+   NP-complete, open, or outside the analyzed fragment — pays the
+   deadline-guarded queue.  Soundness does not depend on the split; only
+   latency isolation does. *)
+let lane_of_verdict = function
+  | Resilience.Classify.Ptime _ -> Fast
+  | Resilience.Classify.Np_complete _ | Resilience.Classify.Open_problem _
+  | Resilience.Classify.Unknown _ ->
+    Hard
+
+let lane_of_verdicts vs =
+  if List.for_all (fun v -> lane_of_verdict v = Fast) vs then Fast else Hard
+
+type t = { fast : Pool.t; hard : Pool.t }
+
+let create ~fast_workers ~fast_capacity ~hard_workers ~hard_capacity =
+  {
+    fast = Pool.create ~workers:fast_workers ~capacity:fast_capacity;
+    hard = Pool.create ~workers:hard_workers ~capacity:hard_capacity;
+  }
+
+let pool t = function Fast -> t.fast | Hard -> t.hard
+
+type admission = Queued | Busy of { depth : int; capacity : int }
+
+let submit t lane job =
+  let p = pool t lane in
+  if Pool.submit p job then Queued else Busy { depth = Pool.depth p; capacity = Pool.capacity p }
+
+let depth t lane = Pool.depth (pool t lane)
+let running t lane = Pool.running (pool t lane)
+
+let shutdown t =
+  Pool.shutdown t.fast;
+  Pool.shutdown t.hard

@@ -1,0 +1,34 @@
+(** Admission lanes: classify-first two-tier scheduling.
+
+    Two bounded {!Pool}s: a {e fast} lane for PTIME-classified requests
+    and a {e hard} lane for everything else (NP-complete, open, or
+    outside the analyzed fragment).  The classification is one cached
+    canonical-key lookup, so lane choice costs nothing next to a solve;
+    what it buys is latency isolation — a pile-up of branch-and-bound
+    searches can saturate and shed load on the hard lane without adding
+    a microsecond to flow-solvable traffic. *)
+
+type lane = Fast | Hard
+
+val lane_name : lane -> string
+
+val lane_of_verdict : Resilience.Classify.verdict -> lane
+
+val lane_of_verdicts : Resilience.Classify.verdict list -> lane
+(** A request is fast only when {e every} instance in it is. *)
+
+type t
+
+val create :
+  fast_workers:int -> fast_capacity:int -> hard_workers:int -> hard_capacity:int -> t
+
+type admission = Queued | Busy of { depth : int; capacity : int }
+
+val submit : t -> lane -> (unit -> unit) -> admission
+(** Non-blocking; [Busy] is the load-shedding signal (429-style). *)
+
+val depth : t -> lane -> int
+val running : t -> lane -> int
+
+val shutdown : t -> unit
+(** Drains and joins both pools. *)

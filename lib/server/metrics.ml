@@ -73,6 +73,27 @@ let observe h v =
 
 let histogram_count h = Mutex.protect h.h_lock (fun () -> h.total)
 
+(* Bucketed quantile estimate, Prometheus-style: the upper bound of the
+   first bucket whose cumulative count reaches q·total.  Observations in
+   the implicit +inf bucket yield [infinity] — the caller knows the
+   histogram's resolution ran out, rather than getting a made-up number. *)
+let quantile h q =
+  if q < 0. || q > 1. then invalid_arg "Metrics.quantile: q must be in [0,1]";
+  Mutex.protect h.h_lock (fun () ->
+      if h.total = 0 then None
+      else begin
+        let target = q *. float_of_int h.total in
+        let rec go i cum =
+          if i >= Array.length h.counts then Some infinity
+          else
+            let cum = cum + h.counts.(i) in
+            if float_of_int cum >= target then
+              if i < Array.length h.bounds then Some h.bounds.(i) else Some infinity
+            else go (i + 1) cum
+        in
+        go 0 0
+      end)
+
 (* Prometheus exposition: metric names allow [a-zA-Z0-9_:] only, so the
    registry's dotted names are mapped through an underscore and a
    [resilience_] namespace prefix. *)

@@ -41,6 +41,13 @@ val observe : histogram -> float -> unit
 
 val histogram_count : histogram -> int
 
+val quantile : histogram -> float -> float option
+(** Bucketed quantile estimate (the upper bound of the bucket where the
+    cumulative count reaches [q]·total): [None] on an empty histogram,
+    [infinity] when the quantile lands in the implicit +∞ bucket.  This
+    is how the bench extracts p99 latency from the same histograms
+    Prometheus scrapes. *)
+
 val render : t -> (string * string) list
 (** Sorted snapshot: counters as [name=count], gauges as [name=value]
     ([%g]), histograms expanded into [name.le_UB], [name.count] and

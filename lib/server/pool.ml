@@ -61,6 +61,8 @@ let submit t job =
 
 let depth t = Mutex.protect t.lock (fun () -> Queue.length t.jobs)
 
+let capacity t = t.capacity
+
 let running t = Mutex.protect t.lock (fun () -> t.running)
 
 let shutdown t =

@@ -25,6 +25,9 @@ val submit : t -> (unit -> unit) -> bool
 val depth : t -> int
 (** Jobs currently queued (not yet picked up by a worker). *)
 
+val capacity : t -> int
+(** The queue bound this pool was created with. *)
+
 val running : t -> int
 (** Jobs currently executing. *)
 

@@ -132,7 +132,16 @@ let solution ~cached = function
       (Printf.sprintf "rho=%d set={%s}%s" v (pp_facts facts)
          (if cached then " cached" else ""))
 
-let version = 4
+let version = 5
+
+(* v5: the sharded service tier.  Two additions: binary bulk frames (see
+   {!Frame}; the first byte of a request selects text vs binary, so this
+   file stays the whole text surface), and the 429-style load-shedding
+   reply below — a saturated admission lane answers [busy ...] instead
+   of queueing unboundedly, and clients/routers know to back off rather
+   than treat it as a protocol error. *)
+let busy ~lane ~depth ~capacity =
+  Printf.sprintf "busy lane=%s depth=%d capacity=%d retry-after-ms=100" lane depth capacity
 
 (* v4: the streaming tier.  Every watch reply is a single line carrying the
    current answer together with the database version (number of effective

@@ -55,11 +55,19 @@
     server-global: a session registered on one connection may be fed from
     another, and it survives its registering connection.
 
-    {b Versioning.}  This is protocol {!version} 4.  v1 timeout lines
+    {b Load shedding (v5).}  A request aimed at a saturated admission
+    lane is answered [busy lane=<fast|hard> depth=N capacity=N
+    retry-after-ms=MS] — the 429 of this protocol.  The request was not
+    queued; the client should back off and retry.  Routers forward
+    [busy] verbatim (shedding is intentional, not a shard failure).
+
+    {b Versioning.}  This is protocol {!version} 5.  v1 timeout lines
     were exactly [timeout bound=<N|none>]; v2 appended [lb=]/[gap=]
     fields and refined batch timeout items from [timeout:N] to
-    [timeout:LB..UB]; v3 added the [stats/prom] verb; v4 adds the
-    [watch] verbs (new verbs only — older clients are unaffected). *)
+    [timeout:LB..UB]; v3 added the [stats/prom] verb; v4 added the
+    [watch] verbs; v5 adds the [busy] response and the binary bulk
+    framing of {!Frame} (new responses and an opt-in wire format only —
+    older clients are unaffected). *)
 
 type request =
   | Ping
@@ -81,8 +89,12 @@ val parse : string -> (request, string) result
 val ok : string -> string
 val error : string -> string
 
+val busy : lane:string -> depth:int -> capacity:int -> string
+(** The load-shedding reply: [busy lane=... depth=... capacity=...
+    retry-after-ms=...]. *)
+
 val version : int
-(** The protocol generation this build speaks (3). *)
+(** The protocol generation this build speaks (5). *)
 
 val prom_terminator : string
 (** The line ("# EOF") ending a [stats/prom] reply. *)

@@ -10,6 +10,9 @@ type config = {
   address : address;
   workers : int;
   queue_capacity : int;
+  hard_workers : int;
+  hard_queue : int;
+  hard_timeout_ms : int option;
   default_timeout_ms : int option;
   jobs : int;
   metrics_addr : address option;
@@ -20,6 +23,9 @@ let default_config address =
     address;
     workers = 4;
     queue_capacity = 64;
+    hard_workers = 2;
+    hard_queue = 32;
+    hard_timeout_ms = Some 10_000;
     default_timeout_ms = Some 30_000;
     jobs = 1;
     metrics_addr = None;
@@ -54,7 +60,7 @@ type t = {
   cfg : config;
   engine : Res_engine.Batch.t;
   metrics : Metrics.t;
-  pool : Pool.t;
+  lanes : Lanes.t;
   exec : Res_exec.Executor.t option;
       (* the multicore substrate, shared by every worker thread's solves
          when [cfg.jobs > 1]; [None] keeps solving single-domain *)
@@ -86,8 +92,15 @@ type t = {
 
 (* A registered streaming session.  [m] serializes delta batches aimed at
    the same watcher (they may arrive from several connections); distinct
-   watchers proceed in parallel on the worker pool. *)
-and watcher = { watch_id : int; m : Mutex.t; session : Res_inc.Session.t }
+   watchers proceed in parallel on the worker pool.  [lane] is fixed at
+   registration from the query's verdict: every delta of a PTIME watch
+   rides the fast lane, every delta of a hard one pays the hard queue. *)
+and watcher = {
+  watch_id : int;
+  m : Mutex.t;
+  session : Res_inc.Session.t;
+  lane : Lanes.lane;
+}
 
 let metrics t = t.metrics
 let engine t = t.engine
@@ -105,9 +118,30 @@ let cancel_for t deadline =
   | None -> stop
   | Some d -> Resilience.Cancel.all [ stop; Resilience.Cancel.of_deadline d ]
 
-let deadline_of t timeout_ms =
-  let ms = match timeout_ms with Some _ as s -> s | None -> t.cfg.default_timeout_ms in
+(* Hard-lane requests always get a deadline: even when the server-wide
+   default is [None], a hard request without [timeout=MS] is bounded by
+   [hard_timeout_ms], so the hard lane is {e anytime} — a queued NP-hard
+   solve answers with a certified [lb ≤ ρ ≤ ub] interval rather than
+   occupying a worker forever. *)
+let deadline_of t ?lane timeout_ms =
+  let default =
+    match (t.cfg.default_timeout_ms, lane) with
+    | (Some _ as s), _ -> s
+    | None, Some Lanes.Hard -> t.cfg.hard_timeout_ms
+    | None, _ -> None
+  in
+  let ms = match timeout_ms with Some _ as s -> s | None -> default in
   Option.map (fun ms -> now () +. (float_of_int ms /. 1000.)) ms
+
+(* Classify-first admission: the lane of a request is the joint verdict
+   of its instances — cached canonical-key lookups, so this costs
+   microseconds on the connection thread before any queue slot is
+   consumed. *)
+let lane_for t instances =
+  Lanes.lane_of_verdicts
+    (List.map
+       (fun (inst : Res_engine.Batch.instance) -> Res_engine.Batch.classify t.engine inst.query)
+       instances)
 
 let expired deadline = match deadline with Some d -> now () >= d | None -> false
 
@@ -163,6 +197,15 @@ let run_solve t ~kind ~deadline instances fill =
     count t kind (if any_timeout then "timeout" else "ok");
     fill (Protocol.ok (String.concat " ;; " (List.map Protocol.batch_item outcomes)))
 
+let submit_lane t ~kind ~lane job =
+  let ivar = Ivar.create () in
+  match Lanes.submit t.lanes lane (fun () -> job (Ivar.fill ivar)) with
+  | Lanes.Queued -> Ivar.read ivar
+  | Lanes.Busy { depth; capacity } ->
+    count t kind "rejected";
+    Metrics.inc (Metrics.counter t.metrics ("lane." ^ Lanes.lane_name lane ^ ".shed"));
+    Protocol.busy ~lane:(Lanes.lane_name lane) ~depth ~capacity
+
 let submit_solve t ~kind ~timeout_ms body_lines =
   match
     List.concat_map (fun body -> Res_engine.Batch.parse_instances body) body_lines
@@ -174,21 +217,69 @@ let submit_solve t ~kind ~timeout_ms body_lines =
     count t kind "error";
     Protocol.error "no instance given"
   | instances ->
-    let deadline = deadline_of t timeout_ms in
+    let lane = lane_for t instances in
+    let deadline = deadline_of t ~lane timeout_ms in
+    submit_lane t ~kind ~lane (fun fill -> run_solve t ~kind ~deadline instances fill)
+
+(* The binary bulk path: same engine, same lanes, same deadline
+   semantics — only the wire format differs.  The reply is a frame
+   payload, built here and written by the connection thread. *)
+let run_bulk t ~deadline instances fill =
+  Obs.span ~cat:"server" "bulk" @@ fun () ->
+  let t0 = now () in
+  let cancel = cancel_for t deadline in
+  let solve_all =
+    match t.exec with
+    | Some exec when Res_exec.Executor.jobs exec > 1 -> Res_exec.Executor.parallel_map exec
+    | _ -> List.map
+  in
+  let outcomes = solve_all (fun inst -> solve_one t ~cancel ~deadline inst) instances in
+  let items =
+    List.map
+      (function
+        | Res_engine.Batch.Solved (Resilience.Solution.Unbreakable, _) -> Frame.Unbreakable
+        | Res_engine.Batch.Solved (Resilience.Solution.Finite (v, _), cached) ->
+          Frame.Solved { rho = v; cached }
+        | Res_engine.Batch.Timed_out iv ->
+          Frame.Timeout
+            { lb = Res_bounds.Interval.lb iv; ub = Res_bounds.Interval.ub iv })
+      outcomes
+  in
+  let any_timeout = List.exists (function Frame.Timeout _ -> true | _ -> false) items in
+  count t "bulk" (if any_timeout then "timeout" else "ok");
+  Metrics.observe t.solve_latency (now () -. t0);
+  fill (Frame.encode_reply (Frame.Items items))
+
+let execute_frame t payload =
+  match Frame.decode_request payload with
+  | Error msg ->
+    count t "bulk" "error";
+    Frame.encode_reply (Frame.Error msg)
+  | Ok (Frame.Bulk { timeout_ms; instances = [] }) ->
+    ignore timeout_ms;
+    count t "bulk" "error";
+    Frame.encode_reply (Frame.Error "bulk: no instance given")
+  | Ok (Frame.Bulk { timeout_ms; instances }) -> begin
+    let lane = lane_for t instances in
+    let deadline = deadline_of t ~lane timeout_ms in
     let ivar = Ivar.create () in
-    if Pool.submit t.pool (fun () -> run_solve t ~kind ~deadline instances (Ivar.fill ivar)) then
-      Ivar.read ivar
-    else begin
-      count t kind "rejected";
-      Protocol.error "busy: request queue is full, retry later"
-    end
+    match
+      Lanes.submit t.lanes lane (fun () -> run_bulk t ~deadline instances (Ivar.fill ivar))
+    with
+    | Lanes.Queued -> Ivar.read ivar
+    | Lanes.Busy { depth; capacity } ->
+      count t "bulk" "rejected";
+      Metrics.inc (Metrics.counter t.metrics ("lane." ^ Lanes.lane_name lane ^ ".shed"));
+      Frame.encode_reply
+        (Frame.Error (Protocol.busy ~lane:(Lanes.lane_name lane) ~depth ~capacity))
+  end
 
 (* --- the streaming (watch) tier ----------------------------------------- *)
 
 let find_watcher t id =
   Mutex.protect t.watchers_lock (fun () -> Hashtbl.find_opt t.watchers id)
 
-let run_watch_register t ~deadline (inst : Res_engine.Batch.instance) fill =
+let run_watch_register t ~lane ~deadline (inst : Res_engine.Batch.instance) fill =
   Obs.span ~cat:"server" "watch.register" @@ fun () ->
   let cancel = cancel_for t deadline in
   match Res_inc.Session.create ~cancel ?pool:t.exec inst.db inst.query with
@@ -200,7 +291,7 @@ let run_watch_register t ~deadline (inst : Res_engine.Batch.instance) fill =
       Mutex.protect t.watchers_lock (fun () ->
           let id = t.next_watch in
           t.next_watch <- id + 1;
-          let w = { watch_id = id; m = Mutex.create (); session } in
+          let w = { watch_id = id; m = Mutex.create (); session; lane } in
           Hashtbl.replace t.watchers id w;
           w)
     in
@@ -220,14 +311,9 @@ let run_watch_delta t ~deadline (w : watcher) deltas fill =
   count t "watch_delta" (match result with Res_inc.Session.Value _ -> "ok" | _ -> "timeout");
   fill (Protocol.watch_reply ~id:w.watch_id w.session result)
 
-let submit_watch t ~kind ~timeout_ms job =
-  let deadline = deadline_of t timeout_ms in
-  let ivar = Ivar.create () in
-  if Pool.submit t.pool (fun () -> job ~deadline (Ivar.fill ivar)) then Ivar.read ivar
-  else begin
-    count t kind "rejected";
-    Protocol.error "busy: request queue is full, retry later"
-  end
+let submit_watch t ~kind ~lane ~timeout_ms job =
+  let deadline = deadline_of t ~lane timeout_ms in
+  submit_lane t ~kind ~lane (fun fill -> job ~deadline fill)
 
 let watch_register t ~timeout_ms body =
   match Res_engine.Batch.parse_instances body with
@@ -235,8 +321,9 @@ let watch_register t ~timeout_ms body =
     count t "watch_register" "error";
     Protocol.error msg
   | [ inst ] ->
-    submit_watch t ~kind:"watch_register" ~timeout_ms (fun ~deadline fill ->
-        run_watch_register t ~deadline inst fill)
+    let lane = lane_for t [ inst ] in
+    submit_watch t ~kind:"watch_register" ~lane ~timeout_ms (fun ~deadline fill ->
+        run_watch_register t ~lane ~deadline inst fill)
   | _ ->
     count t "watch_register" "error";
     Protocol.error "watch register: exactly one \"QUERY | FACTS\" instance expected"
@@ -252,7 +339,7 @@ let watch_delta t ~timeout_ms id deltas_s =
       count t "watch_delta" "error";
       Protocol.error (Printf.sprintf "no such watch id %d" id)
     | Some w ->
-      submit_watch t ~kind:"watch_delta" ~timeout_ms (fun ~deadline fill ->
+      submit_watch t ~kind:"watch_delta" ~lane:w.lane ~timeout_ms (fun ~deadline fill ->
           run_watch_delta t ~deadline w deltas fill)
   end
 
@@ -379,10 +466,22 @@ let rec stop t =
     List.iter
       (fun (_, fd) -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
       conns;
-    (* drain the queue, join the workers, then retire the executor's
-       domains (no solve can be in flight once the pool is down) *)
-    Pool.shutdown t.pool;
+    (* drain the queues, join the workers, then retire the executor's
+       domains (no solve can be in flight once the lanes are down) *)
+    Lanes.shutdown t.lanes;
     Option.iter Res_exec.Executor.shutdown t.exec;
+    (* every watch session dies with the server that owns it: drop them
+       now (after the lanes drained, so no delta job can still hold one)
+       and account for the drain — [watchers.active] reads 0 from here
+       on, and [watchers.drained] records how many were retired *)
+    let drained =
+      Mutex.protect t.watchers_lock (fun () ->
+          let n = Hashtbl.length t.watchers in
+          Hashtbl.reset t.watchers;
+          n)
+    in
+    if drained > 0 then
+      Metrics.inc ~by:drained (Metrics.counter t.metrics "watchers.drained");
     List.iter (fun (th, _) -> if Thread.id th <> self then Thread.join th) conns;
     Mutex.protect t.lock (fun () ->
         t.state <- Stopped;
@@ -398,12 +497,39 @@ and conn_loop t fd =
     output_char oc '\n';
     flush oc
   in
+  (* Text and binary share the connection: the first byte of each request
+     decides.  {!Frame.magic} (0xF5) is not valid UTF-8 text and never
+     starts a protocol verb, so the dispatch is unambiguous. *)
+  let read_request () =
+    match input_char ic with
+    | exception (End_of_file | Sys_error _) -> `Eof
+    | exception Unix.Unix_error _ -> `Eof
+    | c when c = Frame.magic -> begin
+      match Frame.read_frame_body ic with
+      | Ok payload -> `Frame payload
+      | Error msg -> `Frame_error msg
+      | exception (End_of_file | Sys_error _) -> `Eof
+    end
+    | '\n' -> `Line ""
+    | c ->
+      let b = Buffer.create 128 in
+      Buffer.add_char b c;
+      let rec go () =
+        match input_char ic with
+        | exception (End_of_file | Sys_error _) -> `Line (Buffer.contents b)
+        | exception Unix.Unix_error _ -> `Line (Buffer.contents b)
+        | '\n' -> `Line (Buffer.contents b)
+        | c ->
+          Buffer.add_char b c;
+          go ()
+      in
+      go ()
+  in
   let rec loop () =
-    match input_line ic with
-    | exception (End_of_file | Sys_error _) -> ()
-    | exception Unix.Unix_error _ -> ()
-    | line when String.trim line = "" -> loop ()
-    | line ->
+    match read_request () with
+    | `Eof -> ()
+    | `Line line when String.trim line = "" -> loop ()
+    | `Line line ->
       Log.debug (fun m -> m "request: %s" line);
       let t0 = now () in
       let action = Obs.span ~cat:"server" "request" (fun () -> execute t line) in
@@ -418,6 +544,16 @@ and conn_loop t fd =
       | `Shutdown reply ->
         send reply;
         stop t)
+    | `Frame payload ->
+      let t0 = now () in
+      let reply = Obs.span ~cat:"server" "request" (fun () -> execute_frame t payload) in
+      Metrics.observe t.latency (now () -. t0);
+      Frame.write_frame oc reply;
+      loop ()
+    | `Frame_error msg ->
+      (* a malformed frame desyncs the stream: answer and hang up *)
+      count t "bulk" "error";
+      Frame.write_frame oc (Frame.encode_reply (Frame.Error msg))
   in
   (try loop () with _ -> ());
   unregister t fd;
@@ -536,7 +672,10 @@ let start ?engine:(eng = Res_engine.Batch.create ()) cfg =
   let listen_fd = bind_listener cfg.address in
   Unix.listen listen_fd 64;
   let metrics = Metrics.create () in
-  let pool = Pool.create ~workers:cfg.workers ~capacity:cfg.queue_capacity in
+  let lanes =
+    Lanes.create ~fast_workers:cfg.workers ~fast_capacity:cfg.queue_capacity
+      ~hard_workers:cfg.hard_workers ~hard_capacity:cfg.hard_queue
+  in
   let exec =
     if cfg.jobs > 1 then Some (Res_exec.Executor.create ~jobs:cfg.jobs ()) else None
   in
@@ -545,7 +684,7 @@ let start ?engine:(eng = Res_engine.Batch.create ()) cfg =
       cfg;
       engine = eng;
       metrics;
-      pool;
+      lanes;
       exec;
       listen_fd;
       lock = Mutex.create ();
@@ -571,8 +710,19 @@ let start ?engine:(eng = Res_engine.Batch.create ()) cfg =
   in
   Metrics.gauge metrics "watchers.active" (fun () ->
       float_of_int (Mutex.protect t.watchers_lock (fun () -> Hashtbl.length t.watchers)));
-  Metrics.gauge metrics "queue.depth" (fun () -> float_of_int (Pool.depth pool));
-  Metrics.gauge metrics "queue.running" (fun () -> float_of_int (Pool.running pool));
+  (* [queue.*] keeps its pre-lane meaning (the fast/general queue) so
+     existing dashboards survive; the per-lane series are new in v5 *)
+  Metrics.gauge metrics "queue.depth" (fun () -> float_of_int (Lanes.depth lanes Lanes.Fast));
+  Metrics.gauge metrics "queue.running" (fun () ->
+      float_of_int (Lanes.running lanes Lanes.Fast));
+  Metrics.gauge metrics "lane.fast.depth" (fun () ->
+      float_of_int (Lanes.depth lanes Lanes.Fast));
+  Metrics.gauge metrics "lane.fast.running" (fun () ->
+      float_of_int (Lanes.running lanes Lanes.Fast));
+  Metrics.gauge metrics "lane.hard.depth" (fun () ->
+      float_of_int (Lanes.depth lanes Lanes.Hard));
+  Metrics.gauge metrics "lane.hard.running" (fun () ->
+      float_of_int (Lanes.running lanes Lanes.Hard));
   Metrics.gauge metrics "connections.active" (fun () ->
       float_of_int (Mutex.protect t.lock (fun () -> List.length t.conns)));
   register_engine_gauges metrics eng;
@@ -591,11 +741,11 @@ let start ?engine:(eng = Res_engine.Batch.create ()) cfg =
           | Tcp (h, p) -> Printf.sprintf "http://%s:%d/metrics" h p)));
   t.accept_thread <- Some (Thread.create accept_loop t);
   Log.info (fun m ->
-      m "listening on %s (%d workers, queue %d, jobs %d, default timeout %s)"
+      m "listening on %s (fast lane %d workers/queue %d, hard lane %d/%d, jobs %d, default timeout %s)"
         (match cfg.address with
         | Unix_socket p -> p
         | Tcp (h, p) -> Printf.sprintf "%s:%d" h p)
-        cfg.workers cfg.queue_capacity
+        cfg.workers cfg.queue_capacity cfg.hard_workers cfg.hard_queue
         (max 1 cfg.jobs)
         (match cfg.default_timeout_ms with Some ms -> Printf.sprintf "%dms" ms | None -> "none"));
   t

@@ -26,8 +26,18 @@ type address =
 
 type config = {
   address : address;
-  workers : int;  (** worker threads solving requests *)
-  queue_capacity : int;  (** max queued (not yet running) solves *)
+  workers : int;  (** fast-lane worker threads *)
+  queue_capacity : int;  (** max queued (not yet running) fast-lane solves *)
+  hard_workers : int;  (** hard-lane worker threads *)
+  hard_queue : int;
+      (** max queued hard-lane solves; beyond it hard requests are shed
+          with a [busy lane=hard ...] reply while the fast lane keeps
+          flowing — see {!Lanes} *)
+  hard_timeout_ms : int option;
+      (** deadline for hard-lane requests when neither the request nor
+          [default_timeout_ms] carries one, so the hard lane stays
+          {e anytime}: a queued NP-hard solve always answers with a
+          certified interval *)
   default_timeout_ms : int option;
       (** deadline for requests that do not carry [timeout=MS]; [None]
           means such requests may run forever *)
@@ -47,8 +57,8 @@ type config = {
 }
 
 val default_config : address -> config
-(** 4 workers, queue capacity 64, default timeout 30s, jobs 1, no
-    metrics listener. *)
+(** 4 fast workers (queue 64), 2 hard workers (queue 32, 10s anytime
+    deadline), default timeout 30s, jobs 1, no metrics listener. *)
 
 type t
 
@@ -67,6 +77,12 @@ val wait : t -> unit
 
 val metrics : t -> Metrics.t
 val engine : t -> Res_engine.Batch.t
+
+val bind_listener : address -> Unix.file_descr
+(** Bind (but not listen) a socket for this address, replacing a stale
+    Unix-socket file.  Exposed for the shard router, which fronts the
+    same addresses with its own accept loop.
+    @raise Unix.Unix_error when the address cannot be bound. *)
 
 val src : Logs.src
 (** The ["resilience.server"] log source: lifecycle events at info,

@@ -1,0 +1,154 @@
+module Frame = Res_server.Frame
+
+(* IEEE CRC-32 (the zlib/ethernet polynomial), table-driven.  The table
+   costs 2KiB once; per-byte work is one xor and a lookup — fast enough
+   that the disk, not the checksum, bounds append throughput. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8)) s;
+  !c lxor 0xFFFFFFFF
+
+let max_record = 64 * 1024 * 1024
+
+type t = {
+  path : string;
+  lock : Mutex.t;
+  index : (string, string) Hashtbl.t;
+  mutable oc : out_channel;
+  mutable records : int;
+  truncated_bytes : int;
+  mutable closed : bool;
+}
+
+let header_len = 8
+
+(* Scan the file, filling [index]; returns (valid_prefix_len, records).
+   Any malformed record — short header, absurd length, short payload,
+   CRC mismatch — ends the scan; everything before it is intact because
+   records are only ever appended. *)
+let replay path index =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let file_len = in_channel_length ic in
+  let rec go offset records =
+    if offset + header_len > file_len then (offset, records)
+    else begin
+      let header = really_input_string ic header_len in
+      let crc = Int32.to_int (String.get_int32_le header 0) land 0xFFFFFFFF in
+      let len = Int32.to_int (String.get_int32_le header 4) land 0xFFFFFFFF in
+      if len > max_record || offset + header_len + len > file_len then (offset, records)
+      else begin
+        let payload = really_input_string ic len in
+        if crc32 payload <> crc then (offset, records)
+        else begin
+          match
+            let pos = ref 0 in
+            let key = Frame.read_str payload pos in
+            let value = Frame.read_str payload pos in
+            if !pos <> len then raise (Frame.Malformed "plog: trailing bytes in record");
+            (key, value)
+          with
+          | key, value ->
+            Hashtbl.replace index key value;
+            go (offset + header_len + len) (records + 1)
+          | exception Frame.Malformed _ -> (offset, records)
+        end
+      end
+    end
+  in
+  go 0 0
+
+let open_ path =
+  let index = Hashtbl.create 256 in
+  let valid_len, records, truncated =
+    if Sys.file_exists path then begin
+      let valid_len, records = replay path index in
+      let total = (Unix.stat path).Unix.st_size in
+      if valid_len < total then begin
+        (* drop the torn tail so the next append starts on a record
+           boundary; without this the bad bytes would poison every
+           later record *)
+        let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+        Unix.ftruncate fd valid_len;
+        Unix.close fd
+      end;
+      (valid_len, records, total - valid_len)
+    end
+    else (0, 0, 0)
+  in
+  ignore valid_len;
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644 path in
+  { path; lock = Mutex.create (); index; oc; records; truncated_bytes = truncated; closed = false }
+
+let encode_record key value =
+  let payload = Buffer.create (String.length key + String.length value + 8) in
+  Frame.write_str payload key;
+  Frame.write_str payload value;
+  let payload = Buffer.contents payload in
+  let header = Bytes.create header_len in
+  Bytes.set_int32_le header 0 (Int32.of_int (crc32 payload));
+  Bytes.set_int32_le header 4 (Int32.of_int (String.length payload));
+  (Bytes.unsafe_to_string header, payload)
+
+let append_locked t key value =
+  let header, payload = encode_record key value in
+  output_string t.oc header;
+  output_string t.oc payload;
+  flush t.oc;
+  t.records <- t.records + 1;
+  Hashtbl.replace t.index key value
+
+let set t key value =
+  Mutex.protect t.lock (fun () ->
+      if t.closed then invalid_arg "Plog.set: log is closed";
+      append_locked t key value)
+
+let find t key = Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.index key)
+
+let bindings t =
+  Mutex.protect t.lock (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.index [])
+
+let count t = Mutex.protect t.lock (fun () -> Hashtbl.length t.index)
+let records t = Mutex.protect t.lock (fun () -> t.records)
+let truncated_bytes t = t.truncated_bytes
+
+let compact t =
+  Mutex.protect t.lock (fun () ->
+      if t.closed then invalid_arg "Plog.compact: log is closed";
+      let tmp = t.path ^ ".tmp" in
+      let oc = open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 tmp in
+      (try
+         Hashtbl.iter
+           (fun key value ->
+             let header, payload = encode_record key value in
+             output_string oc header;
+             output_string oc payload)
+           t.index;
+         close_out oc
+       with e ->
+         close_out_noerr oc;
+         (try Sys.remove tmp with Sys_error _ -> ());
+         raise e);
+      close_out_noerr t.oc;
+      (* rename is atomic: a crash leaves either the old log or the new
+         one, never a half-written file under the live name *)
+      Sys.rename tmp t.path;
+      t.oc <- open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 t.path;
+      t.records <- Hashtbl.length t.index)
+
+let close t =
+  Mutex.protect t.lock (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        close_out_noerr t.oc
+      end)

@@ -1,0 +1,55 @@
+(** A crash-safe append-only key/value log.
+
+    On-disk format: a sequence of records
+    {v [crc32 : u32 LE] [len : u32 LE] [payload : len bytes] v}
+    where the payload is [key] then [value], both length-prefixed via
+    {!Res_server.Frame.write_str}, and the CRC covers the payload.
+
+    {!open_} replays the file into an in-memory last-wins index and
+    {e truncates} the file at the first record whose header, length or
+    checksum does not verify — a torn tail from a crash mid-append is
+    discarded, every record before it is served.  Appends go through a
+    single internal mutex, so one log may be fed from every worker
+    thread.
+
+    The log only grows; {!compact} rewrites the live bindings to a
+    temporary file and atomically renames it over the log.  Callers
+    (see {!Store}) compact when [records] exceeds a multiple of
+    [count]. *)
+
+type t
+
+val open_ : string -> t
+(** Open or create the log at this path, recovering its valid prefix.
+    @raise Sys_error / [Unix.Unix_error] on I/O failure. *)
+
+val set : t -> string -> string -> unit
+(** Append a binding (and update the index).  Later bindings for the
+    same key win. *)
+
+val find : t -> string -> string option
+
+val bindings : t -> (string * string) list
+(** The live (last-wins) bindings, unspecified order. *)
+
+val count : t -> int
+(** Live bindings. *)
+
+val records : t -> int
+(** Records physically in the log since {!open_} (≥ {!count}; the
+    excess is garbage a {!compact} would reclaim). *)
+
+val truncated_bytes : t -> int
+(** Bytes of torn tail discarded by {!open_} (0 after a clean
+    shutdown). *)
+
+val compact : t -> unit
+(** Rewrite the log to exactly the live bindings (write-temp + rename,
+    atomic on POSIX). *)
+
+val close : t -> unit
+(** Flush and close.  The log must not be used afterwards. *)
+
+val crc32 : string -> int
+(** The IEEE CRC-32 of a string — exposed for tests corrupting records
+    on purpose. *)

@@ -1,0 +1,95 @@
+(* MD5 through [Digest] is the hash: already in the stdlib, stable
+   across runs and platforms (routing must agree between router,
+   shards, tests and any future reimplementation), and its 128 bits are
+   far more uniform than needed for the first 64 we keep. *)
+
+type t = {
+  replicas : int;
+  members : string list;  (* sorted, deduplicated *)
+  points : (int64 * string) array;  (* sorted by unsigned position *)
+}
+
+let point_hash s = String.get_int64_be (Digest.string s) 0
+
+let compare_points (a, sa) (b, sb) =
+  match Int64.unsigned_compare a b with 0 -> compare sa sb | c -> c
+
+let build replicas members =
+  let points =
+    List.concat_map
+      (fun m -> List.init replicas (fun i -> (point_hash (Printf.sprintf "%s#%d" m i), m)))
+      members
+    |> Array.of_list
+  in
+  Array.sort compare_points points;
+  points
+
+let create ?(replicas = 128) members =
+  if replicas <= 0 then invalid_arg "Ring.create: replicas must be positive";
+  let members = List.sort_uniq compare members in
+  { replicas; members; points = build replicas members }
+
+let members t = t.members
+let replicas t = t.replicas
+let is_empty t = t.members = []
+
+let add t m =
+  if List.mem m t.members then t
+  else
+    let members = List.sort_uniq compare (m :: t.members) in
+    { t with members; points = build t.replicas members }
+
+let remove t m =
+  if not (List.mem m t.members) then t
+  else
+    let members = List.filter (fun x -> x <> m) t.members in
+    { t with members; points = build t.replicas members }
+
+(* First point at or clockwise after the key's position, wrapping to
+   index 0 — binary search for the least index with position >= h. *)
+let owner_index t h =
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let p, _ = t.points.(mid) in
+    if Int64.unsigned_compare p h < 0 then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let route t key =
+  if is_empty t then None
+  else
+    let i = owner_index t (point_hash key) in
+    Some (snd t.points.(i))
+
+let successors t key =
+  if is_empty t then []
+  else begin
+    let n = Array.length t.points in
+    let start = owner_index t (point_hash key) in
+    let total = List.length t.members in
+    let seen = Hashtbl.create total in
+    let order = ref [] in
+    let i = ref 0 in
+    while Hashtbl.length seen < total && !i < n do
+      let _, m = t.points.((start + !i) mod n) in
+      if not (Hashtbl.mem seen m) then begin
+        Hashtbl.add seen m ();
+        order := m :: !order
+      end;
+      incr i
+    done;
+    List.rev !order
+  end
+
+let spread t keys =
+  let counts = Hashtbl.create (List.length t.members) in
+  List.iter (fun m -> Hashtbl.replace counts m 0) t.members;
+  List.iter
+    (fun k ->
+      match route t k with
+      | Some m -> Hashtbl.replace counts m (Hashtbl.find counts m + 1)
+      | None -> ())
+    keys;
+  List.map (fun m -> (m, Hashtbl.find counts m)) t.members

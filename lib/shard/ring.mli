@@ -1,0 +1,52 @@
+(** A consistent-hash ring over shard addresses.
+
+    Each member is expanded into [replicas] virtual points placed on a
+    64-bit circle by hashing ["ADDR#i"]; a key routes to the member
+    owning the first point at or clockwise after the key's own hash.
+    Virtual points smooth the load: with [r] replicas per member the
+    relative imbalance concentrates around [O(sqrt((log n)/r))].
+
+    The payoff over modular hashing is {e minimal remapping}, and it is
+    exact, not probabilistic: adding a member moves onto it only the
+    keys it now owns (no key moves between two surviving members), and
+    removing a member reassigns only the keys it owned — both pinned by
+    qcheck properties in [test/test_shard.ml].  That is what lets a
+    routed fleet grow or lose a shard without invalidating every shard's
+    warm cache.
+
+    Rings are immutable; {!add}/{!remove} return new rings sharing
+    nothing mutable, so a router can swap them atomically under a
+    health-check thread. *)
+
+type t
+
+val create : ?replicas:int -> string list -> t
+(** [replicas] virtual points per member, default 128.  Duplicate
+    members are ignored.
+    @raise Invalid_argument when [replicas <= 0]. *)
+
+val members : t -> string list
+(** Sorted, deduplicated. *)
+
+val replicas : t -> int
+
+val is_empty : t -> bool
+
+val add : t -> string -> t
+(** No-op if already a member. *)
+
+val remove : t -> string -> t
+(** No-op if not a member. *)
+
+val route : t -> string -> string option
+(** The member owning this key; [None] on an empty ring. *)
+
+val successors : t -> string -> string list
+(** Every member, in ring order starting from the key's owner — the
+    failover plan: head is {!route}'s answer, each next entry is the
+    member that would own the key if all earlier ones left the ring. *)
+
+val spread : t -> string list -> (string * int) list
+(** How many of these keys each member owns (members owning none
+    included with 0) — the balance diagnostic the qcheck property
+    bounds. *)

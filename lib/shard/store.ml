@@ -1,0 +1,110 @@
+module Frame = Res_server.Frame
+
+(* Record payloads reuse the v5 frame vocabulary: the cache key's two
+   strings, then a one-byte solution tag.  A format change is caught by
+   [decode_value] (the entry is skipped, not served wrong) — the CRC
+   already guarantees we only ever decode what was fully written. *)
+
+let encode_key (k1, k2) =
+  let b = Buffer.create (String.length k1 + String.length k2 + 4) in
+  Frame.write_str b k1;
+  Frame.write_str b k2;
+  Buffer.contents b
+
+let decode_key s =
+  let pos = ref 0 in
+  let k1 = Frame.read_str s pos in
+  let k2 = Frame.read_str s pos in
+  if !pos <> String.length s then raise (Frame.Malformed "store: trailing bytes in key");
+  (k1, k2)
+
+let encode_value sol =
+  let b = Buffer.create 64 in
+  (match sol with
+  | Resilience.Solution.Unbreakable -> Buffer.add_char b '\x00'
+  | Resilience.Solution.Finite (rho, facts) ->
+    Buffer.add_char b '\x01';
+    Frame.write_varint b rho;
+    Frame.write_varint b (List.length facts);
+    List.iter (Frame.write_fact b) facts);
+  Buffer.contents b
+
+let decode_value s =
+  let pos = ref 0 in
+  if String.length s = 0 then raise (Frame.Malformed "store: empty value");
+  let tag = s.[0] in
+  incr pos;
+  let sol =
+    match tag with
+    | '\x00' -> Resilience.Solution.Unbreakable
+    | '\x01' ->
+      let rho = Frame.read_varint s pos in
+      let n = Frame.read_varint s pos in
+      let facts = List.init n (fun _ -> Frame.read_fact s pos) in
+      Resilience.Solution.Finite (rho, facts)
+    | _ -> raise (Frame.Malformed "store: unknown solution tag")
+  in
+  if !pos <> String.length s then raise (Frame.Malformed "store: trailing bytes in value");
+  sol
+
+type t = {
+  plog : Plog.t;
+  log_path : string;
+  recovered : int;
+  skipped : int;
+  appended : int Atomic.t;
+  compact_threshold : int;
+}
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let attach ?(compact_threshold = 4) ~dir engine =
+  mkdir_p dir;
+  let log_path = Filename.concat dir "solve.log" in
+  let plog = Plog.open_ log_path in
+  (* replay before registering the listener: seeds never fire it, and
+     nothing else can insert yet, so the log cannot echo itself *)
+  let recovered = ref 0 and skipped = ref 0 in
+  List.iter
+    (fun (k, v) ->
+      match (decode_key k, decode_value v) with
+      | key, sol ->
+        Res_engine.Batch.seed_solve engine key sol;
+        incr recovered
+      | exception Frame.Malformed _ -> incr skipped)
+    (Plog.bindings plog);
+  let t =
+    {
+      plog;
+      log_path;
+      recovered = !recovered;
+      skipped = !skipped;
+      appended = Atomic.make 0;
+      compact_threshold = max 2 compact_threshold;
+    }
+  in
+  Res_engine.Batch.on_solve_insert engine (fun key sol ->
+      (* a persistence failure must not take a solve down with it: the
+         answer is already computed and cached in memory *)
+      (try Plog.set t.plog (encode_key key) (encode_value sol)
+       with Sys_error _ | Unix.Unix_error _ | Invalid_argument _ -> ());
+      Atomic.incr t.appended;
+      let live = Plog.count t.plog in
+      if live > 0 && Plog.records t.plog >= t.compact_threshold * live then
+        try Plog.compact t.plog with Sys_error _ | Unix.Unix_error _ -> ());
+  t
+
+let recovered t = t.recovered
+let skipped t = t.skipped
+let appended t = Atomic.get t.appended
+let truncated_bytes t = Plog.truncated_bytes t.plog
+let path t = t.log_path
+let compact t = Plog.compact t.plog
+let close t = Plog.close t.plog

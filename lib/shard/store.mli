@@ -1,0 +1,47 @@
+(** Disk-backed warm cache: a {!Plog} attached under the engine's solve
+    cache.
+
+    {!attach} recovers the log's valid prefix into the engine (via
+    {!Res_engine.Batch.seed_solve}, which never echoes back into the
+    log), then registers an {!Res_engine.Batch.on_solve_insert} listener
+    appending every newly computed optimal solution — in that order, so
+    the listener can never observe the replay.  A shard started with
+    [--persist-dir] therefore answers [cached] hits for everything it
+    ever solved, across process death; the PR 7 fingerprint-keyed fast
+    entries persist the same way (they are ordinary solve-cache
+    bindings).
+
+    Only {e optimal} solutions reach the log (the engine's listener
+    fires on cache insertions, and timed-out intervals are never
+    cached), so recovery cannot poison a retry.
+
+    The log compacts itself when it holds more than
+    [compact_threshold]× the live bindings. *)
+
+type t
+
+val attach : ?compact_threshold:int -> dir:string -> Res_engine.Batch.t -> t
+(** Creates [dir] if missing; the log lives at [dir ^ "/solve.log"].
+    [compact_threshold] defaults to 4.
+    @raise Sys_error / [Unix.Unix_error] on I/O failure. *)
+
+val recovered : t -> int
+(** Bindings replayed into the engine at {!attach} time. *)
+
+val skipped : t -> int
+(** Recovered records whose payload no longer decodes (format drift);
+    they are dropped, not served. *)
+
+val appended : t -> int
+(** Solutions appended since {!attach}. *)
+
+val truncated_bytes : t -> int
+(** Torn tail discarded on open (see {!Plog.truncated_bytes}). *)
+
+val path : t -> string
+
+val compact : t -> unit
+
+val close : t -> unit
+(** Flush and close the log; the engine keeps serving from memory but
+    stops persisting. *)

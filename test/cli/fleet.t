@@ -1,0 +1,107 @@
+Scaling out: two shard servers behind the consistent-hash router, driven
+through the ordinary line protocol.  Shard A persists its solve cache to
+disk so it restarts warm.
+
+  $ resilience serve --socket ./shard-a.sock --persist-dir ./warm-a &
+  $ resilience serve --socket ./shard-b.sock &
+  $ BPID=$!
+  $ resilience route --socket ./router.sock --shard ./shard-a.sock --shard ./shard-b.sock --health-period-ms 100 2>./router.log &
+  $ resilience client --socket ./router.sock --retry 100 "ping"
+  ok pong
+
+Requests route by canonical query key; the client does not know or care
+which shard answers:
+
+  $ resilience client --socket ./router.sock "classify A(x), R(x,y)"
+  ok PTIME: sj-free, no triad (Theorem 7)
+
+  $ resilience client --socket ./router.sock "solve R(x,y), R(y,z) | R(1,2); R(2,3); R(3,3)"
+  ok rho=2 set={R(1,2); R(3,3)}
+
+A batch scatter-gathers: instances are grouped by owning shard and the
+items come back in input order:
+
+  $ resilience client --socket ./router.sock "batch A(x), R(x,y) | A(1); R(1,2) ;; R^x(x,y) | R(1,1)"
+  ok rho=1 ;; unbreakable
+
+The router answers [stats] itself, from its own registry:
+
+  $ resilience client --socket ./router.sock "stats" | tr ' ' '\n' | grep -E "^(router\.protocol\.version|ring\.shards)="
+  router.protocol.version=5
+  ring.shards=2
+
+Watch sessions work through the router under fleet-global ids, pinned to
+the shard that registered them:
+
+  $ resilience client --socket ./router.sock "watch register R(x,y), R(y,x) | R(1,2); R(2,1); R(3,3)"
+  ok watch=1 rho=2 set={R(1,2); R(3,3)} version=0 fp=8ce285dfe69471e0
+  $ resilience client --socket ./router.sock "watch delta 1 -R(3, 3); +R(4, 5); +R(5, 4)"
+  ok watch=1 rho=2 set={R(1,2); R(4,5)} version=3 fp=3d165c119f5865a0
+  $ resilience client --socket ./router.sock "watch close 1"
+  ok watch=1 closed
+
+Bulk traffic rides the v5 binary framing (one frame out, one frame
+back); items print exactly like text batch items:
+
+  $ printf '@one A(x), R(x,y) | A(1); R(1,4); R(4,5)\n@two R^x(x,y) | R(7,7)\n' > insts.txt
+  $ resilience client --socket ./router.sock --bulk ./insts.txt
+  rho=1
+  unbreakable
+
+The disk-backed cache survives process death: solve on shard A directly
+(--fleet addresses the fleet without the router), kill it, restart it on
+the same --persist-dir, and the same instance is a cache hit:
+
+  $ resilience client --fleet ./shard-a.sock "solve A(x), R(x,y), R(y,z) | A(1); R(1,2); R(2,3)"
+  ok rho=1 set={A(1)}
+  $ resilience client --fleet ./shard-a.sock "shutdown"
+  ok shutting down
+  $ while test -e ./shard-a.sock; do sleep 0.1; done
+  $ resilience serve --socket ./shard-a.sock --persist-dir ./warm-a &
+  $ resilience client --fleet ./shard-a.sock --retry 100 "solve A(x), R(x,y), R(y,z) | A(1); R(1,2); R(2,3)"
+  ok rho=1 set={A(1)} cached
+
+Kill shard B outright (kill -9: no goodbye, socket file left behind).
+The router retries, fails over along the ring, and the fleet keeps
+answering both key classes:
+
+  $ kill -9 $BPID
+  $ resilience client --socket ./router.sock "solve R(x,y), R(y,x) | R(1,2); R(2,1); R(3,3)"
+  ok rho=2 set={R(1,2); R(3,3)}
+  $ resilience client --socket ./router.sock "solve A(x), R(x,y) | A(1); R(1,2); R(2,2)"
+  ok rho=1 set={A(1)}
+
+Client failure modes are actionable and carry distinct exit codes.
+Nothing listens here — exit 3:
+
+  $ resilience client --socket ./nope.sock --retry 0 "ping"
+  cannot connect to ./nope.sock: No such file or directory
+  (is the server running there? --retry N waits N x 100ms for it)
+  [3]
+
+A server that hangs up mid-conversation — exit 4:
+
+  $ python3 -c 'import socket; s=socket.socket(socket.AF_UNIX); s.bind("./eof.sock"); s.listen(1); c,_=s.accept(); c.recv(100); c.close()' &
+  $ resilience client --socket ./eof.sock --retry 50 "ping"
+  connection closed before the reply finished
+  (the server crashed or was stopped mid-request; check its logs)
+  [4]
+  $ wait $!
+
+A server that speaks something other than the protocol — exit 5:
+
+  $ python3 -c 'import socket; s=socket.socket(socket.AF_UNIX); s.bind("./teapot.sock"); s.listen(1); c,_=s.accept(); c.recv(100); c.sendall(b"I am a teapot\n"); c.close()' &
+  $ resilience client --socket ./teapot.sock --retry 50 "ping"
+  malformed reply "I am a teapot"
+  (not a protocol response — is that address really a resilience server?)
+  [5]
+  $ wait $!
+
+One [shutdown] to the router takes down the whole fleet: the router
+stops and forwards the shutdown to every reachable shard.
+
+  $ resilience client --socket ./router.sock "shutdown"
+  ok shutting down
+  $ wait
+  $ test -e ./router.sock && echo "router socket left behind" || true
+  $ test -e ./shard-a.sock && echo "shard socket left behind" || true

@@ -22,4 +22,5 @@ let () =
       ("inc", Test_inc.suite);
       ("obs", Test_obs.suite);
       ("server", Test_server.suite);
+      ("shard", Test_shard.suite);
     ]

@@ -437,6 +437,27 @@ let flood () =
     (try int_of_string (List.assoc "latency.request.count" kvs) >= n_clients * requests_per_client
      with Not_found -> false)
 
+(* Graceful shutdown drains live watch sessions: after [stop], no watcher
+   is leaked — [watchers.active] reads 0 and the drain is accounted. *)
+let shutdown_drains_watchers () =
+  let path = temp_socket_path () in
+  let server = Server.start { (Server.default_config (Server.Unix_socket path)) with workers = 2 } in
+  let fd, ic, oc = connect path in
+  Alcotest.(check bool) "watch registered" true
+    (starts_with "ok watch=1 " (request ic oc "watch register R(x,y), R(y,x) | R(1,2); R(2,1)"));
+  Alcotest.(check bool) "second watch registered" true
+    (starts_with "ok watch=2 " (request ic oc "watch register A(x), R(x,y) | A(1); R(1,2)"));
+  Server.stop server;
+  Server.wait server;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  ignore ic;
+  ignore oc;
+  let kvs = Metrics.render (Server.metrics server) in
+  Alcotest.(check (option string)) "no watcher survives stop" (Some "0")
+    (List.assoc_opt "watchers.active" kvs);
+  Alcotest.(check (option string)) "the drain is accounted" (Some "2")
+    (List.assoc_opt "watchers.drained" kvs)
+
 let protocol_shutdown () =
   let path = temp_socket_path () in
   let server = Server.start { (Server.default_config (Server.Unix_socket path)) with workers = 2 } in
@@ -484,5 +505,6 @@ let suite =
     Alcotest.test_case "gadget: interruption monotone + sound" `Quick gadget_interruption_monotone;
     Alcotest.test_case "server: basics over a socket" `Quick server_basics;
     Alcotest.test_case "server: concurrent flood with deadlines" `Slow flood;
+    Alcotest.test_case "server: shutdown drains watchers" `Quick shutdown_drains_watchers;
     Alcotest.test_case "server: protocol shutdown" `Quick protocol_shutdown;
   ]
