@@ -61,7 +61,7 @@ let nonempty_rows ptr n =
   done;
   out
 
-let build ~n edges =
+let build_dirs ~fwd ~rev ~n edges =
   if n >= 1 lsl shift then invalid_arg "Csr.build: node id space exceeds 31 bits";
   Array.iter
     (fun (s, d, tid) ->
@@ -69,8 +69,14 @@ let build ~n edges =
       if tid < 0 || tid > mask then invalid_arg "Csr.build: tuple id exceeds 31 bits")
     edges;
   let m = Array.length edges in
-  let fwd_ptr, fwd_dst, fwd_tid = index ~n ~m edges (fun (s, _, _) -> s) (fun (_, d, _) -> d) in
-  let rev_ptr, rev_src, rev_tid = index ~n ~m edges (fun (_, d, _) -> d) (fun (s, _, _) -> s) in
+  let fwd_ptr, fwd_dst, fwd_tid =
+    if fwd then index ~n ~m edges (fun (s, _, _) -> s) (fun (_, d, _) -> d)
+    else ([||], [||], [||])
+  in
+  let rev_ptr, rev_src, rev_tid =
+    if rev then index ~n ~m edges (fun (_, d, _) -> d) (fun (s, _, _) -> s)
+    else ([||], [||], [||])
+  in
   {
     n;
     m;
@@ -80,9 +86,11 @@ let build ~n edges =
     rev_ptr;
     rev_src;
     rev_tid;
-    srcs = nonempty_rows fwd_ptr n;
-    dsts = nonempty_rows rev_ptr n;
+    srcs = (if fwd then nonempty_rows fwd_ptr n else [||]);
+    dsts = (if rev then nonempty_rows rev_ptr n else [||]);
   }
+
+let build ~n edges = build_dirs ~fwd:true ~rev:true ~n edges
 
 let n_nodes t = t.n
 let n_edges t = t.m

@@ -22,6 +22,14 @@ val build : n:int -> (int * int * int) array -> t
     @raise Invalid_argument if [n] or a tuple id exceeds the packed
     31-bit budget. *)
 
+val build_dirs : fwd:bool -> rev:bool -> n:int -> (int * int * int) array -> t
+(** [build] restricted to the requested directions — each counting sort
+    is paid only when its side is wanted.  Accessors of an unbuilt
+    direction ([succ]/[srcs]/[mem]/[tid_of] need [fwd]; [pred]/[dsts]
+    need [rev]) must not be called; callers that know their access plan
+    statically (the {!Instance} trie join) use this to halve index
+    construction. *)
+
 val n_nodes : t -> int
 val n_edges : t -> int
 

@@ -35,9 +35,11 @@ type t = {
   atoms : atom_info array;
   order : int array; (* enumeration order, as var indexes *)
   plan : support list array; (* plan.(k): supports of order.(k) *)
+  without : (string * int array) list; (* per-relation excluded tids, sorted *)
   mutable reduced : bool;
   mutable empty : bool;
   mutable passes : int;
+  mutable live_cache : (string * int array) list; (* memoized [live], valid post-reduce *)
 }
 
 let shape_of_atom vidx (a : Res_cq.Atom.t) =
@@ -84,7 +86,7 @@ let choose_order nvars shapes =
   done;
   order
 
-let make q ~n rels =
+let make ?(without = []) q ~n rels =
   let vars = Res_cq.Query.vars q in
   let nvars = List.length vars in
   let vidx v =
@@ -131,21 +133,45 @@ let make q ~n rels =
           atoms;
         !supports)
   in
-  { nvars; n; atoms; order; plan; reduced = false; empty = false; passes = 0 }
+  {
+    nvars;
+    n;
+    atoms;
+    order;
+    plan;
+    without;
+    reduced = false;
+    empty = false;
+    passes = 0;
+    live_cache = [];
+  }
 
 (* ---- semijoin reduction ------------------------------------------------ *)
 
-let initial_live a =
+(* membership in a sorted exclusion array *)
+let excluded sorted tid =
+  let hi = Array.length sorted in
+  let i = Sorted.lower_bound sorted 0 hi tid in
+  i < hi && sorted.(i) = tid
+
+let initial_live t a =
   let m = Array.length a.data.col0 in
-  match a.shape with
-  | Un _ | Bi _ -> Array.init m Fun.id
-  | Di _ ->
-    (* only diagonal tuples can match R(x,x) *)
-    let keep = ref [] in
-    for i = m - 1 downto 0 do
-      if a.data.col0.(i) = a.data.col1.(i) then keep := i :: !keep
-    done;
-    Array.of_list !keep
+  let base =
+    match a.shape with
+    | Un _ | Bi _ -> Array.init m Fun.id
+    | Di _ ->
+      (* only diagonal tuples can match R(x,x) *)
+      let keep = ref [] in
+      for i = m - 1 downto 0 do
+        if a.data.col0.(i) = a.data.col1.(i) then keep := i :: !keep
+      done;
+      Array.of_list !keep
+  in
+  match List.assoc_opt a.rel t.without with
+  | None | Some [||] -> base
+  | Some drop ->
+    let kept = Array.to_list base |> List.filter (fun tid -> not (excluded drop tid)) in
+    Array.of_list kept
 
 (* projections of an atom's live tuples onto variable [v]: the columns
    of [v]'s occurrences *)
@@ -230,14 +256,26 @@ let sorted_keys col live =
   I_keys { keys; tids }
 
 let build_indexes t =
+  (* The static plan names exactly which trie direction each binary
+     atom is probed in (frontier or bound-neighbour row, one variable
+     each side): build only those — each skipped direction saves a
+     counting sort over the atom's live tuples. *)
+  let na = Array.length t.atoms in
+  let need_fwd = Array.make na false and need_rev = Array.make na false in
   Array.iter
-    (fun a ->
+    (List.iter (function
+      | S_keys _ -> ()
+      | S_srcs ai | S_succ (ai, _) -> need_fwd.(ai) <- true
+      | S_dsts ai | S_pred (ai, _) -> need_rev.(ai) <- true))
+    t.plan;
+  Array.iteri
+    (fun ai a ->
       let idx =
         match a.shape with
         | Un _ | Di _ -> sorted_keys a.data.col0 a.live
         | Bi _ ->
           I_csr
-            (Csr.build ~n:t.n
+            (Csr.build_dirs ~fwd:need_fwd.(ai) ~rev:need_rev.(ai) ~n:t.n
                (Array.map (fun tid -> (a.data.col0.(tid), a.data.col1.(tid), tid)) a.live))
       in
       a.idx <- Some idx)
@@ -246,7 +284,7 @@ let build_indexes t =
 let reduce t =
   if not t.reduced then begin
     t.reduced <- true;
-    Array.iter (fun a -> a.live <- initial_live a) t.atoms;
+    Array.iter (fun a -> a.live <- initial_live t a) t.atoms;
     if Array.length t.atoms > 0 then begin
       let allowed = Array.init t.nvars (fun _ -> Bytes.create t.n) in
       let scratch = Bytes.create t.n in
@@ -264,15 +302,63 @@ let reduce t =
   end
 
 let passes t = t.passes
+let is_reduced t = t.reduced
+
+(* merge two sorted duplicate-free int arrays, dropping duplicates *)
+let merge_sorted a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 then b
+  else if lb = 0 then a
+  else begin
+    let out = Array.make (la + lb) 0 in
+    let i = ref 0 and j = ref 0 and k = ref 0 in
+    while !i < la && !j < lb do
+      let x = a.(!i) and y = b.(!j) in
+      if x < y then (
+        out.(!k) <- x;
+        incr i)
+      else if y < x then (
+        out.(!k) <- y;
+        incr j)
+      else (
+        out.(!k) <- x;
+        incr i;
+        incr j);
+      incr k
+    done;
+    while !i < la do
+      out.(!k) <- a.(!i);
+      incr i;
+      incr k
+    done;
+    while !j < lb do
+      out.(!k) <- b.(!j);
+      incr j;
+      incr k
+    done;
+    if !k = la + lb then out else Array.sub out 0 !k
+  end
 
 let live t rel =
   reduce t;
-  let all =
-    Array.to_list t.atoms
-    |> List.filter (fun a -> a.rel = rel)
-    |> List.concat_map (fun a -> Array.to_list a.live)
-  in
-  Sorted.of_list all
+  match List.assoc_opt rel t.live_cache with
+  | Some arr -> arr
+  | None ->
+    (* per-atom live sets are sorted ascending and duplicate-free, so a
+       linear merge suffices — no list boxing on million-tuple columns *)
+    let parts =
+      Array.to_list t.atoms
+      |> List.filter (fun a -> a.rel = rel)
+      |> List.map (fun a -> a.live)
+    in
+    let arr =
+      match parts with
+      | [] -> [||]
+      | [ single ] -> Array.copy single
+      | first :: rest -> List.fold_left merge_sorted (Array.copy first) rest
+    in
+    t.live_cache <- (rel, arr) :: t.live_cache;
+    arr
 
 (* ---- trie-join enumeration --------------------------------------------- *)
 

@@ -32,10 +32,18 @@ type rel_data = { arity : int; col0 : int array; col1 : int array }
 
 type t
 
-val make : Res_cq.Query.t -> n:int -> (string * rel_data) list -> t
+val make :
+  ?without:(string * int array) list ->
+  Res_cq.Query.t ->
+  n:int ->
+  (string * rel_data) list ->
+  t
 (** [make q ~n rels] with [n] the exclusive id bound (the dict size)
     and [rels] covering every relation of [q].  All atoms of [q] must
-    have arity <= 2.
+    have arity <= 2.  [without] lists, per relation, sorted tuple ids
+    to exclude from every occurrence — the instance behaves as if those
+    tuples were deleted, which lets callers re-check satisfiability
+    after removing a contingency set without re-interning anything.
     @raise Invalid_argument otherwise. *)
 
 val reduce : t -> unit
@@ -55,7 +63,13 @@ val count : t -> int
 val live : t -> string -> int array
 (** After reduction: the sorted tuple ids of the relation that survive
     in at least one atom occurrence — the per-relation semijoin-reduced
-    instance. *)
+    instance.  Memoized per relation; callers must not mutate the
+    returned array. *)
+
+val is_reduced : t -> bool
+(** Has {!reduce} already run?  Lets callers attribute the semijoin cost
+    to an observability span only when it is actually about to be
+    paid. *)
 
 val passes : t -> int
 (** Number of semijoin fixpoint passes taken (>= 1 once reduced). *)

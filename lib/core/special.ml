@@ -1,13 +1,28 @@
 open Res_db
 module Maxflow = Res_graph.Maxflow
+module Matchbuild = Res_col.Matchbuild
+module Obs = Res_obs.Obs
 
 (* Shared finishing step: drop redundant facts greedily (only worthwhile
    for small sets — the flow and König results are already optimal, the
    greedy pass just strips duplicate-edge artifacts), then check the
    result really falsifies the query.  The size gate lives in [Tuning]. *)
 let finalize db q facts =
-  let minimal = Tuning.minimalize db q facts in
+  let minimal =
+    Obs.span ~cat:"special" "minimalize" @@ fun () -> Tuning.minimalize db q facts
+  in
   assert (not (Eval.sat (Database.remove_all db minimal) q));
+  Solution.Finite (List.length minimal, minimal)
+
+(* Kernel variant: the falsification check replays the removals on the
+   view's already-interned columns ([view_sat_removed]) instead of
+   recompiling [db - minimal] from scratch — at 10^6 tuples that
+   re-intern + semijoin dominated the whole solve. *)
+let finalize_kernel view db q facts =
+  let minimal =
+    Obs.span ~cat:"special" "minimalize" @@ fun () -> Tuning.minimalize db q facts
+  in
+  assert (not (Eval.view_sat_removed view (Eval.view_removals_of_facts view minimal)));
   Solution.Finite (List.length minimal, minimal)
 
 module VP = struct
@@ -46,80 +61,168 @@ let one_way_tuples db r =
   List.iter (fun (a, b) -> Hashtbl.replace present (a, b) ()) tuples;
   List.filter (fun (a, b) -> not (Hashtbl.mem present (b, a))) tuples
 
+(* --- the columnar kernels (Props 33 and 36) ---------------------------- *)
+
+(* The structural strategies below re-index [Database.tuples_of] lists
+   through value-keyed hashtables and a [VPmap]; with a columnar
+   {!Eval.view} available the same graphs are built by
+   {!Res_col.Matchbuild} on interned int columns — packed keys, one
+   sort per vertex class, ranks as vertex ids — and only the final
+   contingency facts are materialized back through [view_value]. *)
+
+(* a two-way pair's fact, canonically oriented like [VP.make] *)
+let pair_fact view r k =
+  let a = Eval.view_value view (Matchbuild.fst_of k) in
+  let b = Eval.view_value view (Matchbuild.snd_of k) in
+  if Value.compare a b <= 0 then Database.fact r [ a; b ] else Database.fact r [ b; a ]
+
+let kernel_two_way view r =
+  let data = Eval.view_data view r in
+  Matchbuild.two_way (Matchbuild.distinct_keys ~col0:data.col0 ~col1:data.col1)
+
+let solve_perm_kernel view ~r db q =
+  let pairs = Obs.span ~cat:"special" "build" @@ fun () -> kernel_two_way view r in
+  finalize_kernel view db q (Array.to_list (Array.map (pair_fact view r) pairs))
+
+let solve_a_perm_kernel view ~a ~r db q =
+  let cg =
+    Obs.span ~cat:"special" "build" @@ fun () ->
+    let a_ids = Matchbuild.distinct_ids (Eval.view_data view a).col0 in
+    Matchbuild.aperm_graph ~a_ids ~two_way:(kernel_two_way view r)
+  in
+  let left, right =
+    Obs.span ~cat:"special" "matching" @@ fun () ->
+    Res_graph.Bipartite.min_vertex_cover cg.g
+  in
+  let facts =
+    List.map (fun ai -> Database.fact a [ Eval.view_value view cg.left_ids.(ai) ]) left
+    @ List.map (fun pi -> pair_fact view r cg.right_keys.(pi)) right
+  in
+  finalize_kernel view db q facts
+
+let solve_z3_kernel view ~r ~a db q =
+  let cg =
+    Obs.span ~cat:"special" "build" @@ fun () ->
+    let data = Eval.view_data view r in
+    let keys = Matchbuild.distinct_keys ~col0:data.col0 ~col1:data.col1 in
+    let a_ids = Matchbuild.distinct_ids (Eval.view_data view a).col0 in
+    Matchbuild.z3_graph ~diag:(Matchbuild.diagonal keys) ~a_ids ~keys
+  in
+  let left, right =
+    Obs.span ~cat:"special" "matching" @@ fun () ->
+    Res_graph.Bipartite.min_vertex_cover cg.g
+  in
+  let facts =
+    List.map
+      (fun di ->
+        let u = Eval.view_value view cg.left_ids.(di) in
+        Database.fact r [ u; u ])
+      left
+    @ List.map (fun ai -> Database.fact a [ Eval.view_value view cg.right_keys.(ai) ]) right
+  in
+  finalize_kernel view db q facts
+
 (* --- Proposition 33 --------------------------------------------------- *)
 
 let solve_perm ~r db q =
-  let pairs = two_way_pairs db r in
-  let contingency = List.map (fun (a, b) -> Database.fact r [ a; b ]) pairs in
-  finalize db q contingency
+  match Eval.view db q with
+  | Some view -> solve_perm_kernel view ~r db q
+  | None ->
+    let pairs = Obs.span ~cat:"special" "build" @@ fun () -> two_way_pairs db r in
+    let contingency = List.map (fun (a, b) -> Database.fact r [ a; b ]) pairs in
+    finalize db q contingency
 
 let solve_a_perm ~a ~r db q =
-  let a_values =
-    List.filter_map (fun t -> match t with [ v ] -> Some v | _ -> None) (Database.tuples_of db a)
-  in
-  let a_arr = Array.of_list a_values in
-  let a_index = Hashtbl.create 16 in
-  Array.iteri (fun i v -> Hashtbl.replace a_index v i) a_arr;
-  let pairs = Array.of_list (two_way_pairs db r) in
-  let g = Res_graph.Bipartite.create ~n_left:(Array.length a_arr) ~n_right:(Array.length pairs) in
-  Array.iteri
-    (fun pi (u, v) ->
-      (* witness (u,v) needs A(u); witness (v,u) needs A(v). *)
-      List.iter
-        (fun w ->
-          match Hashtbl.find_opt a_index w with
-          | Some ai -> Res_graph.Bipartite.add_edge g ai pi
-          | None -> ())
-        (if Value.equal u v then [ u ] else [ u; v ]))
-    pairs;
-  let left, right = Res_graph.Bipartite.min_vertex_cover g in
-  let facts =
-    List.map (fun ai -> Database.fact a [ a_arr.(ai) ]) left
-    @ List.map
-        (fun pi ->
-          let u, v = pairs.(pi) in
-          Database.fact r [ u; v ])
-        right
-  in
-  finalize db q facts
+  match Eval.view db q with
+  | Some view -> solve_a_perm_kernel view ~a ~r db q
+  | None ->
+    let g, a_arr, pairs =
+      Obs.span ~cat:"special" "build" @@ fun () ->
+      let a_values =
+        List.filter_map
+          (fun t -> match t with [ v ] -> Some v | _ -> None)
+          (Database.tuples_of db a)
+      in
+      let a_arr = Array.of_list a_values in
+      let a_index = Hashtbl.create 16 in
+      Array.iteri (fun i v -> Hashtbl.replace a_index v i) a_arr;
+      let pairs = Array.of_list (two_way_pairs db r) in
+      let g =
+        Res_graph.Bipartite.create ~n_left:(Array.length a_arr) ~n_right:(Array.length pairs)
+      in
+      Array.iteri
+        (fun pi (u, v) ->
+          (* witness (u,v) needs A(u); witness (v,u) needs A(v). *)
+          List.iter
+            (fun w ->
+              match Hashtbl.find_opt a_index w with
+              | Some ai -> Res_graph.Bipartite.add_edge g ai pi
+              | None -> ())
+            (if Value.equal u v then [ u ] else [ u; v ]))
+        pairs;
+      (g, a_arr, pairs)
+    in
+    let left, right =
+      Obs.span ~cat:"special" "matching" @@ fun () -> Res_graph.Bipartite.min_vertex_cover g
+    in
+    let facts =
+      List.map (fun ai -> Database.fact a [ a_arr.(ai) ]) left
+      @ List.map
+          (fun pi ->
+            let u, v = pairs.(pi) in
+            Database.fact r [ u; v ])
+          right
+    in
+    finalize db q facts
 
 (* --- Proposition 36 (z3) ---------------------------------------------- *)
 
 let solve_z3 ~r ~a db q =
-  let diag =
-    List.filter_map
-      (fun t -> match t with [ u; v ] when Value.equal u v -> Some u | _ -> None)
-      (Database.tuples_of db r)
-  in
-  let diag = Array.of_list diag in
-  let diag_index = Hashtbl.create 16 in
-  Array.iteri (fun i v -> Hashtbl.replace diag_index v i) diag;
-  let a_values =
-    List.filter_map (fun t -> match t with [ v ] -> Some v | _ -> None) (Database.tuples_of db a)
-  in
-  let a_arr = Array.of_list a_values in
-  let a_index = Hashtbl.create 16 in
-  Array.iteri (fun i v -> Hashtbl.replace a_index v i) a_arr;
-  let g =
-    Res_graph.Bipartite.create ~n_left:(Array.length diag) ~n_right:(Array.length a_arr)
-  in
-  (* witness (u, v): needs R(u,u), R(u,v), A(v) — edge R(u,u)—A(v). *)
-  List.iter
-    (fun t ->
-      match t with
-      | [ u; v ] -> begin
-        match (Hashtbl.find_opt diag_index u, Hashtbl.find_opt a_index v) with
-        | Some di, Some ai -> Res_graph.Bipartite.add_edge g di ai
-        | _ -> ()
-      end
-      | _ -> ())
-    (Database.tuples_of db r);
-  let left, right = Res_graph.Bipartite.min_vertex_cover g in
-  let facts =
-    List.map (fun di -> Database.fact r [ diag.(di); diag.(di) ]) left
-    @ List.map (fun ai -> Database.fact a [ a_arr.(ai) ]) right
-  in
-  finalize db q facts
+  match Eval.view db q with
+  | Some view -> solve_z3_kernel view ~r ~a db q
+  | None ->
+    let g, diag, a_arr =
+      Obs.span ~cat:"special" "build" @@ fun () ->
+      let diag =
+        List.filter_map
+          (fun t -> match t with [ u; v ] when Value.equal u v -> Some u | _ -> None)
+          (Database.tuples_of db r)
+      in
+      let diag = Array.of_list diag in
+      let diag_index = Hashtbl.create 16 in
+      Array.iteri (fun i v -> Hashtbl.replace diag_index v i) diag;
+      let a_values =
+        List.filter_map
+          (fun t -> match t with [ v ] -> Some v | _ -> None)
+          (Database.tuples_of db a)
+      in
+      let a_arr = Array.of_list a_values in
+      let a_index = Hashtbl.create 16 in
+      Array.iteri (fun i v -> Hashtbl.replace a_index v i) a_arr;
+      let g =
+        Res_graph.Bipartite.create ~n_left:(Array.length diag) ~n_right:(Array.length a_arr)
+      in
+      (* witness (u, v): needs R(u,u), R(u,v), A(v) — edge R(u,u)—A(v). *)
+      List.iter
+        (fun t ->
+          match t with
+          | [ u; v ] -> begin
+            match (Hashtbl.find_opt diag_index u, Hashtbl.find_opt a_index v) with
+            | Some di, Some ai -> Res_graph.Bipartite.add_edge g di ai
+            | _ -> ()
+          end
+          | _ -> ())
+        (Database.tuples_of db r);
+      (g, diag, a_arr)
+    in
+    let left, right =
+      Obs.span ~cat:"special" "matching" @@ fun () -> Res_graph.Bipartite.min_vertex_cover g
+    in
+    let facts =
+      List.map (fun di -> Database.fact r [ diag.(di); diag.(di) ]) left
+      @ List.map (fun ai -> Database.fact a [ a_arr.(ai) ]) right
+    in
+    finalize db q facts
 
 (* --- Propositions 13 and 44 ------------------------------------------- *)
 
@@ -130,6 +233,8 @@ let solve_z3 ~r ~a db q =
    (the x of A(x) / S(w,x)). *)
 
 let perm_pairs_flow ~left_facts ~left_anchor ~one_way_cost1 ~r db q =
+  let net, left, pairs, left_edges, pair_edges, one_way_edges =
+    Obs.span ~cat:"special" "build" @@ fun () ->
   let pairs = Array.of_list (two_way_pairs db r) in
   let pair_index = Hashtbl.create 16 in
   Array.iteri (fun i p -> Hashtbl.replace pair_index p i) pairs;
@@ -211,7 +316,14 @@ let perm_pairs_flow ~left_facts ~left_anchor ~one_way_cost1 ~r db q =
         end)
       one_way
   in
-  let _flow = Maxflow.max_flow net ~src:source ~dst:sink in
+  (net, left, pairs, left_edges, pair_edges, one_way_edges)
+  in
+  let source = 0 and sink = 1 in
+  let _flow =
+    Obs.span ~cat:"special" "maxflow" @@ fun () -> Maxflow.max_flow net ~src:source ~dst:sink
+  in
+  let cut_facts =
+    Obs.span ~cat:"special" "mincut" @@ fun () ->
   let side, _cut = Maxflow.min_cut net ~src:source in
   (* An edge u→v is cut iff side.(u) && not side.(v). *)
   let edge_in_cut e =
@@ -239,7 +351,9 @@ let perm_pairs_flow ~left_facts ~left_anchor ~one_way_cost1 ~r db q =
       end)
     pair_edges;
   let ow_cut = List.filter_map (fun (e, f) -> if edge_in_cut e then Some f else None) one_way_edges in
-  finalize db q (!left_cut @ !pair_cut @ ow_cut)
+    !left_cut @ !pair_cut @ ow_cut
+  in
+  finalize db q cut_facts
 
 let solve_a3perm ~a ~r db q =
   let left_facts = List.map (fun t -> Database.fact a t) (Database.tuples_of db a) in

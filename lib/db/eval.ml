@@ -24,6 +24,20 @@ let legacy_flag =
 let use_legacy () = !legacy_flag
 let set_legacy b = legacy_flag := b
 
+(* The columnar PTIME solver kernels (Flow/Special graph construction on
+   interned ids) have their own escape hatch, independent of the
+   evaluation plane: with kernels off, solvers fall back to their
+   structural graph builders while witness enumeration stays columnar —
+   the A/B axis the kernel bench and differential suite exercise. *)
+let kernels_flag =
+  ref
+    (match Sys.getenv_opt "RES_COL_KERNELS" with
+    | Some ("0" | "false" | "no" | "off") -> false
+    | _ -> true)
+
+let use_kernels () = !kernels_flag
+let set_kernels b = kernels_flag := b
+
 let columnar_eligible (q : Res_cq.Query.t) =
   List.for_all (fun a -> Res_cq.Atom.arity a <= 2) (Res_cq.Query.atoms q)
 
@@ -122,9 +136,11 @@ end)
 type compiled = {
   dict : VDict.t;
   inst : Res_col.Instance.t;
-  rows : (string * Database.tuple array * Database.tuple list) list;
-      (* per relation: right-arity tuples in tuple-id order, and the
-         wrong-arity leftovers (which match no atom of this query) *)
+  rows :
+    (string * Res_col.Instance.rel_data * Database.tuple array * Database.tuple list) list;
+      (* per relation: interned columns, right-arity tuples in tuple-id
+         order, and the wrong-arity leftovers (which match no atom of
+         this query) *)
 }
 
 let compile db (q : Res_cq.Query.t) =
@@ -160,15 +176,25 @@ let compile db (q : Res_cq.Query.t) =
       Res_obs.Obs.span ~cat:"col" "build" @@ fun () ->
       I.make q ~n:(VDict.size dict) (List.map (fun (r, d, _, _) -> (r, d)) rels)
     in
-    (Res_obs.Obs.span ~cat:"col" "semijoin" @@ fun () -> I.reduce inst);
-    Some { dict; inst; rows = List.map (fun (r, _, arr, wrong) -> (r, arr, wrong)) rels }
+    (* No eager [I.reduce] here: consumers that never enumerate (the
+       Special matching kernels read raw columns only) skip the
+       semijoin fixpoint and index build entirely.  Paths that do need
+       the reduction call [ensure_reduced] so the span still books the
+       cost exactly once, where it is paid. *)
+    Some { dict; inst; rows = List.map (fun (r, d, arr, wrong) -> (r, d, arr, wrong)) rels }
   end
+
+let ensure_reduced (c : compiled) =
+  if not (Res_col.Instance.is_reduced c.inst) then
+    Res_obs.Obs.span ~cat:"col" "semijoin" @@ fun () -> Res_col.Instance.reduce c.inst
 
 (* ---- the shared surface ------------------------------------------------ *)
 
 let sat db q =
   match compile db q with
-  | Some c -> Res_obs.Obs.span ~cat:"col" "enumerate" @@ fun () -> Res_col.Instance.sat c.inst
+  | Some c ->
+    ensure_reduced c;
+    Res_obs.Obs.span ~cat:"col" "enumerate" @@ fun () -> Res_col.Instance.sat c.inst
   | None -> (
     match enumerate db q ~emit:(fun _ -> raise Found) with
     | () -> false
@@ -209,6 +235,7 @@ let witnesses ?(limit = 2_000_000) db q =
   in
   (match compile db q with
   | Some c ->
+    ensure_reduced c;
     Res_obs.Obs.span ~cat:"col" "enumerate" @@ fun () ->
     Res_col.Instance.enumerate c.inst ~emit:(fun b ->
         push (List.mapi (fun i v -> (v, VDict.value c.dict b.(i))) vars))
@@ -226,7 +253,9 @@ let witness_fact_sets db q =
 
 let count db q =
   match compile db q with
-  | Some c -> Res_obs.Obs.span ~cat:"col" "enumerate" @@ fun () -> Res_col.Instance.count c.inst
+  | Some c ->
+    ensure_reduced c;
+    Res_obs.Obs.span ~cat:"col" "enumerate" @@ fun () -> Res_col.Instance.count c.inst
   | None ->
     let n = ref 0 in
     enumerate db q ~emit:(fun _ -> incr n);
@@ -236,12 +265,104 @@ let reduce db q =
   match compile db q with
   | None -> db
   | Some c ->
+    ensure_reduced c;
     let module I = Res_col.Instance in
     List.fold_left
-      (fun acc (rel, arr, wrong) ->
+      (fun acc (rel, _, arr, wrong) ->
         let keep = I.live c.inst rel in
         if Array.length keep = Array.length arr then acc
         else
           Database.with_relation acc rel
             (Array.to_list (Array.map (fun tid -> arr.(tid)) keep) @ wrong))
       db c.rows
+
+(* ---- the shared kernel view -------------------------------------------- *)
+
+(* A compiled, semijoin-reduced instance handed to the PTIME solver
+   kernels as-is: interned columns, live tuple ids, id<->value maps.
+   The kernels build their flow/matching graphs directly on the ids and
+   only materialize structural facts for the final contingency set —
+   [reduce]'s output is never rebuilt into a structural [Database]. *)
+type view = { c : compiled; q : Res_cq.Query.t }
+
+let view db q =
+  if not (use_kernels ()) then None
+  else
+    match compile db q with
+    | None -> None
+    | Some c -> Some { c; q }
+
+let view_n v = VDict.size v.c.dict
+let view_value v id = VDict.value v.c.dict id
+
+let view_data v rel =
+  match List.find_opt (fun (r, _, _, _) -> r = rel) v.c.rows with
+  | Some (_, d, _, _) -> d
+  | None -> invalid_arg ("Eval.view_data: unknown relation " ^ rel)
+
+let view_live v rel =
+  ensure_reduced v.c;
+  Res_col.Instance.live v.c.inst rel
+
+let view_rows v rel =
+  match List.find_opt (fun (r, _, _, _) -> r = rel) v.c.rows with
+  | Some (_, _, arr, _) -> arr
+  | None -> invalid_arg ("Eval.view_rows: unknown relation " ^ rel)
+
+let view_fact v rel tid = Database.fact rel (view_rows v rel).(tid)
+
+let view_sat_removed v removed =
+  (* Rebuild the instance from the already-interned columns minus the
+     removed tuples and re-run the semijoin + trie join: satisfiability
+     of [db - removed] without touching structural tuples again.  Sound
+     because semijoin reduction preserves witness sets, so filtering
+     the full columns is equivalent to filtering the database. *)
+  let rels = List.map (fun (r, d, _, _) -> (r, d)) v.c.rows in
+  let inst = Res_col.Instance.make ~without:removed v.q ~n:(view_n v) rels in
+  Res_col.Instance.sat inst
+
+let view_removals_of_facts v facts =
+  (* Re-intern the facts through the view's dict (a value the dict has
+     never seen matches no tuple, so it contributes nothing) and scan
+     each relation's columns for the matching tuple ids: the [without]
+     exclusion lists for [view_sat_removed], built without recompiling
+     the database.  Keys pack both columns into one int exactly as the
+     kernel builders do. *)
+  let by_rel = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Database.fact) ->
+      let cur = try Hashtbl.find by_rel f.rel with Not_found -> [] in
+      Hashtbl.replace by_rel f.rel (f :: cur))
+    facts;
+  List.filter_map
+    (fun (rel, (d : Res_col.Instance.rel_data), _, _) ->
+      match Hashtbl.find_opt by_rel rel with
+      | None -> None
+      | Some fs ->
+        let key_of (f : Database.fact) =
+          match f.tuple with
+          | [ a ] when d.arity = 1 -> VDict.find_opt v.c.dict a
+          | [ a; b ] when d.arity = 2 -> (
+            match (VDict.find_opt v.c.dict a, VDict.find_opt v.c.dict b) with
+            | Some ia, Some ib -> Some ((ia lsl 31) lor ib)
+            | _ -> None)
+          | _ -> None (* wrong arity for this query: matches no atom *)
+        in
+        let keys =
+          List.filter_map key_of fs |> List.sort_uniq Int.compare |> Array.of_list
+        in
+        let hi = Array.length keys in
+        if hi = 0 then None
+        else begin
+          let tids = ref [] in
+          for tid = Array.length d.col0 - 1 downto 0 do
+            let k =
+              if d.arity = 1 then d.col0.(tid)
+              else (d.col0.(tid) lsl 31) lor d.col1.(tid)
+            in
+            let i = Res_col.Sorted.lower_bound keys 0 hi k in
+            if i < hi && keys.(i) = k then tids := tid :: !tids
+          done;
+          Some (rel, Array.of_list !tids)
+        end)
+    v.c.rows

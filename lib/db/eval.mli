@@ -60,3 +60,60 @@ val set_legacy : bool -> unit
 val columnar_eligible : Res_cq.Query.t -> bool
 (** All atoms of arity <= 2, i.e. the query can compile onto the
     columnar plane (it still won't if the legacy flag is set). *)
+
+(** {2 The columnar kernel view}
+
+    The PTIME solvers (flow networks, bipartite matching, vertex
+    covers) historically re-scanned structural tuples to build their
+    graphs.  A {!view} is the compiled, semijoin-reduced columnar
+    instance shared with them directly: interned columns, live tuple
+    ids and id↔value maps, so graph construction runs on dense ints and
+    facts are materialized only for the final contingency set. *)
+
+type view
+
+val view : Database.t -> Res_cq.Query.t -> view option
+(** Compile [db] for [q]: intern the columns without reducing them —
+    the semijoin fixpoint runs lazily on first {!view_live} (or any
+    enumeration), so kernels that only read raw columns never pay for
+    it.  [None] when the query is not columnar-eligible, the legacy
+    plane is forced, or the kernels are disabled ({!set_kernels} /
+    [RES_COL_KERNELS=0]) — callers then take their structural path. *)
+
+val view_n : view -> int
+(** Exclusive bound of the interned id space (the dict size, < 2^31). *)
+
+val view_value : view -> int -> Value.t
+(** The structural value of an interned id. *)
+
+val view_data : view -> string -> Res_col.Instance.rel_data
+(** A relation's interned columns (all right-arity tuples, id order). *)
+
+val view_live : view -> string -> int array
+(** Sorted tuple ids of the relation surviving semijoin reduction. *)
+
+val view_rows : view -> string -> Database.tuple array
+(** Right-arity structural tuples of a relation, indexed by tuple id. *)
+
+val view_fact : view -> string -> int -> Database.fact
+(** The structural fact of one tuple id. *)
+
+val view_sat_removed : view -> (string * int array) list -> bool
+(** Satisfiability of the instance minus the given per-relation sorted
+    tuple-id sets — the post-cut verification, re-using the interned
+    columns instead of recompiling the database. *)
+
+val view_removals_of_facts : view -> Database.fact list -> (string * int array) list
+(** Map structural facts back to per-relation sorted tuple-id exclusion
+    lists through the view's dict, in the shape {!view_sat_removed}
+    expects.  Facts over unknown values, unknown relations or the wrong
+    arity match no tuple and are dropped — removing them cannot change
+    satisfiability. *)
+
+val use_kernels : unit -> bool
+(** Are the columnar solver kernels enabled (default yes; disabled by
+    [RES_COL_KERNELS=0] or {!set_kernels})? *)
+
+val set_kernels : bool -> unit
+(** Toggle the columnar solver kernels at runtime — the A/B axis used
+    by the kernel-vs-structural differential suite and bench. *)

@@ -9,7 +9,28 @@ let s x = Str x
 let pair a b = Pair (a, b)
 let tag l v = Tag (l, v)
 let triple a b c = Pair (a, Pair (b, c))
-let compare = Stdlib.compare
+
+(* Structural comparison with the same total order as [Stdlib.compare]
+   on this type (constructors in declaration order, fields left to
+   right), but monomorphic — no polymorphic-compare dispatch in hot
+   paths that sort or dedup values. *)
+let rec compare a b =
+  match (a, b) with
+  | Int x, Int y -> Int.compare x y
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Str x, Str y -> String.compare x y
+  | Str _, _ -> -1
+  | _, Str _ -> 1
+  | Pair (a1, b1), Pair (a2, b2) ->
+    let c = compare a1 a2 in
+    if c <> 0 then c else compare b1 b2
+  | Pair _, _ -> -1
+  | _, Pair _ -> 1
+  | Tag (l1, v1), Tag (l2, v2) ->
+    let c = String.compare l1 l2 in
+    if c <> 0 then c else compare v1 v2
+
 let equal a b = compare a b = 0
 let hash = Hashtbl.hash
 

@@ -5,6 +5,7 @@ type t = {
   match_l : int array; (* left -> matched right or -1 *)
   match_r : int array; (* right -> matched left or -1 *)
   dist : int array;
+  queue : int array; (* preallocated BFS queue: left vertices, once each *)
 }
 
 let create ~n_left ~n_right =
@@ -15,6 +16,7 @@ let create ~n_left ~n_right =
     match_l = Array.make (max n_left 1) (-1);
     match_r = Array.make (max n_right 1) (-1);
     dist = Array.make (max n_left 1) (-1);
+    queue = Array.make (max n_left 1) 0;
   }
 
 let add_edge g u v =
@@ -27,24 +29,29 @@ let inf = max_int
 (* Hopcroft–Karp: layered BFS from free left vertices, then DFS along
    shortest augmenting paths. *)
 let bfs g =
-  let q = Queue.create () in
+  let q = g.queue in
+  let tail = ref 0 in
   for u = 0 to g.n_left - 1 do
     if g.match_l.(u) < 0 then begin
       g.dist.(u) <- 0;
-      Queue.add u q
+      q.(!tail) <- u;
+      incr tail
     end
     else g.dist.(u) <- inf
   done;
   let found = ref false in
-  while not (Queue.is_empty q) do
-    let u = Queue.pop q in
+  let head = ref 0 in
+  while !head < !tail do
+    let u = q.(!head) in
+    incr head;
     List.iter
       (fun v ->
         let u' = g.match_r.(v) in
         if u' < 0 then found := true
         else if g.dist.(u') = inf then begin
           g.dist.(u') <- g.dist.(u) + 1;
-          Queue.add u' q
+          q.(!tail) <- u';
+          incr tail
         end)
       g.adj.(u)
   done;

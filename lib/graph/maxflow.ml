@@ -10,6 +10,7 @@ type t = {
   mutable arcs : int; (* number of arcs; forward arc ids are even *)
   mutable level : int array;
   mutable iter : int array;
+  mutable queue : int array; (* BFS ring: each node enters at most once *)
 }
 
 type edge = int
@@ -38,7 +39,36 @@ let create n =
     arcs = 0;
     level = [||];
     iter = [||];
+    queue = [||];
   }
+
+let buf_reserve b cap =
+  if Array.length b.data < cap then begin
+    let data' = Array.make cap 0 in
+    Array.blit b.data 0 data' 0 b.len;
+    b.data <- data'
+  end
+
+(* Builders that know their arc count up front (the columnar kernels do:
+   two arcs per edge) size the four arc buffers once instead of paying
+   log2(m) doublings of ~m-length arrays on million-arc networks. *)
+let reserve_arcs g extra =
+  let cap = g.arcs + extra in
+  buf_reserve g.nexts cap;
+  buf_reserve g.dests cap;
+  buf_reserve g.caps cap;
+  buf_reserve g.orig cap
+
+(* Scratch arrays persist across [max_flow]/[min_cut] calls on the same
+   network and only grow; a solve that reuses one network pays the
+   allocation once. *)
+let ensure_scratch g =
+  if Array.length g.level < g.n then begin
+    let cap = max g.n (2 * Array.length g.level) in
+    g.level <- Array.make cap (-1);
+    g.iter <- Array.make cap (-1);
+    g.queue <- Array.make cap 0
+  end
 
 let grow_nodes g needed =
   let cap = Array.length g.heads in
@@ -79,16 +109,21 @@ let bfs g src dst =
   let level = g.level in
   Array.fill level 0 g.n (-1);
   level.(src) <- 0;
-  let q = Queue.create () in
-  Queue.add src q;
-  while not (Queue.is_empty q) do
-    let u = Queue.pop q in
+  (* Each node is enqueued at most once, so the preallocated ring never
+     wraps: plain head/tail cursors over an n-slot int array. *)
+  let q = g.queue in
+  q.(0) <- src;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let u = q.(!head) in
+    incr head;
     let a = ref g.heads.(u) in
     while !a >= 0 do
       let v = g.dests.data.(!a) in
       if g.caps.data.(!a) > 0 && level.(v) < 0 then begin
         level.(v) <- level.(u) + 1;
-        Queue.add v q
+        q.(!tail) <- v;
+        incr tail
       end;
       a := g.nexts.data.(!a)
     done
@@ -117,8 +152,7 @@ let rec dfs g u dst f =
   end
 
 let max_flow g ~src ~dst =
-  g.level <- Array.make g.n (-1);
-  g.iter <- Array.make g.n (-1);
+  ensure_scratch g;
   let flow = ref 0 in
   while bfs g src dst do
     Array.blit g.heads 0 g.iter 0 g.n;
@@ -136,8 +170,7 @@ let max_flow g ~src ~dst =
 let flow_limited g ~src ~dst ~limit =
   if limit <= 0 || src = dst then 0
   else begin
-    g.level <- Array.make g.n (-1);
-    g.iter <- Array.make g.n (-1);
+    ensure_scratch g;
     let flow = ref 0 in
     let blocked = ref false in
     while (not !blocked) && !flow < limit && bfs g src dst do
@@ -179,18 +212,22 @@ let remove_edge g ~source ~sink e =
   end
 
 let min_cut g ~src =
+  ensure_scratch g;
   let side = Array.make g.n false in
   side.(src) <- true;
-  let q = Queue.create () in
-  Queue.add src q;
-  while not (Queue.is_empty q) do
-    let u = Queue.pop q in
+  let q = g.queue in
+  q.(0) <- src;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let u = q.(!head) in
+    incr head;
     let a = ref g.heads.(u) in
     while !a >= 0 do
       let v = g.dests.data.(!a) in
       if g.caps.data.(!a) > 0 && not side.(v) then begin
         side.(v) <- true;
-        Queue.add v q
+        q.(!tail) <- v;
+        incr tail
       end;
       a := g.nexts.data.(!a)
     done

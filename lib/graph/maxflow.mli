@@ -20,6 +20,13 @@ val add_node : t -> int
 
 val n_nodes : t -> int
 
+val reserve_arcs : t -> int -> unit
+(** [reserve_arcs g extra] grows the internal arc buffers to hold
+    [extra] further arcs (each {!add_edge} costs two) beyond those
+    already present, so bulk builders that know their edge count avoid
+    repeated buffer doubling.  Purely an allocation hint — never
+    required for correctness. *)
+
 val add_edge : t -> src:int -> dst:int -> cap:int -> edge
 (** Add a directed edge with the given capacity (a reverse residual edge of
     capacity 0 is created internally). *)

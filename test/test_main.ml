@@ -6,6 +6,7 @@ let () =
       ("cq", Test_cq.suite);
       ("db", Test_db.suite);
       ("col", Test_col.suite);
+      ("kernels", Test_kernels.suite);
       ("structure", Test_structure.suite);
       ("classify", Test_classify.suite);
       ("fragment", Test_fragment.suite);
