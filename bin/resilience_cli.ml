@@ -154,10 +154,11 @@ let classify_cmd =
              ( "components",
                json_list
                  (List.map
-                    (fun (qc, v) ->
+                    (fun (qc, fam, v) ->
                       json_obj
                         [
                           ("query", json_str (query_str qc));
+                          ("family", json_str (Resilience.Family.to_string fam));
                           ("verdict", json_str (Resilience.Classify.verdict_to_string v));
                         ])
                     report.Resilience.Classify.components) );
@@ -632,6 +633,7 @@ let client_cmd =
     let key_of_line line =
       match Res_server.Protocol.parse line with
       | Ok (Res_server.Protocol.Solve { body; _ })
+      | Ok (Res_server.Protocol.Resp { body; _ })
       | Ok (Res_server.Protocol.Watch_register { body; _ }) ->
         Res_shard.Router.routing_key body
       | Ok (Res_server.Protocol.Classify q_s) -> Res_shard.Router.routing_key q_s
@@ -1045,6 +1047,49 @@ let blame_cmd =
     (Cmd.info "blame" ~doc:"Rank tuples by responsibility for the query answer (Meliou et al.)")
     Term.(const run $ query_arg $ db_file_arg $ facts_arg)
 
+(* --- responsibility -------------------------------------------------------------- *)
+
+let responsibility_cmd =
+  let run query_s fact_s db_file facts_inline json =
+    let q = parse_query query_s in
+    let db = load_db db_file facts_inline in
+    let fact =
+      try Res_db.Fact_syntax.fact fact_s
+      with Res_db.Fact_syntax.Parse_error msg ->
+        Printf.eprintf "fact: %s\n" msg;
+        exit 2
+    in
+    let r = Resilience.Solver.min_contingency db q fact in
+    let rho = match r with None -> 0.0 | Some k -> 1.0 /. float_of_int (1 + k) in
+    if json then
+      print_endline
+        (json_obj
+           [
+             ("fact", json_str (fact_str fact));
+             ("responsibility", Printf.sprintf "%.4f" rho);
+             ("contingency", (match r with Some k -> string_of_int k | None -> "null"));
+           ])
+    else begin
+      match r with
+      | None -> print_endline "not a cause (responsibility 0)"
+      | Some k -> Printf.printf "responsibility %.4f (min contingency %d)\n" rho k
+    end
+  in
+  let fact_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "fact" ] ~docv:"FACT"
+          ~doc:"The tuple whose responsibility is computed, e.g. \"R(1, 2)\".")
+  in
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit the result as a JSON object.") in
+  Cmd.v
+    (Cmd.info "responsibility"
+       ~doc:
+         "Responsibility of one tuple for the query answer: 1/(1+k) for the smallest \
+          contingency of size k under which the tuple is counterfactual (Meliou et al.)")
+    Term.(const run $ query_arg $ fact_arg $ db_file_arg $ facts_arg $ json_arg)
+
 (* --- propagate ------------------------------------------------------------------- *)
 
 let propagate_cmd =
@@ -1193,4 +1238,4 @@ let scrape_cmd =
 let () =
   let doc = "resilience of conjunctive queries with self-joins (PODS 2020 reproduction)" in
   let info = Cmd.info "resilience" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ classify_cmd; solve_cmd; watch_cmd; batch_cmd; serve_cmd; route_cmd; client_cmd; witnesses_cmd; gen_cmd; zoo_cmd; ijp_cmd; gadget_cmd; repairs_cmd; blame_cmd; propagate_cmd; trace_check_cmd; scrape_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ classify_cmd; solve_cmd; watch_cmd; batch_cmd; serve_cmd; route_cmd; client_cmd; witnesses_cmd; gen_cmd; zoo_cmd; ijp_cmd; gadget_cmd; repairs_cmd; blame_cmd; responsibility_cmd; propagate_cmd; trace_check_cmd; scrape_cmd ]))

@@ -26,51 +26,20 @@ type verdict =
   | Np_complete of hard_reason
   | Open_problem of string
   | Unknown of string
+  | Heuristic of string
 
 type report = {
   original : Query.t;
   minimized : Query.t;
-  components : (Query.t * verdict) list;
+  components : (Query.t * Family.t * verdict) list;
   verdict : verdict;
   notes : string list;
 }
 
-(* Two exogenous occurrences of the same relation can be treated as two
-   distinct exogenous relations over identical instances: exogenous tuples
-   are never deleted, so contingency sets and witnesses are unaffected.
-   This rewrite lets the sj-free machinery apply when only exogenous
-   relations repeat. *)
-let split_exogenous_self_joins (q : Query.t) =
-  let repeated_exo =
-    List.filter (Query.is_exogenous q) (Query.repeated_relations q)
-  in
-  if repeated_exo = [] then q
-  else begin
-    let counters = Hashtbl.create 4 in
-    let atoms =
-      List.map
-        (fun (a : Atom.t) ->
-          if List.mem a.rel repeated_exo then begin
-            let k = (try Hashtbl.find counters a.rel with Not_found -> 0) + 1 in
-            Hashtbl.replace counters a.rel k;
-            Atom.make (Printf.sprintf "%s__%d" a.rel k) a.args
-          end
-          else a)
-        (Query.atoms q)
-    in
-    let exo =
-      List.concat_map
-        (fun rel ->
-          if List.mem rel repeated_exo then begin
-            let k = Hashtbl.find counters rel in
-            List.init k (fun i -> Printf.sprintf "%s__%d" rel (i + 1))
-          end
-          else if Query.is_exogenous q rel then [ rel ]
-          else [])
-        (Query.relations q)
-    in
-    Query.make ~exo atoms
-  end
+(* Family recognition runs on the split query, so the rewrite lives in
+   {!Family}; re-exported here because {!Solver} and the incremental tier
+   mirror it on the database through this module's interface. *)
+let split_exogenous_self_joins = Family.split_exogenous_self_joins
 
 (* --- shape detectors for the 3-R-atom cases ------------------------- *)
 
@@ -198,66 +167,87 @@ let classify_three_atom q (r : string) (atoms : Atom.t list) =
       else Unknown "three R-atom shape not analyzed in Section 8"
   end
 
+(* The binary-ssj leg of the dispatcher: the paper's Theorem 37 decision
+   procedure plus the partial Section 8 three-atom analysis.  Only called
+   on triad-free components recognized as {!Family.Binary_ssj}. *)
+let classify_binary_ssj q =
+  match Patterns.self_join q with
+  | None -> Ptime Sj_free_no_triad
+  | Some (r, atoms) ->
+    if Query.is_exogenous q r then
+      (* unreachable: split_exogenous_self_joins renamed those *)
+      Unknown "repeated exogenous relation"
+    else if Patterns.has_unary_path q then Np_complete Unary_path
+    else if Patterns.has_binary_path q then Np_complete Binary_path
+    else begin
+      match List.length atoms with
+      | 2 -> begin
+        match Patterns.two_atom_pattern q with
+        | Some Rep_shared -> Ptime Rep_shared_flow
+        | Some (Permutation (x, y)) ->
+          if Patterns.permutation_is_bound q ~x ~y then Np_complete Bound_permutation
+          else Ptime Unbound_permutation
+        | Some (Chain _) -> Np_complete (Chain 2)
+        | Some (Confluence c) ->
+          if Patterns.confluence_has_exo_path q c then Np_complete Confluence_exogenous_path
+          else Ptime Confluence_flow
+        | None -> Unknown "two R-atoms with unrecognized join pattern"
+      end
+      | 3 -> classify_three_atom q r atoms
+      | k -> begin
+        match Patterns.k_chain q with
+        | Some k' -> Np_complete (Chain k')
+        | None -> Unknown (Printf.sprintf "%d R-atoms: beyond the paper's analysis" k)
+      end
+    end
+
+(* One normalized component, dispatched by family.  The triad test is
+   shared by every regime (Theorem 24 holds for all CQs, and on the sjf
+   side it is the hard half of the any-arity dichotomy); after it:
+
+   - sjf components are PTIME by the easy half of the sjf dichotomy
+     (triad-free ⟹ linear-reducible, solved by the flow construction);
+   - binary-ssj components run the paper's case analysis;
+   - anything else is honestly tagged [Heuristic]: the solver answers
+     exactly, but no complexity claim is made. *)
 let classify_component q0 =
   let q = Domination.normalize q0 in
   let q = split_exogenous_self_joins q in
-  if Query.endogenous_atoms q = [] then (q, Ptime Trivial_no_endogenous)
-  else begin
-    match Triad.find q with
-    | Some (a, b, c) -> (q, Np_complete (Triad (a, b, c)))
-    | None ->
-      if Query.is_sj_free q then (q, Ptime Sj_free_no_triad)
-      else if not (Query.is_ssj q && Query.is_binary q) then
-        (q, Unknown "self-join query outside the ssj binary fragment")
-      else begin
-        match Patterns.self_join q with
-        | None -> (q, Ptime Sj_free_no_triad)
-        | Some (r, atoms) ->
-          if Query.is_exogenous q r then
-            (* unreachable: split_exogenous_self_joins renamed those *)
-            (q, Unknown "repeated exogenous relation")
-          else if Patterns.has_unary_path q then (q, Np_complete Unary_path)
-          else if Patterns.has_binary_path q then (q, Np_complete Binary_path)
-          else begin
-            match List.length atoms with
-            | 2 -> begin
-              match Patterns.two_atom_pattern q with
-              | Some Rep_shared -> (q, Ptime Rep_shared_flow)
-              | Some (Permutation (x, y)) ->
-                if Patterns.permutation_is_bound q ~x ~y then
-                  (q, Np_complete Bound_permutation)
-                else (q, Ptime Unbound_permutation)
-              | Some (Chain _) -> (q, Np_complete (Chain 2))
-              | Some (Confluence c) ->
-                if Patterns.confluence_has_exo_path q c then
-                  (q, Np_complete Confluence_exogenous_path)
-                else (q, Ptime Confluence_flow)
-              | None -> (q, Unknown "two R-atoms with unrecognized join pattern")
-            end
-            | 3 -> (q, classify_three_atom q r atoms)
-            | k -> begin
-              match Patterns.k_chain q with
-              | Some k' -> (q, Np_complete (Chain k'))
-              | None ->
-                (q, Unknown (Printf.sprintf "%d R-atoms: beyond the paper's analysis" k))
-            end
-          end
+  let family = Family.of_component q in
+  let verdict =
+    if Query.endogenous_atoms q = [] then Ptime Trivial_no_endogenous
+    else begin
+      match Triad.find q with
+      | Some (a, b, c) -> Np_complete (Triad (a, b, c))
+      | None -> begin
+        match family with
+        | Family.Sjf_any_arity -> Ptime Sj_free_no_triad
+        | Family.Binary_ssj -> classify_binary_ssj q
+        | Family.General ->
+          Heuristic "self-join query outside the binary-ssj and sjf fragments"
       end
-  end
+    end
+  in
+  (q, family, verdict)
 
 let combine_verdicts verdicts =
   let is_npc = function Np_complete _ -> true | _ -> false in
+  let is_heuristic = function Heuristic _ -> true | _ -> false in
   let is_unknown = function Unknown _ -> true | _ -> false in
   let is_open = function Open_problem _ -> true | _ -> false in
   match List.find_opt is_npc verdicts with
   | Some v -> v
   | None -> begin
-    match List.find_opt is_unknown verdicts with
+    match List.find_opt is_heuristic verdicts with
     | Some v -> v
     | None -> begin
-      match List.find_opt is_open verdicts with
+      match List.find_opt is_unknown verdicts with
       | Some v -> v
-      | None -> ( match verdicts with v :: _ -> v | [] -> Unknown "empty query")
+      | None -> begin
+        match List.find_opt is_open verdicts with
+        | Some v -> v
+        | None -> ( match verdicts with v :: _ -> v | [] -> Unknown "empty query")
+      end
     end
   end
 
@@ -265,7 +255,7 @@ let classify q =
   let minimized = Homomorphism.minimize q in
   let comps = Components.split minimized in
   let classified = List.map classify_component comps in
-  let verdict = combine_verdicts (List.map snd classified) in
+  let verdict = combine_verdicts (List.map (fun (_, _, v) -> v) classified) in
   let notes =
     (if Query.equal q minimized then [] else [ "query was not minimal; minimized first" ])
     @
@@ -305,6 +295,7 @@ let verdict_to_string = function
   | Np_complete r -> "NP-complete: " ^ reason_to_string r
   | Open_problem s -> "open: " ^ s
   | Unknown s -> "unknown: " ^ s
+  | Heuristic s -> "heuristic: " ^ s
 
 let agrees_with v (expected : Zoo.expected) =
   match (v, expected) with
@@ -317,8 +308,9 @@ let pp_report ppf r =
   Format.fprintf ppf "@[<v>query: %a@,minimized: %a@,verdict: %s" Query.pp r.original Query.pp
     r.minimized (verdict_to_string r.verdict);
   List.iteri
-    (fun i (q, v) ->
-      Format.fprintf ppf "@,  component %d: %a -> %s" (i + 1) Query.pp q (verdict_to_string v))
+    (fun i (q, fam, v) ->
+      Format.fprintf ppf "@,  component %d [%s]: %a -> %s" (i + 1) (Family.to_string fam)
+        Query.pp q (verdict_to_string v))
     r.components;
   List.iter (fun n -> Format.fprintf ppf "@,note: %s" n) r.notes;
   Format.fprintf ppf "@]"

@@ -38,13 +38,19 @@ type verdict =
   | Ptime of ptime_method
   | Np_complete of hard_reason
   | Open_problem of string  (** complexity open in the paper *)
-  | Unknown of string  (** outside the fragment the paper analyzes *)
+  | Unknown of string
+      (** inside a charted fragment, but the shape is not analyzed (the
+          Section 8 roadmap) *)
+  | Heuristic of string
+      (** outside every charted fragment ({!Family.General}): the solver
+          still answers exactly, but no complexity claim is made *)
 
 type report = {
   original : Query.t;
   minimized : Query.t;
-  components : (Query.t * verdict) list;
-      (** per connected component, after domination normalization *)
+  components : (Query.t * Family.t * verdict) list;
+      (** per connected component, after domination normalization, with
+          the family the dispatcher routed it to *)
   verdict : verdict;  (** combined verdict (Lemma 15) *)
   notes : string list;
 }
@@ -57,18 +63,19 @@ val method_to_string : ptime_method -> string
 val reason_to_string : hard_reason -> string
 
 val agrees_with : verdict -> Zoo.expected -> bool
-(** Does the classifier verdict match a paper verdict?  [Unknown] never
-    agrees; [Open_problem] agrees only with [Zoo.Open]. *)
+(** Does the classifier verdict match a paper verdict?  [Unknown] and
+    [Heuristic] never agree; [Open_problem] agrees only with [Zoo.Open]. *)
 
 val pp_report : Format.formatter -> report -> unit
 
 val split_exogenous_self_joins : Query.t -> Query.t
-(** Rename repeated {e exogenous} relations apart (R → R__1, R__2, …):
-    exogenous tuples are never deleted, so duplicating the relation per
-    atom preserves witnesses and contingency sets while removing the
-    self-join.  {!Solver} mirrors this renaming on the database. *)
+(** Re-export of {!Family.split_exogenous_self_joins}: rename repeated
+    {e exogenous} relations apart (R → R__1, R__2, …); exogenous tuples
+    are never deleted, so the rewrite preserves witnesses and contingency
+    sets while removing the self-join.  {!Solver} mirrors this renaming
+    on the database. *)
 
-val classify_component : Query.t -> Query.t * verdict
+val classify_component : Query.t -> Query.t * Family.t * verdict
 (** Classify one minimal connected component: returns the
     domination-normalized (and exogenous-split) query actually analyzed,
-    with its verdict. *)
+    the family it was dispatched to, and its verdict. *)

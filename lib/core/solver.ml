@@ -170,7 +170,7 @@ let dispatch_ptime ~cancel ?pool (m : Classify.ptime_method) db q =
    bound, or [`Partial (None, 0)] when a polynomial solver was cancelled
    mid-run (nothing to salvage). *)
 let solve_component ~cancel ?pool db qc =
-  let q', verdict = Classify.classify_component qc in
+  let q', _family, verdict = Classify.classify_component qc in
   let db = extend_db_for_split db q' in
   let exact_bounded = exact_bounded ?pool in
   match
@@ -181,6 +181,8 @@ let solve_component ~cancel ?pool db qc =
         exact_bounded cancel db q' )
     | Classify.Open_problem s -> (Printf.sprintf "exact (open: %s)" s, exact_bounded cancel db q')
     | Classify.Unknown s -> (Printf.sprintf "exact (unknown: %s)" s, exact_bounded cancel db q')
+    | Classify.Heuristic s ->
+      (Printf.sprintf "exact (heuristic: %s)" s, exact_bounded cancel db q')
   with
   | algorithm, solution -> `Done { component = q'; algorithm; solution }
   | exception Partial_exact (ub, lb) -> `Partial (Some ub, lb)
@@ -245,3 +247,15 @@ let solve_traced db q =
 
 let solve db q = fst (solve_traced db q)
 let value db q = Solution.value (solve db q)
+
+(* Responsibility rides the same front door as resilience: minimize
+   first.  Responsibility only depends on the function D' ↦ (D' ⊨ q), so
+   any query equivalent to q — in particular its core — yields the same
+   minimum contingency. *)
+let min_contingency db q t =
+  Responsibility.min_contingency db (Res_cq.Homomorphism.minimize q) t
+
+let responsibility db q t =
+  match min_contingency db q t with
+  | None -> 0.0
+  | Some k -> 1.0 /. float_of_int (1 + k)

@@ -19,6 +19,7 @@ type t = {
   cached : bool;
   classify_cache : (string, Classify.verdict) Cache.t;
   solve_cache : (string * string, Solution.t) Cache.t;
+  resp_cache : (string * string, int option) Cache.t;
   stats : Stats.t;
   lock : Mutex.t;
       (* guards the caches and the stats; never held while classifying or
@@ -31,6 +32,7 @@ let create ?(cached = true) ?(classify_capacity = 4096) ?(solve_capacity = 4096)
     cached;
     classify_cache = Cache.create ~capacity:classify_capacity ();
     solve_cache = Cache.create ~capacity:solve_capacity ();
+    resp_cache = Cache.create ~capacity:solve_capacity ();
     stats = Stats.create ();
     lock = Mutex.create ();
   }
@@ -214,6 +216,52 @@ let solve_versioned t (vdb : Vdb.t) q =
         (sol, cached)
       | Timed_out _ -> assert false (* Cancel.never cannot fire *)
     end
+  end
+
+(* Responsibility through the same canonical lens: the fact is translated
+   into the canonical vocabulary alongside the database, so instances of
+   one class share entries whenever digest and canonical fact coincide.
+   The cached value is the minimum contingency size — an [int option] is
+   invariant under the renaming, so no back-translation is needed on a
+   hit. *)
+let responsibility t db q (f : Database.fact) =
+  if not t.cached then begin
+    let r, dt = with_time (fun () -> Solver.min_contingency db q f) in
+    locked t (fun () ->
+        t.stats.resp_misses <- t.stats.resp_misses + 1;
+        t.stats.resp_time <- t.stats.resp_time +. dt);
+    (r, false)
+  end
+  else begin
+    let k = timed_canon t (fun () -> Canon.keyed q) in
+    match Canon.translate_fact k q f with
+    | None -> (None, false) (* relation absent from the query: never a cause *)
+    | Some cf ->
+      let dg, dt_dg = with_time (fun () -> Canon.instance_digest k q db) in
+      let cache_key = (k.Canon.key ^ "|" ^ Canon.fact_repr cf.rel cf.tuple, dg) in
+      let hit =
+        locked t (fun () ->
+            t.stats.digest_time <- t.stats.digest_time +. dt_dg;
+            match Cache.find t.resp_cache cache_key with
+            | Some r ->
+              t.stats.resp_hits <- t.stats.resp_hits + 1;
+              Some r
+            | None -> None)
+      in
+      match hit with
+      | Some r -> (r, true)
+      | None ->
+        let r, dt =
+          with_time (fun () ->
+              Obs.span ~cat:"engine" "responsibility" (fun () ->
+                  Solver.min_contingency (Canon.translate_db k q db)
+                    (Canon.canonical_query k.key) cf))
+        in
+        locked t (fun () ->
+            t.stats.resp_misses <- t.stats.resp_misses + 1;
+            t.stats.resp_time <- t.stats.resp_time +. dt;
+            Cache.add t.resp_cache cache_key r);
+        (r, false)
   end
 
 let count_instance t = locked t (fun () -> t.stats.instances <- t.stats.instances + 1)

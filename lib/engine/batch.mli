@@ -37,6 +37,15 @@ val classify : t -> Query.t -> Classify.verdict
 val solve : t -> Database.t -> Query.t -> Solution.t
 (** ρ(D, q) with a minimum contingency set, via the caches. *)
 
+val responsibility : t -> Database.t -> Query.t -> Database.fact -> int option * bool
+(** Minimum contingency size of the fact ([None] when it is not a cause
+    — in particular whenever its relation does not occur in the query),
+    and whether the answer came from the responsibility cache.  Cached
+    per (canonical key, canonical fact, instance digest): the stored
+    size is renaming-invariant, so hits are shared across isomorphic
+    instances with no back-translation.  Responsibility itself is
+    1/(1+size). *)
+
 val solve_versioned : t -> Vdb.t -> Query.t -> Solution.t * bool
 (** Like {!solve} on the versioned database's current contents, but keyed
     by its O(1) content fingerprint instead of the O(|D|) instance digest —

@@ -211,3 +211,10 @@ let translate_solution_back (k : keyed) (q : Query.t) = function
       Database.fact rel (if flip then List.rev f.tuple else f.tuple)
     in
     Resilience.Solution.Finite (v, List.map back facts)
+
+let translate_fact (k : keyed) (q : Query.t) (f : Database.fact) =
+  match List.assoc_opt f.rel k.renaming.rel_map with
+  | None -> None
+  | Some canon_rel ->
+    let flip = k.renaming.mirrored && Query.arity_of q f.rel = 2 in
+    Some (Database.fact canon_rel (if flip then List.rev f.tuple else f.tuple))

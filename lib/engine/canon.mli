@@ -59,3 +59,13 @@ val translate_solution_back :
   keyed -> Query.t -> Resilience.Solution.t -> Resilience.Solution.t
 (** Map a solution of the canonical instance back to the original
     vocabulary (inverse renaming, un-mirroring of binary facts). *)
+
+val translate_fact : keyed -> Query.t -> Database.fact -> Database.fact option
+(** Rewrite one fact into the canonical vocabulary (same renaming and
+    mirroring as {!translate_db}); [None] when its relation does not
+    occur in the query — such a fact can never be a cause. *)
+
+val fact_repr : string -> Res_db.Value.t list -> string
+(** Injective serialization of one fact, the unit {!digest} is built
+    from.  Exposed so the responsibility cache can key on
+    (canonical fact, canonical instance) pairs. *)

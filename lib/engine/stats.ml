@@ -5,10 +5,13 @@ type t = {
   mutable solve_hits : int;
   mutable solve_misses : int;
   mutable solve_timeouts : int;
+  mutable resp_hits : int;
+  mutable resp_misses : int;
   mutable canon_time : float;
   mutable digest_time : float;
   mutable classify_time : float;
   mutable solve_time : float;
+  mutable resp_time : float;
 }
 
 let src = Logs.Src.create "resilience.engine" ~doc:"Batched resilience engine"
@@ -21,10 +24,13 @@ let create () =
     solve_hits = 0;
     solve_misses = 0;
     solve_timeouts = 0;
+    resp_hits = 0;
+    resp_misses = 0;
     canon_time = 0.;
     digest_time = 0.;
     classify_time = 0.;
     solve_time = 0.;
+    resp_time = 0.;
   }
 
 let reset s =
@@ -34,10 +40,13 @@ let reset s =
   s.solve_hits <- 0;
   s.solve_misses <- 0;
   s.solve_timeouts <- 0;
+  s.resp_hits <- 0;
+  s.resp_misses <- 0;
   s.canon_time <- 0.;
   s.digest_time <- 0.;
   s.classify_time <- 0.;
-  s.solve_time <- 0.
+  s.solve_time <- 0.;
+  s.resp_time <- 0.
 
 let timed s get set f =
   let t0 = Sys.time () in
@@ -51,7 +60,10 @@ let rate hits misses =
 
 let classify_hit_rate s = rate s.classify_hits s.classify_misses
 let solve_hit_rate s = rate s.solve_hits s.solve_misses
-let total_time s = s.canon_time +. s.digest_time +. s.classify_time +. s.solve_time
+let resp_hit_rate s = rate s.resp_hits s.resp_misses
+
+let total_time s =
+  s.canon_time +. s.digest_time +. s.classify_time +. s.solve_time +. s.resp_time
 
 let pp ppf s =
   Fmt.pf ppf
@@ -66,7 +78,15 @@ let pp ppf s =
     s.solve_hits s.solve_misses
     (100. *. solve_hit_rate s)
     s.solve_timeouts
-    s.canon_time s.digest_time s.classify_time s.solve_time
+    s.canon_time s.digest_time s.classify_time s.solve_time;
+  (* printed only once the responsibility workload has been exercised, so
+     resilience-only runs keep their historical report shape *)
+  if s.resp_hits + s.resp_misses > 0 then
+    Fmt.pf ppf "@\n@[<v>responsibility cache %d hits / %d misses (%.0f%% hit rate)@,\
+               time: resp %.4fs@]"
+      s.resp_hits s.resp_misses
+      (100. *. resp_hit_rate s)
+      s.resp_time
 
 let log_summary s =
   Logs.info ~src (fun m ->

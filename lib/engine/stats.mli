@@ -10,10 +10,14 @@ type t = {
   mutable solve_timeouts : int;
       (** bounded solves whose deadline fired before the search finished;
           these are never cached *)
+  mutable resp_hits : int;  (** responsibility cache hits *)
+  mutable resp_misses : int;
   mutable canon_time : float;  (** seconds spent computing canonical keys *)
   mutable digest_time : float;  (** seconds spent translating + digesting databases *)
   mutable classify_time : float;  (** seconds spent in {!Resilience.Classify} (misses only) *)
   mutable solve_time : float;  (** seconds spent in the solvers (misses only) *)
+  mutable resp_time : float;
+      (** seconds spent computing responsibility (misses only) *)
 }
 
 val create : unit -> t
@@ -25,6 +29,7 @@ val timed : t -> (t -> float) -> (t -> float -> unit) -> (unit -> 'a) -> 'a
 
 val classify_hit_rate : t -> float
 val solve_hit_rate : t -> float
+val resp_hit_rate : t -> float
 val total_time : t -> float
 
 val pp : Format.formatter -> t -> unit

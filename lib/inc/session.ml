@@ -121,7 +121,8 @@ let strategy_of db cq (verdict : Classify.verdict) =
     match Incflow.create db' cq with Some i -> Flow i | None -> Resolve
   end
   | Classify.Ptime _ -> Resolve
-  | Classify.Np_complete _ | Classify.Open_problem _ | Classify.Unknown _ ->
+  | Classify.Np_complete _ | Classify.Open_problem _ | Classify.Unknown _
+  | Classify.Heuristic _ ->
     Hard { seed = []; lp_state = Atomic.make None }
 
 (* ---- delta routing ---------------------------------------------------- *)
@@ -223,7 +224,7 @@ let create ?cancel ?pool db q =
   let comps =
     List.map
       (fun qc ->
-        let cq, verdict = Classify.classify_component qc in
+        let cq, _family, verdict = Classify.classify_component qc in
         let rels = Q.relations cq in
         let binary = Hashtbl.create 8 in
         List.iter (fun r -> if Q.arity_of cq r = 2 then Hashtbl.replace binary r ()) rels;

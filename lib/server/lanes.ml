@@ -20,7 +20,7 @@ let lane_name = function Fast -> "fast" | Hard -> "hard"
 let lane_of_verdict = function
   | Resilience.Classify.Ptime _ -> Fast
   | Resilience.Classify.Np_complete _ | Resilience.Classify.Open_problem _
-  | Resilience.Classify.Unknown _ ->
+  | Resilience.Classify.Unknown _ | Resilience.Classify.Heuristic _ ->
     Hard
 
 let lane_of_verdicts vs =

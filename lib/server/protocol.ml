@@ -4,6 +4,7 @@ type request =
   | Ping
   | Classify of string
   | Solve of { timeout_ms : int option; body : string }
+  | Resp of { timeout_ms : int option; fact : string; body : string }
   | Batch of { timeout_ms : int option; bodies : string list }
   | Watch_register of { timeout_ms : int option; body : string }
   | Watch_delta of { timeout_ms : int option; id : int; deltas : string }
@@ -72,6 +73,24 @@ let parse line =
     | Ok (_, "") -> Error "solve: missing \"QUERY | FACTS\""
     | Ok (timeout_ms, body) -> Ok (Solve { timeout_ms; body })
   end
+  | "resp" -> begin
+    (* resp [timeout=MS] FACT | QUERY | FACTS — the text before the first
+       '|' names the fact whose responsibility is asked; the rest is the
+       usual solve body. *)
+    match split_timeout arg with
+    | Error _ as e -> e
+    | Ok (_, "") -> Error "resp: missing \"FACT | QUERY | FACTS\""
+    | Ok (timeout_ms, rest) -> begin
+      match String.index_opt rest '|' with
+      | None -> Error "resp: expected \"FACT | QUERY | FACTS\""
+      | Some i ->
+        let fact = String.trim (String.sub rest 0 i) in
+        let body = String.trim (String.sub rest (i + 1) (String.length rest - i - 1)) in
+        if fact = "" then Error "resp: missing fact"
+        else if body = "" then Error "resp: missing \"QUERY | FACTS\""
+        else Ok (Resp { timeout_ms; fact; body })
+    end
+  end
   | "batch" -> begin
     match split_timeout arg with
     | Error _ as e -> e
@@ -110,7 +129,9 @@ let parse line =
     | other -> Error (Printf.sprintf "unknown watch verb %S (try register/delta/close)" other)
   end
   | other ->
-    Error (Printf.sprintf "unknown command %S (try ping/classify/solve/batch/watch/stats/quit)" other)
+    Error
+      (Printf.sprintf "unknown command %S (try ping/classify/solve/resp/batch/watch/stats/quit)"
+         other)
 
 (* --- responses ---------------------------------------------------------- *)
 
@@ -132,7 +153,21 @@ let solution ~cached = function
       (Printf.sprintf "rho=%d set={%s}%s" v (pp_facts facts)
          (if cached then " cached" else ""))
 
-let version = 5
+let version = 6
+
+(* v6: the responsibility workload.  One new verb,
+   [resp [timeout=MS] FACT | QUERY | FACTS], answering
+   [ok responsibility=R contingency=K] (K = "none" when the fact is not
+   a cause, in which case R = 0.0000); a " cached" suffix marks answers
+   served from the engine's responsibility cache. *)
+let resp_reply ~cached = function
+  | None -> ok (Printf.sprintf "responsibility=0.0000 contingency=none%s" (if cached then " cached" else ""))
+  | Some k ->
+    ok
+      (Printf.sprintf "responsibility=%.4f contingency=%d%s"
+         (1.0 /. float_of_int (1 + k))
+         k
+         (if cached then " cached" else ""))
 
 (* v5: the sharded service tier.  Two additions: binary bulk frames (see
    {!Frame}; the first byte of a request selects text vs binary, so this

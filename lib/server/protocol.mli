@@ -6,6 +6,7 @@
       ping
       classify QUERY
       solve [timeout=MS] QUERY | FACTS
+      resp [timeout=MS] FACT | QUERY | FACTS
       batch [timeout=MS] QUERY | FACTS ;; QUERY | FACTS ;; ...
       watch register [timeout=MS] QUERY | FACTS
       watch delta [timeout=MS] ID DELTAS
@@ -61,18 +62,27 @@
     queued; the client should back off and retry.  Routers forward
     [busy] verbatim (shedding is intentional, not a shard failure).
 
-    {b Versioning.}  This is protocol {!version} 5.  v1 timeout lines
+    {b Responsibility (v6).}  [resp FACT | QUERY | FACTS] answers
+    [ok responsibility=R contingency=K] with R = 1/(1+K) for the
+    smallest contingency set under which FACT is a counterfactual cause
+    of the query being true, or [responsibility=0.0000 contingency=none]
+    when it is not a cause; a trailing [cached] marks an engine cache
+    hit.
+
+    {b Versioning.}  This is protocol {!version} 6.  v1 timeout lines
     were exactly [timeout bound=<N|none>]; v2 appended [lb=]/[gap=]
     fields and refined batch timeout items from [timeout:N] to
     [timeout:LB..UB]; v3 added the [stats/prom] verb; v4 added the
-    [watch] verbs; v5 adds the [busy] response and the binary bulk
-    framing of {!Frame} (new responses and an opt-in wire format only —
+    [watch] verbs; v5 added the [busy] response and the binary bulk
+    framing of {!Frame}; v6 adds the [resp] verb (a new verb only —
     older clients are unaffected). *)
 
 type request =
   | Ping
   | Classify of string  (** query text *)
   | Solve of { timeout_ms : int option; body : string }  (** ["QUERY | FACTS"] *)
+  | Resp of { timeout_ms : int option; fact : string; body : string }
+      (** [fact] is the fact text, [body] the usual ["QUERY | FACTS"] *)
   | Batch of { timeout_ms : int option; bodies : string list }
   | Watch_register of { timeout_ms : int option; body : string }
   | Watch_delta of { timeout_ms : int option; id : int; deltas : string }
@@ -94,7 +104,7 @@ val busy : lane:string -> depth:int -> capacity:int -> string
     retry-after-ms=...]. *)
 
 val version : int
-(** The protocol generation this build speaks (5). *)
+(** The protocol generation this build speaks (6). *)
 
 val prom_terminator : string
 (** The line ("# EOF") ending a [stats/prom] reply. *)
@@ -105,6 +115,10 @@ val prom_reply : string -> string
 
 val solution : cached:bool -> Resilience.Solution.t -> string
 (** The [ok] response line for a completed solve. *)
+
+val resp_reply : cached:bool -> int option -> string
+(** The [ok responsibility=... contingency=...] line for a minimum
+    contingency size ([None] = not a cause). *)
 
 val timeout : Res_bounds.Interval.t -> string
 (** The [timeout bound=... lb=... gap=...] response line for a certified

@@ -77,6 +77,8 @@ type t = {
   solve_latency : Metrics.histogram;
       (* solve/batch time on the worker, excluding queueing and I/O —
          the series dashboards alert on *)
+  resp_latency : Metrics.histogram;
+      (* responsibility time on the worker (v6) *)
   gap : Metrics.histogram;
       (* certified gap (ub - lb) of timed-out solves; infinite gaps (no
          finite upper bound) land in the implicit +∞ bucket *)
@@ -220,6 +222,44 @@ let submit_solve t ~kind ~timeout_ms body_lines =
     let lane = lane_for t instances in
     let deadline = deadline_of t ~lane timeout_ms in
     submit_lane t ~kind ~lane (fun fill -> run_solve t ~kind ~deadline instances fill)
+
+(* The responsibility verb (v6): one fact against one instance.  Same
+   classify-first admission as solve; the responsibility computation is
+   not cancellable mid-run, so the deadline is only checked before it
+   starts — a queued request whose deadline fired while waiting answers
+   immediately instead of burning a worker. *)
+let run_resp t ~deadline (inst : Res_engine.Batch.instance) fact fill =
+  Obs.span ~cat:"server" "resp" @@ fun () ->
+  let t0 = now () in
+  if expired deadline then begin
+    count t "resp" "timeout";
+    fill (Protocol.error "resp: deadline expired while queued")
+  end
+  else begin
+    let r, cached = Res_engine.Batch.responsibility t.engine inst.db inst.query fact in
+    count t "resp" "ok";
+    Metrics.observe t.resp_latency (now () -. t0);
+    fill (Protocol.resp_reply ~cached r)
+  end
+
+let submit_resp t ~timeout_ms ~fact_s body =
+  match Res_engine.Batch.parse_instances body with
+  | exception Res_engine.Batch.Parse_error msg ->
+    count t "resp" "error";
+    Protocol.error msg
+  | [ inst ] -> begin
+    match Res_db.Fact_syntax.fact fact_s with
+    | exception Res_db.Fact_syntax.Parse_error msg ->
+      count t "resp" "error";
+      Protocol.error ("fact: " ^ msg)
+    | fact ->
+      let lane = lane_for t [ inst ] in
+      let deadline = deadline_of t ~lane timeout_ms in
+      submit_lane t ~kind:"resp" ~lane (fun fill -> run_resp t ~deadline inst fact fill)
+  end
+  | _ ->
+    count t "resp" "error";
+    Protocol.error "resp: exactly one \"QUERY | FACTS\" instance expected"
 
 (* The binary bulk path: same engine, same lanes, same deadline
    semantics — only the wire format differs.  The reply is a frame
@@ -391,6 +431,8 @@ let execute t line =
   end
   | Ok (Protocol.Solve { timeout_ms; body }) ->
     `Reply (submit_solve t ~kind:"solve" ~timeout_ms [ body ])
+  | Ok (Protocol.Resp { timeout_ms; fact; body }) ->
+    `Reply (submit_resp t ~timeout_ms ~fact_s:fact body)
   | Ok (Protocol.Batch { timeout_ms; bodies }) ->
     `Reply (submit_solve t ~kind:"batch" ~timeout_ms bodies)
   | Ok (Protocol.Watch_register { timeout_ms; body }) ->
@@ -655,7 +697,10 @@ let register_engine_gauges metrics (engine : Res_engine.Batch.t) =
   g "engine.solve_misses" (fun () -> float_of_int s.Res_engine.Stats.solve_misses);
   g "engine.solve_timeouts" (fun () -> float_of_int s.Res_engine.Stats.solve_timeouts);
   g "engine.solve_hit_rate" (fun () -> Res_engine.Stats.solve_hit_rate s);
-  g "engine.classify_hit_rate" (fun () -> Res_engine.Stats.classify_hit_rate s)
+  g "engine.classify_hit_rate" (fun () -> Res_engine.Stats.classify_hit_rate s);
+  g "engine.resp_hits" (fun () -> float_of_int s.Res_engine.Stats.resp_hits);
+  g "engine.resp_misses" (fun () -> float_of_int s.Res_engine.Stats.resp_misses);
+  g "engine.resp_hit_rate" (fun () -> Res_engine.Stats.resp_hit_rate s)
 
 let register_executor_gauges metrics =
   let g name pick =
@@ -697,6 +742,7 @@ let start ?engine:(eng = Res_engine.Batch.create ()) cfg =
       metrics_thread = None;
       latency = Metrics.histogram metrics "latency.request";
       solve_latency = Metrics.histogram metrics "latency.solve";
+      resp_latency = Metrics.histogram metrics "latency.resp";
       gap =
         Metrics.histogram
           ~buckets:[ 0.; 1.; 2.; 3.; 5.; 8.; 13.; 21. ]

@@ -513,6 +513,18 @@ let rec execute t cache line =
     in
     count_reply t "solve" r;
     `Reply r
+  | Ok (Protocol.Resp { timeout_ms = _; fact = _; body }) ->
+    (* route by the instance body (the query class), not the fact: every
+       responsibility question about one instance lands on the shard
+       whose engine caches that instance's solutions *)
+    let key = routing_key body in
+    let r =
+      match forward t ~key (fun peer -> send_text cache peer line) with
+      | Ok reply -> reply
+      | Error e -> e
+    in
+    count_reply t "resp" r;
+    `Reply r
   | Ok (Protocol.Batch { timeout_ms; bodies }) ->
     let r =
       match forward_batch t cache ~timeout_ms bodies with Ok reply -> reply | Error e -> e

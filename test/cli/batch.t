@@ -64,7 +64,7 @@ subcommands stays consistent with the batch answers:
   query: A(x), R(x,y), R(z,y), C(z)
   minimized: A(x), R(x,y), R(z,y), C(z)
   verdict: PTIME: confluence flow (Props 31/32)
-    component 1: A(x), R(x,y), R(z,y), C(z) -> PTIME: confluence flow (Props 31/32)
+    component 1 [binary-ssj]: A(x), R(x,y), R(z,y), C(z) -> PTIME: confluence flow (Props 31/32)
 
   $ resilience solve "A(x), R(x,y), R(z,y), C(z)" --facts "A(1); R(1,2); R(3,2); C(3)"
   resilience: 1

@@ -4,13 +4,13 @@ The classify subcommand decides complexity (Theorem 37):
   query: R(x,y), R(y,z)
   minimized: R(x,y), R(y,z)
   verdict: NP-complete: 2-chain (Props 29/30/38)
-    component 1: R(x,y), R(y,z) -> NP-complete: 2-chain (Props 29/30/38)
+    component 1 [binary-ssj]: R(x,y), R(y,z) -> NP-complete: 2-chain (Props 29/30/38)
 
   $ resilience classify "A(x), R(x,y), R(y,x)"
   query: A(x), R(x,y), R(y,x)
   minimized: A(x), R(x,y), R(y,x)
   verdict: PTIME: unbound permutation (Props 33/35)
-    component 1: A(x), R(x,y), R(y,x) -> PTIME: unbound permutation (Props 33/35)
+    component 1 [binary-ssj]: A(x), R(x,y), R(y,x) -> PTIME: unbound permutation (Props 33/35)
 
 Solving the Section 2 example:
 

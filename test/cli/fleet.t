@@ -27,7 +27,7 @@ items come back in input order:
 The router answers [stats] itself, from its own registry:
 
   $ resilience client --socket ./router.sock "stats" | tr ' ' '\n' | grep -E "^(router\.protocol\.version|ring\.shards)="
-  router.protocol.version=5
+  router.protocol.version=6
   ring.shards=2
 
 Watch sessions work through the router under fleet-global ids, pinned to

@@ -13,10 +13,10 @@ optimal knowledge, so its gap is 0:
 classify --json mirrors the text report, one object per component:
 
   $ resilience classify "R(x,y), R(y,z)" --json
-  {"query":"R(x,y), R(y,z)","minimized":"R(x,y), R(y,z)","verdict":"NP-complete: 2-chain (Props 29/30/38)","components":[{"query":"R(x,y), R(y,z)","verdict":"NP-complete: 2-chain (Props 29/30/38)"}],"notes":[]}
+  {"query":"R(x,y), R(y,z)","minimized":"R(x,y), R(y,z)","verdict":"NP-complete: 2-chain (Props 29/30/38)","components":[{"query":"R(x,y), R(y,z)","family":"binary-ssj","verdict":"NP-complete: 2-chain (Props 29/30/38)"}],"notes":[]}
 
   $ resilience classify "A(x), R(x,y), R(y,x)" --json
-  {"query":"A(x), R(x,y), R(y,x)","minimized":"A(x), R(x,y), R(y,x)","verdict":"PTIME: unbound permutation (Props 33/35)","components":[{"query":"A(x), R(x,y), R(y,x)","verdict":"PTIME: unbound permutation (Props 33/35)"}],"notes":[]}
+  {"query":"A(x), R(x,y), R(y,x)","minimized":"A(x), R(x,y), R(y,x)","verdict":"PTIME: unbound permutation (Props 33/35)","components":[{"query":"A(x), R(x,y), R(y,x)","family":"binary-ssj","verdict":"PTIME: unbound permutation (Props 33/35)"}],"notes":[]}
 
 solve --bounds appends the certified bracket (independent lower and upper
 certificates) to the plain-text answer:

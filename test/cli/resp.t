@@ -1,0 +1,58 @@
+The responsibility workload, end to end: the one-shot subcommand, then
+the protocol v6 [resp] verb against a live server.
+
+A fact in every witness is fully responsible (empty contingency); a fact
+with one surviving alternative needs a contingency of 1:
+
+  $ resilience responsibility "R(x,y), S(y,z)" --facts "R(1,2); S(2,3); S(2,4)" --fact "R(1,2)"
+  responsibility 1.0000 (min contingency 0)
+
+  $ resilience responsibility "R(x,y), S(y,z)" --facts "R(1,2); S(2,3); S(2,4)" --fact "S(2,3)"
+  responsibility 0.5000 (min contingency 1)
+
+A fact whose relation the query never mentions cannot be a cause:
+
+  $ resilience responsibility "R(x,y), S(y,z)" --facts "R(1,2); S(2,3); S(2,4)" --fact "T(9,9)"
+  not a cause (responsibility 0)
+
+  $ resilience responsibility "R(x,y), S(y,z)" --facts "R(1,2); S(2,3); S(2,4)" --fact "S(2,3)" --json
+  {"fact":"S(2,3)","responsibility":0.5000,"contingency":1}
+
+The same answers over the wire (protocol v6):
+
+  $ resilience serve --socket ./resp.sock --workers 2 &
+  $ resilience client --socket ./resp.sock --retry 100 "ping"
+  ok pong
+
+  $ resilience client --socket ./resp.sock "resp R(1,2) | R(x,y), S(y,z) | R(1,2); S(2,3); S(2,4)"
+  ok responsibility=1.0000 contingency=0
+
+  $ resilience client --socket ./resp.sock "resp S(2,3) | R(x,y), S(y,z) | R(1,2); S(2,3); S(2,4)"
+  ok responsibility=0.5000 contingency=1
+
+The repeat is served from the engine's responsibility cache:
+
+  $ resilience client --socket ./resp.sock "resp S(2,3) | R(x,y), S(y,z) | R(1,2); S(2,3); S(2,4)"
+  ok responsibility=0.5000 contingency=1 cached
+
+  $ resilience client --socket ./resp.sock "resp T(9,9) | R(x,y), S(y,z) | R(1,2); S(2,3); S(2,4)"
+  ok responsibility=0.0000 contingency=none
+
+Malformed resp requests are answered, never dropped:
+
+  $ resilience client --socket ./resp.sock "resp R(1,2)"
+  error resp: expected "FACT | QUERY | FACTS"
+
+The metrics registry has the new counters, the cache gauges, and the
+latency histogram (2 misses, 1 hit; 4 requests observed):
+
+  $ resilience client --socket ./resp.sock "stats" | tr ' ' '\n' | grep -E "^(requests\.resp\.ok|engine\.resp_(hits|misses)|latency\.resp\.count)="
+  engine.resp_hits=1
+  engine.resp_misses=2
+  latency.resp.count=4
+  requests.resp.ok=4
+
+  $ resilience client --socket ./resp.sock "shutdown"
+  ok shutting down
+  $ wait
+  $ test -e ./resp.sock && echo "socket left behind" || true

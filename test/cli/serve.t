@@ -28,7 +28,7 @@ A batch shares one line, one deadline:
 Malformed requests are answered, never dropped:
 
   $ resilience client --socket ./serve.sock "frobnicate"
-  error unknown command "frobnicate" (try ping/classify/solve/batch/watch/stats/quit)
+  error unknown command "frobnicate" (try ping/classify/solve/resp/batch/watch/stats/quit)
 
   $ resilience client --socket ./serve.sock "solve R(x | R(1,2)"
   error line 1: query: malformed argument list for R: expected a lowercase variable, found "x" at offset 2

@@ -19,11 +19,47 @@ let random_query st =
   let exo = if Random.State.bool st then [] else [ fst rels.(Random.State.int st 5) ] in
   Res_cq.Query.make ~exo atoms
 
-(* The decorated two-R-atom fragment of Theorem 37, as an indexable pool. *)
+(* Self-join-free queries at arbitrary arity: each atom uses a distinct
+   relation, so whatever arities are drawn the sjf dichotomy (triad
+   test) applies.  A quarter of the atoms are marked exogenous. *)
+let random_sjf_query ~max_arity st =
+  let vars = [| "x"; "y"; "z"; "w"; "u"; "v" |] in
+  let names = [| "R"; "S"; "T"; "A"; "B"; "C" |] in
+  let n_atoms = 1 + Random.State.int st 4 in
+  let atoms =
+    List.init n_atoms (fun i ->
+        let ar = 1 + Random.State.int st max_arity in
+        Res_cq.Atom.make names.(i)
+          (List.init ar (fun _ -> vars.(Random.State.int st (Array.length vars)))))
+  in
+  let exo =
+    List.filter_map
+      (fun (a : Res_cq.Atom.t) -> if Random.State.int st 4 = 0 then Some a.rel else None)
+      atoms
+  in
+  Res_cq.Query.make ~exo atoms
+
+(* Databases for any-arity queries: {!Res_db.Db_gen.random_for_query}
+   draws each relation at its own arity, so one generator covers both
+   the binary fragment and the sjf any-arity regime. *)
+let random_db ~seed ~domain ~tuples_per_relation q =
+  Res_db.Db_gen.random_for_query ~seed ~domain ~tuples_per_relation q
+
+(* The decorated two-R-atom fragment of Theorem 37, as an indexable pool
+   (and as a list, for the exhaustive fragment suite). *)
 let fragment = lazy (Array.of_list (Query_gen.decorated_two_r_atom_queries ()))
+let fragment_list = lazy (Array.to_list (Lazy.force fragment))
 
 let fragment_query seed =
   let qs = Lazy.force fragment in
+  qs.(seed mod Array.length qs)
+
+(* Same for the decorated three-R-atom fragment of Section 8. *)
+let fragment3 = lazy (Array.of_list (Query_gen.decorated_three_r_atom_queries ()))
+let fragment3_list = lazy (Array.to_list (Lazy.force fragment3))
+
+let fragment3_query seed =
+  let qs = Lazy.force fragment3 in
   qs.(seed mod Array.length qs)
 
 let solution_equal s1 s2 =

@@ -10,7 +10,7 @@ let q = Res_cq.Parser.query
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
-let fragment = lazy (Query_gen.decorated_two_r_atom_queries ())
+let fragment = Generators.fragment_list
 
 let shapes_nonempty () =
   let shapes = Query_gen.two_r_atom_shapes () in
@@ -162,7 +162,7 @@ let suite =
 
 (* --- the three-R-atom fragment (Section 8 roadmap) ---------------------- *)
 
-let fragment3 = lazy (Query_gen.decorated_three_r_atom_queries ())
+let fragment3 = Generators.fragment3_list
 
 let three_atom_shapes () =
   let shapes = Query_gen.three_r_atom_shapes () in
@@ -187,7 +187,7 @@ let three_atom_verdict_tally () =
       | Classify.Ptime _ -> incr p
       | Classify.Np_complete _ -> incr npc
       | Classify.Open_problem _ -> incr op
-      | Classify.Unknown _ -> incr unk)
+      | Classify.Unknown _ | Classify.Heuristic _ -> incr unk)
     (Lazy.force fragment3);
   (* Section 8 is a partial classification: all four buckets exist, and
      decided queries dominate *)

@@ -9,6 +9,7 @@ let () =
       ("kernels", Test_kernels.suite);
       ("structure", Test_structure.suite);
       ("classify", Test_classify.suite);
+      ("family", Test_family.suite);
       ("fragment", Test_fragment.suite);
       ("solvers", Test_solvers.suite);
       ("bounds", Test_bounds.suite);

@@ -1,0 +1,14 @@
+(* Print one "name|verdict" line per zoo entry — the generator for
+   test/golden/zoo_verdicts.golden.  The golden file pins the classifier's
+   verdict on every paper query, so a dispatcher refactor that silently
+   reroutes a binary-ssj query fails the diff test rather than shipping.
+   Regenerate (after an *intended* verdict change only) with:
+
+     dune exec test/tools/zoo_golden.exe > test/golden/zoo_verdicts.golden *)
+
+let () =
+  List.iter
+    (fun (en : Resilience.Zoo.entry) ->
+      Printf.printf "%s|%s\n" en.name
+        (Resilience.Classify.verdict_to_string (Resilience.Classify.verdict_of en.query)))
+    Resilience.Zoo.all
